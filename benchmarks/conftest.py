@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table/figure) or one
+quantitative experiment from the DESIGN.md per-experiment index.  Each
+writes its rendered rows to ``benchmarks/out/<experiment>.txt`` so the
+artifacts survive pytest's output capture, and asserts the *shape*
+claims that must hold (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.simulator import RngStreams
+from repro.units import HOUR
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    """Directory where benches drop their rendered artifacts."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist one bench artifact (and echo it for -s runs)."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text, encoding="utf-8")
+    print(f"\n[{name}]\n{text}\n")
+
+
+def bench_machine(nodes: int = 64, **kw) -> Machine:
+    """Standard benchmark machine."""
+    defaults = dict(name="bench", nodes=nodes, idle_power=100.0,
+                    max_power=400.0, nodes_per_cabinet=max(8, nodes // 8))
+    defaults.update(kw)
+    return Machine(MachineSpec(**defaults))
+
+
+def bench_workload(
+    seed: int = 11,
+    count: int = 150,
+    nodes: int = 64,
+    rate_per_hour: float = 40.0,
+    mean_work_hours: float = 0.5,
+    **kw,
+):
+    """Standard benchmark workload, deterministic per seed."""
+    spec = WorkloadSpec(
+        arrival_rate=rate_per_hour / HOUR,
+        duration=12.0 * HOUR,
+        min_nodes=1,
+        max_nodes=max(1, nodes // 2),
+        mean_work=mean_work_hours * HOUR,
+        **kw,
+    )
+    return WorkloadGenerator(spec, RngStreams(seed).stream("bench")).generate(
+        count=count
+    )

@@ -1,0 +1,74 @@
+"""Experiment ``exp-analysis``: the announced cross-center analysis.
+
+Section VII promises an analysis that will "identify common themes in
+the responses as well as identify any particularly noteworthy
+approaches".  This bench computes it from the typed survey data:
+technique adoption by maturity stage, common themes, unique
+approaches, center similarity/clustering, the research-vs-production
+gap and the vendor-engagement ranking.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_columns
+from repro.survey import MaturityStage, SurveyAnalysis, Technique
+
+from .conftest import write_artifact
+
+
+def test_bench_survey_analysis(benchmark, artifact_dir):
+    def analyse():
+        analysis = SurveyAnalysis()
+        return {
+            "adoption": analysis.adoption(),
+            "themes": analysis.common_themes(min_centers=3),
+            "unique": analysis.unique_approaches(),
+            "similarity": analysis.similarity_matrix(),
+            "clusters": analysis.cluster_centers(num_clusters=3),
+            "gap": analysis.research_production_gap(),
+            "vendors": analysis.vendor_engagement(),
+            "stages": analysis.stage_counts(),
+        }
+
+    out = benchmark(analyse)
+
+    lines = ["SURVEY ANALYSIS — common themes (>=3 centers)", ""]
+    rows = [
+        [r.technique.value, f"{r.total_centers}",
+         f"{len(r.production)}", f"{len(r.tech_dev)}", f"{len(r.research)}"]
+        for r in out["themes"]
+    ]
+    lines.append(render_columns(
+        ["technique", "centers", "prod", "dev", "research"], rows))
+    lines.append("")
+    lines.append("Noteworthy single-center approaches:")
+    for r in out["unique"]:
+        centers = (r.production or r.tech_dev or r.research)
+        lines.append(f"  {r.technique.value} ({centers[0]})")
+    lines.append("")
+    lines.append("Center clusters (average-linkage over Jaccard):")
+    for slug, label in sorted(out["clusters"].items(), key=lambda kv: kv[1]):
+        lines.append(f"  cluster {label}: {slug}")
+    lines.append("")
+    lines.append("Research-only techniques (the research/practice gap):")
+    for technique in out["gap"]["research_only"]:
+        lines.append(f"  {technique.value}")
+    lines.append("")
+    lines.append("Vendor engagement (partner: centers):")
+    for partner, centers in out["vendors"].items():
+        lines.append(f"  {partner:28s}: {', '.join(centers)}")
+    write_artifact("exp-analysis", "\n".join(lines))
+
+    # Shape claims.
+    assert len(out["themes"]) >= 5
+    assert out["stages"][MaturityStage.PRODUCTION] >= 9
+    theme_techniques = {r.technique for r in out["themes"]}
+    # The survey's central observations: vendor co-development and
+    # power-aware scheduling are pervasive; energy reports are common.
+    assert Technique.VENDOR_COPRODUCT in theme_techniques
+    assert Technique.POWER_AWARE_SCHEDULING in theme_techniques
+    assert Technique.ENERGY_REPORTS in theme_techniques
+    # There is a real research-to-production gap (Section VI's point).
+    assert len(out["gap"]["research_only"]) >= 2
+    # SLURM-ecosystem engagement dominates vendor mentions (>=3 centers).
+    assert len(out["vendors"]["SchedMD (SLURM)"]) >= 3

@@ -1,0 +1,71 @@
+"""Experiment ``exp-backfill``: FCFS vs EASY vs conservative.
+
+The baseline shape from Mu'alem & Feitelson [35] that all surveyed
+production schedulers build on: backfilling massively improves wait
+time and bounded slowdown over strict FCFS at equal or better
+utilization, with conservative backfilling between the two on
+aggressiveness.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.analysis import ExperimentRunner, Variant
+from repro.analysis.report import render_dict_table
+from repro.core import (
+    ClusterSimulation,
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    FcfsScheduler,
+)
+
+from .conftest import bench_machine, bench_workload, write_artifact
+
+METRICS = ["mean_wait", "mean_bounded_slowdown", "utilization",
+           "jobs_completed", "makespan"]
+
+
+def _runner():
+    base_jobs = bench_workload(seed=13, count=200, nodes=64,
+                               rate_per_hour=60.0)
+
+    def variant(name, scheduler_cls):
+        def build():
+            return ClusterSimulation(
+                bench_machine(64), scheduler_cls(),
+                copy.deepcopy(base_jobs), seed=1,
+            )
+        return Variant(name, build)
+
+    return ExperimentRunner([
+        variant("fcfs", FcfsScheduler),
+        variant("easy", EasyBackfillScheduler),
+        variant("conservative", ConservativeBackfillScheduler),
+    ])
+
+
+def test_bench_backfill_comparison(benchmark, artifact_dir):
+    runner = _runner()
+    benchmark.pedantic(runner.run_all, rounds=1, iterations=1)
+    table = runner.metric_table(METRICS)
+    write_artifact(
+        "exp-backfill",
+        "EXP-BACKFILL — scheduler baselines (200 jobs, 64 nodes)\n\n"
+        + render_dict_table(table, row_label="scheduler"),
+    )
+
+    fcfs = table["fcfs"]
+    easy = table["easy"]
+    conservative = table["conservative"]
+    # Everyone completes the work.
+    assert fcfs["jobs_completed"] == 200
+    assert easy["jobs_completed"] == 200
+    assert conservative["jobs_completed"] == 200
+    # The canonical result: EASY at least halves FCFS's slowdown.
+    assert easy["mean_bounded_slowdown"] <= 0.5 * fcfs["mean_bounded_slowdown"]
+    assert easy["mean_wait"] < fcfs["mean_wait"]
+    # Conservative also beats FCFS.
+    assert conservative["mean_bounded_slowdown"] < fcfs["mean_bounded_slowdown"]
+    # Backfilling never hurts utilization.
+    assert easy["utilization"] >= fcfs["utilization"] - 0.02

@@ -1,0 +1,105 @@
+"""Experiment ``exp-capping``: KAUST-style static partition capping.
+
+Sweeps the capped fraction (at the paper's 270 W level on a 400 W-peak
+node model) and the cap level (at the paper's 70 % fraction), printing
+the guaranteed worst-case power bound against the throughput/slowdown
+cost.  Shape claims: the power bound falls monotonically with both the
+fraction and the cap depth, while runtimes of compute-bound work
+stretch — the exact trade KAUST accepted in production.
+
+Ablation (DESIGN.md): capped-fraction sweep doubles as the ablation of
+the 70 % choice.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.analysis.report import render_columns
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.policies import StaticCappingPolicy
+from repro.workload.phases import COMPUTE_BOUND
+
+from .conftest import bench_machine, bench_workload, write_artifact
+
+CAP_WATTS = 270.0
+FRACTIONS = (0.0, 0.3, 0.5, 0.7, 1.0)
+CAP_LEVELS = (200.0, 270.0, 340.0)
+
+
+def _run(fraction: float, cap: float):
+    machine = bench_machine(48)
+    jobs = bench_workload(seed=17, count=120, nodes=48, rate_per_hour=50.0)
+    for job in jobs:
+        job.profile = COMPUTE_BOUND  # worst case for capping
+    policies = []
+    policy = None
+    if fraction > 0.0:
+        policy = StaticCappingPolicy(cap_watts=cap, capped_fraction=fraction)
+        policies.append(policy)
+    sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                            copy.deepcopy(jobs), policies=policies, seed=1)
+    result = sim.run()
+    bound = policy.worst_case_power() if policy else machine.peak_power
+    return result.metrics, bound
+
+
+def test_bench_capping_fraction_sweep(benchmark, artifact_dir):
+    def sweep():
+        return {f: _run(f, CAP_WATTS) for f in FRACTIONS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for fraction, (metrics, bound) in results.items():
+        rows.append([
+            f"{fraction:.0%}",
+            f"{bound / 1e3:.1f}",
+            f"{metrics.peak_power_watts / 1e3:.1f}",
+            f"{metrics.mean_bounded_slowdown:.2f}",
+            f"{metrics.makespan / 3600:.2f}",
+            f"{metrics.jobs_completed}",
+        ])
+    write_artifact(
+        "exp-capping-fraction",
+        f"EXP-CAPPING — capped fraction sweep at {CAP_WATTS:.0f} W "
+        f"(48 nodes, compute-bound)\n\n"
+        + render_columns(
+            ["fraction", "bound[kW]", "peak[kW]", "slowdown", "makespan[h]",
+             "done"],
+            rows,
+        ),
+    )
+
+    bounds = [results[f][1] for f in FRACTIONS]
+    # Guaranteed bound falls monotonically with the capped fraction.
+    assert all(a >= b for a, b in zip(bounds, bounds[1:]))
+    # The KAUST point (70 %) cuts the worst case by >20 % vs uncapped.
+    assert results[0.7][1] <= 0.8 * results[0.0][1]
+    # Capping costs time on compute-bound work.
+    assert results[1.0][0].makespan >= results[0.0][0].makespan
+
+
+def test_bench_capping_level_sweep(benchmark, artifact_dir):
+    def sweep():
+        return {c: _run(0.7, c) for c in CAP_LEVELS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [f"{cap:.0f}", f"{bound / 1e3:.1f}",
+         f"{metrics.mean_bounded_slowdown:.2f}",
+         f"{metrics.makespan / 3600:.2f}"]
+        for cap, (metrics, bound) in results.items()
+    ]
+    write_artifact(
+        "exp-capping-level",
+        "EXP-CAPPING — cap level sweep at 70% capped fraction\n\n"
+        + render_columns(["cap[W]", "bound[kW]", "slowdown", "makespan[h]"],
+                         rows),
+    )
+    bounds = [results[c][1] for c in CAP_LEVELS]
+    # Deeper caps -> lower bound.
+    assert all(a <= b for a, b in zip(bounds, bounds[1:]))
+    # Deeper caps -> no faster completion.
+    makespans = [results[c][0].makespan for c in CAP_LEVELS]
+    assert makespans[0] >= makespans[-1] - 1e-6

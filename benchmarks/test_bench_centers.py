@@ -1,0 +1,80 @@
+"""Experiment ``exp-centers``: the capability matrix, executed.
+
+Runs all nine center scenarios side by side (same seed, same simulated
+span, scaled machines) and prints the comparative table the survey
+could not include: what each center's production policy stack actually
+does to utilization, waiting, power and energy.  The assertions pin
+the per-center signatures from Tables I/II.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_columns
+from repro.centers import build_center_simulation, center_slugs
+from repro.units import HOUR
+
+from .conftest import write_artifact
+
+
+def test_bench_all_centers(benchmark, artifact_dir):
+    def run_all():
+        out = {}
+        for slug in center_slugs():
+            build = build_center_simulation(slug, seed=13,
+                                            duration=4 * HOUR, nodes=48)
+            result = build.simulation.run()
+            out[slug] = (build, result)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for slug, (build, result) in results.items():
+        m = result.metrics
+        rows.append([
+            slug,
+            f"{m.jobs_completed}/{m.jobs_submitted}",
+            f"{m.utilization:.2f}",
+            f"{m.mean_wait:.0f}",
+            f"{m.average_power_watts / 1e3:.1f}",
+            f"{m.peak_power_watts / 1e3:.1f}",
+            f"{m.total_energy_joules / 3.6e6:.1f}",
+            f"{m.jobs_killed}",
+        ])
+    write_artifact(
+        "exp-centers",
+        "EXP-CENTERS — the nine scenarios executed "
+        "(48 nodes, 4 simulated hours, seed 13)\n\n"
+        + render_columns(
+            ["center", "done", "util", "wait[s]", "avg kW", "peak kW",
+             "kWh", "killed"],
+            rows,
+        )
+        + "\n\nScenario notes:\n"
+        + "\n".join(
+            f"  {slug}: {'; '.join(build.notes)}"
+            for slug, (build, _r) in results.items()
+        ),
+    )
+
+    # Per-center signatures (Tables I/II).
+    for slug, (build, result) in results.items():
+        m = result.metrics
+        assert m.jobs_completed >= 0.5 * m.jobs_submitted, slug
+
+    # Tokyo Tech: cooperative — never kills.
+    assert results["tokyotech"][1].metrics.jobs_killed == 0
+    # KAUST: 70% of nodes capped at 270 W.
+    kaust_machine = results["kaust"][0].simulation.machine
+    assert sum(1 for n in kaust_machine.nodes if n.power_cap == 270.0) \
+        == round(0.7 * len(kaust_machine))
+    # STFC: monitoring only — nothing capped, nothing powered down.
+    stfc = results["stfc"][0].simulation
+    assert all(n.power_cap is None for n in stfc.machine.nodes)
+    # JCAHPC: every node under a group cap.
+    jcahpc = results["jcahpc"][0].simulation
+    assert all(n.power_cap is not None for n in jcahpc.machine.nodes)
+    # RIKEN: the emergency limit is armed below peak.
+    riken_policies = results["riken"][0].simulation.policies
+    assert riken_policies[0].limit_watts < \
+        results["riken"][0].simulation.machine.peak_power

@@ -1,0 +1,76 @@
+"""Experiment ``exp-energy-tags``: LRZ's goal-selectable scheduling.
+
+Runs the same tagged workload under the three administrator goals
+(best performance, energy-to-solution, EDP) on a frequency-diverse
+application mix.  Shape claims (Auweter et al. [4] report ~6-8 %
+energy savings on SuperMUC): energy-to-solution spends the least
+energy, best-performance finishes fastest, EDP sits between.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.analysis.report import render_columns
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.policies import EnergyTagPolicy, SchedulingGoal
+from repro.simulator import RngStreams
+from repro.units import HOUR
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+from .conftest import bench_machine, write_artifact
+
+
+def _jobs():
+    # Repeated tags so the characterization pays off.
+    spec = WorkloadSpec(arrival_rate=50.0 / HOUR, duration=12 * HOUR,
+                        max_nodes=16, mean_work=0.5 * HOUR)
+    jobs = WorkloadGenerator(spec, RngStreams(37).stream("tags")).generate(
+        count=150
+    )
+    return jobs
+
+
+def _run(goal: SchedulingGoal):
+    machine = bench_machine(48)
+    policy = EnergyTagPolicy(goal=goal)
+    sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                            copy.deepcopy(_jobs()), policies=[policy], seed=1)
+    result = sim.run()
+    return result.metrics, policy
+
+
+def test_bench_energy_goals(benchmark, artifact_dir):
+    def sweep():
+        return {goal: _run(goal) for goal in SchedulingGoal}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for goal, (metrics, policy) in results.items():
+        rows.append([
+            goal.value,
+            f"{metrics.total_energy_mwh:.3f}",
+            f"{metrics.makespan / 3600:.2f}",
+            f"{metrics.jobs_completed}",
+            f"{len(policy.characterized_tags)}",
+        ])
+    write_artifact(
+        "exp-energy-tags",
+        "EXP-ENERGY-TAGS — LRZ goal comparison (150 tagged jobs)\n\n"
+        + render_columns(
+            ["goal", "energy[MWh]", "makespan[h]", "done", "tags"], rows,
+        ),
+    )
+
+    perf = results[SchedulingGoal.BEST_PERFORMANCE][0]
+    energy = results[SchedulingGoal.ENERGY_TO_SOLUTION][0]
+    edp = results[SchedulingGoal.ENERGY_DELAY_PRODUCT][0]
+    # Energy goal saves energy vs best performance (paper-scale: >3 %).
+    assert energy.total_energy_joules <= 0.97 * perf.total_energy_joules
+    # Best performance is no slower than the energy goal.
+    assert perf.makespan <= energy.makespan * 1.02
+    # EDP energy lands between the two extremes (with small tolerance).
+    assert energy.total_energy_joules <= edp.total_energy_joules * 1.02
+    assert edp.total_energy_joules <= perf.total_energy_joules * 1.02
+    # Everyone finishes everything (walltime extension works).
+    assert all(m.jobs_completed == 150 for m, _ in results.values())

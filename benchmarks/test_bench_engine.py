@@ -1,0 +1,61 @@
+"""Experiment ``exp-engine``: substrate performance.
+
+Not a paper artifact — the sanity benches that keep the simulator
+usable at scale: raw event throughput, machine power evaluation, a
+10k-job end-to-end run, and workload generation speed.
+"""
+
+from __future__ import annotations
+
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.simulator import RngStreams, Simulator
+from repro.units import HOUR
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+from .conftest import bench_machine, bench_workload
+
+
+def test_bench_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = 100_000
+        for i in range(count):
+            sim.at(float(i % 1000), lambda: None)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark.pedantic(run_events, rounds=3, iterations=1)
+    assert fired == 100_000
+
+
+def test_bench_machine_power_evaluation(benchmark):
+    machine = bench_machine(1024)
+    sim = ClusterSimulation(machine, EasyBackfillScheduler(), [])
+    watts = benchmark(sim.machine_power)
+    assert watts > 0
+
+
+def test_bench_workload_generation(benchmark):
+    def generate():
+        spec = WorkloadSpec(arrival_rate=1.0, duration=10_000.0, max_nodes=256)
+        rng = RngStreams(5).stream("gen")
+        return WorkloadGenerator(spec, rng).generate(count=10_000)
+
+    jobs = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert len(jobs) == 10_000
+
+
+def test_bench_end_to_end_simulation(benchmark):
+    """A full day on 128 nodes with ~1.5k jobs."""
+
+    def run():
+        machine = bench_machine(128)
+        jobs = bench_workload(seed=61, count=1500, nodes=128,
+                              rate_per_hour=120.0, mean_work_hours=0.3)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                seed=1, sample_interval=300.0,
+                                trace_enabled=False)
+        return sim.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.metrics.jobs_completed >= 1400

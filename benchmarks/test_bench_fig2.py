@@ -1,0 +1,43 @@
+"""Experiment ``fig2``: the geographic map of participating centers.
+
+Figure 2 maps the nine centers; Section III: "These span the
+geographic regions of Asia, Europe and the United States" (plus KAUST
+in the Middle East).  The bench regenerates the map data, the regional
+distribution and an ASCII rendering.
+"""
+
+from __future__ import annotations
+
+from repro.survey import map_points, regional_distribution
+from repro.survey.geography import ascii_map, countries
+
+from .conftest import write_artifact
+
+
+def test_bench_fig2_distribution(benchmark, artifact_dir):
+    dist = benchmark(regional_distribution)
+    art = [
+        "FIGURE 2 — Geographic distribution of the participating centers",
+        "",
+    ]
+    for region, count in sorted(dist.items()):
+        art.append(f"  {region:15s}: {count}")
+    art.append("")
+    art.append(ascii_map())
+    write_artifact("fig2", "\n".join(art))
+
+    # Shape claims: nine centers, four regions, Japan the largest host.
+    assert sum(dist.values()) == 9
+    assert dist == {"Asia": 3, "Europe": 4, "Middle East": 1,
+                    "North America": 1}
+    assert countries()["Japan"] == 3
+
+
+def test_bench_fig2_map_points(benchmark):
+    points = benchmark(map_points)
+    assert len(points) == 9
+    # Sanity of coordinates: RIKEN in Japan's longitude band, Trinity
+    # in the US West.
+    by_slug = {p.slug: p for p in points}
+    assert 125.0 < by_slug["riken"].longitude < 150.0
+    assert -120.0 < by_slug["trinity"].longitude < -100.0

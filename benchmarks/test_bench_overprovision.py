@@ -1,0 +1,110 @@
+"""Experiment ``exp-overprovision``: Sarood-style over-provisioning.
+
+Budget sweep comparing two ways to honour a strict machine budget:
+
+* *naive*: power only as many nodes as can run uncapped;
+* *overprovisioned*: run more nodes, each capped lower, at the
+  throughput-optimal operating point.
+
+Shape claim (Sarood et al. [38] report up to ~2x throughput): under
+tight budgets the over-provisioned configuration completes the same
+workload substantially faster; as the budget approaches full machine
+power the two converge.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.analysis.report import render_columns
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.policies import OverprovisioningPolicy
+from repro.workload.phases import COMPUTE_BOUND
+
+from .conftest import bench_machine, bench_workload, write_artifact
+
+BUDGET_FRACTIONS = (0.4, 0.6, 0.8, 1.0)
+
+
+class NaiveBudgetPolicy(OverprovisioningPolicy):
+    """Honour the budget with uncapped nodes only (the baseline)."""
+
+    name = "naive-budget"
+
+    def solve_operating_point(self):
+        machine = self.simulation.machine
+        node = machine.nodes[0]
+        p_max = node.effective_max_power
+        total = len(machine.nodes)
+        # n·p_max + (N-n)·p_off <= budget
+        n = int((self.budget_watts - node.off_power * total)
+                // (p_max - node.off_power))
+        n = max(1, min(n, total))
+        return n, p_max, float(n)
+
+
+def _jobs():
+    jobs = bench_workload(seed=43, count=100, nodes=48, rate_per_hour=80.0,
+                          mean_work_hours=0.4)
+    for job in jobs:
+        job.profile = COMPUTE_BOUND
+        job.nodes = min(job.nodes, 4)  # parallel small jobs: Sarood's regime
+        # Uniform work so makespan measures throughput rather than the
+        # slowdown of one lognormal straggler.
+        job.work_seconds = 1800.0
+        job.walltime_request = 4 * 3600.0
+    return jobs
+
+
+def _run(policy_cls, fraction: float):
+    machine = bench_machine(48)
+    budget = machine.peak_power * fraction
+    policy = policy_cls(budget_watts=budget, sensitivity=0.95)
+    sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                            copy.deepcopy(_jobs()), policies=[policy],
+                            seed=1, cap_watts_for_metrics=budget)
+    result = sim.run()
+    return result.metrics, policy
+
+
+def test_bench_overprovisioning_sweep(benchmark, artifact_dir):
+    def sweep():
+        out = {}
+        for fraction in BUDGET_FRACTIONS:
+            for cls, label in ((NaiveBudgetPolicy, "naive"),
+                               (OverprovisioningPolicy, "overprov")):
+                out[(label, fraction)] = _run(cls, fraction)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [label, f"{frac:.0%}", f"{p.active_count}",
+         f"{(p.chosen_cap or 0):.0f}", f"{m.makespan / 3600:.2f}",
+         f"{m.cap_exceedance_fraction:.1%}"]
+        for (label, frac), (m, p) in results.items()
+    ]
+    write_artifact(
+        "exp-overprovision",
+        "EXP-OVERPROVISION — budget sweep, naive vs over-provisioned\n\n"
+        + render_columns(
+            ["mode", "budget", "n_active", "cap[W]", "makespan[h]",
+             "time>budget"],
+            rows,
+        ),
+    )
+
+    # Tight budget (40 %): over-provisioning wins clearly.  The
+    # theoretical ceiling of this configuration is ~1.2x (score 23 at
+    # 43 capped nodes vs 19 uncapped); require a solid share of it.
+    assert (results[("naive", 0.4)][0].makespan
+            >= 1.10 * results[("overprov", 0.4)][0].makespan)
+    # Near the crossover (60 %) it never loses materially.
+    assert (results[("overprov", 0.6)][0].makespan
+            <= 1.05 * results[("naive", 0.6)][0].makespan)
+    # At full budget the two converge (within 10 %).
+    naive_full = results[("naive", 1.0)][0].makespan
+    over_full = results[("overprov", 1.0)][0].makespan
+    assert abs(naive_full - over_full) <= 0.10 * naive_full
+    # Budget respected everywhere.
+    assert all(m.cap_exceedance_fraction <= 0.05
+               for m, _ in results.values())

@@ -1,0 +1,39 @@
+"""Experiment ``exp-selection``: the Section-III selection funnel.
+
+Regenerates the 11-identified -> 9-participating funnel, the
+three-part test outcomes and the interview timeline facts.
+"""
+
+from __future__ import annotations
+
+from repro.survey import selection_funnel
+from repro.survey.selection import interview_timeline
+
+from .conftest import write_artifact
+
+
+def test_bench_selection_funnel(benchmark, artifact_dir):
+    funnel = benchmark(selection_funnel)
+    timeline = interview_timeline()
+    lines = [
+        "SECTION III — Center selection funnel",
+        "",
+        f"  centers identified        : {funnel.identified}",
+        f"  agreed to participate     : {funnel.participating}",
+        f"  declined                  : {funnel.declined}",
+        f"  participation rate        : {funnel.participation_rate:.0%}",
+        "",
+        "  three-part test per participating center:",
+    ]
+    for slug, passed in funnel.passes_three_part_test.items():
+        lines.append(f"    {slug:12s}: {'pass' if passed else 'FAIL'}")
+    lines.append("")
+    lines.append(f"  interviews: {timeline['start']} to {timeline['end']} "
+                 f"({timeline['duration_months']} months), responses "
+                 f"{timeline['response_pages']}")
+    write_artifact("exp-selection", "\n".join(lines))
+
+    # Paper facts.
+    assert funnel.identified == 11
+    assert funnel.participating == 9
+    assert all(funnel.passes_three_part_test.values())

@@ -1,0 +1,139 @@
+"""Experiment ``exp-shutdown``: idle shutdown and windowed cap tracking.
+
+Two surveyed behaviours:
+
+* Mämmelä-style idle shutdown (Tokyo Tech production): saves energy at
+  low utilization, neutral at saturation;
+* Tokyo-Tech windowed cap tracking: boot/shutdown keeps the ~30-minute
+  window average under the cap without killing jobs.
+
+Ablation (DESIGN.md): enforcement-window sweep shows the compliance /
+boot-churn trade-off.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.analysis.report import render_columns
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.policies import DynamicProvisioningPolicy, IdleShutdownPolicy
+from repro.units import HOUR
+
+from .conftest import bench_machine, bench_workload, write_artifact
+
+
+def _run_idle(low_load: bool, with_policy: bool):
+    machine = bench_machine(48, boot_time=300.0)
+    rate = 6.0 if low_load else 60.0
+    jobs = bench_workload(seed=19, count=60 if low_load else 150, nodes=48,
+                          rate_per_hour=rate)
+    policies = []
+    if with_policy:
+        policies.append(IdleShutdownPolicy(idle_threshold=900.0, min_spare=2,
+                                           check_interval=300.0))
+    sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                            copy.deepcopy(jobs), policies=policies, seed=1)
+    return sim, sim.run()
+
+
+def test_bench_idle_shutdown_saving(benchmark, artifact_dir):
+    def sweep():
+        out = {}
+        for load in ("low", "high"):
+            for policy in (False, True):
+                sim, result = _run_idle(load == "low", policy)
+                out[(load, policy)] = (result.metrics, sim.rm.boots_initiated)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for (load, policy), (metrics, boots) in results.items():
+        rows.append([
+            load, "on" if policy else "off",
+            f"{metrics.total_energy_mwh:.3f}",
+            f"{metrics.mean_wait:.0f}",
+            f"{metrics.jobs_completed}", f"{boots}",
+        ])
+    write_artifact(
+        "exp-shutdown-idle",
+        "EXP-SHUTDOWN — idle-shutdown energy saving vs load\n\n"
+        + render_columns(
+            ["load", "shutdown", "energy[MWh]", "wait[s]", "done", "boots"],
+            rows,
+        ),
+    )
+
+    low_off = results[("low", False)][0]
+    low_on = results[("low", True)][0]
+    high_off = results[("high", False)][0]
+    high_on = results[("high", True)][0]
+    # At low utilization the saving is large (idle power dominates).
+    assert low_on.total_energy_joules <= 0.7 * low_off.total_energy_joules
+    # At saturation the saving shrinks dramatically (relative).
+    low_saving = 1 - low_on.total_energy_joules / low_off.total_energy_joules
+    high_saving = 1 - high_on.total_energy_joules / high_off.total_energy_joules
+    assert high_saving < low_saving
+    # Work still completes with the policy on.
+    assert low_on.jobs_completed == low_off.jobs_completed
+
+
+def test_bench_window_sweep(benchmark, artifact_dir):
+    """Ablation: enforcement-window length for cap tracking."""
+    windows = (600.0, 1800.0, 3600.0)
+
+    def sweep():
+        out = {}
+        for window in windows:
+            # The Tokyo Tech regime: high idle fraction (GPU boxes run
+            # hot at idle), small virtualized jobs — the powered node
+            # count is the dominant power lever, and the cap sits
+            # between the all-on idle floor and machine peak.
+            machine = bench_machine(24, boot_time=300.0,
+                                    idle_power=200.0, max_power=280.0)
+            cap = machine.peak_power * 0.75
+            jobs = bench_workload(seed=23, count=80, nodes=8,
+                                  rate_per_hour=80.0,
+                                  mean_work_hours=0.25)
+            policy = DynamicProvisioningPolicy(
+                cap_watts=cap, window=window, summer_only=False,
+                check_interval=120.0,
+            )
+            sim = ClusterSimulation(
+                machine, EasyBackfillScheduler(), copy.deepcopy(jobs),
+                policies=[policy], seed=1, cap_watts_for_metrics=cap,
+            )
+            result = sim.run()
+            window_avg_peak = result.meter.window_average(window)
+            out[window] = (result.metrics,
+                           sim.rm.boots_initiated + sim.rm.shutdowns_initiated,
+                           window_avg_peak, cap)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [f"{w / 60:.0f}", f"{m.cap_exceedance_fraction:.1%}",
+         f"{churn}", f"{m.jobs_killed}", f"{m.mean_wait:.0f}"]
+        for w, (m, churn, _avg, _cap) in results.items()
+    ]
+    write_artifact(
+        "exp-shutdown-window",
+        "EXP-SHUTDOWN — enforcement window ablation (cap below the "
+        "all-on idle floor)\n\n"
+        + render_columns(
+            ["window[min]", "instant>cap", "churn", "killed", "wait[s]"],
+            rows,
+        ),
+    )
+    # The cooperative guarantee holds at every window: no kills.
+    assert all(m.jobs_killed == 0 for m, _c, _a, _x in results.values())
+    # The tight cap actually engages the controller (nodes were shed
+    # to make power room).
+    assert any(c > 0 for _m, c, _a, _x in results.values())
+    # Ablation finding: with instant-power boot gating, the controller
+    # is stable across window lengths — no thrash at long windows
+    # (before the fix, 30/60-minute windows produced tens of thousands
+    # of boot/shutdown actions).
+    assert all(c < 100 for _m, c, _a, _x in results.values())
+    # The windowed metric itself is respected everywhere.
+    assert all(a <= cap * 1.02 for _m, _c, a, cap in results.values())

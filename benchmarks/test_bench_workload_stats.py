@@ -1,0 +1,72 @@
+"""Experiment ``exp-q3-stats``: the Q3(e) percentile tables.
+
+Q3(e) asks each center for "the minimum, median, maximum, and 10th,
+25th, 75th, and 90th percentile job size and wallclock time".  The
+bench generates each center's preset workload and prints exactly that
+table, then asserts the cross-center shape facts encoded in the
+presets (Trinity capability-heavy, Tokyo Tech capacity-heavy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import percentile_table
+from repro.analysis.report import render_columns
+from repro.simulator import RngStreams
+from repro.units import DAY
+from repro.workload import WorkloadGenerator, center_workload_spec
+from repro.workload.presets import CENTER_WORKLOADS
+
+from .conftest import write_artifact
+
+JOBS_PER_CENTER = 3000
+
+
+def _center_tables():
+    tables = {}
+    for slug in CENTER_WORKLOADS:
+        spec = center_workload_spec(slug, duration=14 * DAY)
+        rng = RngStreams(31).stream(f"q3e:{slug}")
+        jobs = WorkloadGenerator(spec, rng).generate(count=JOBS_PER_CENTER)
+        tables[slug] = (percentile_table(jobs), jobs)
+    return tables
+
+
+def test_bench_q3e_tables(benchmark, artifact_dir):
+    tables = benchmark.pedantic(_center_tables, rounds=1, iterations=1)
+
+    headers = ["center", "quantity", "min", "p10", "p25", "median",
+               "p75", "p90", "max"]
+    rows = []
+    for slug, (table, _jobs) in tables.items():
+        for key, label in (("job_size_nodes", "size [nodes]"),
+                           ("wallclock_seconds", "wallclock [s]")):
+            t = table[key]
+            rows.append([
+                slug, label,
+                f"{t.minimum:.0f}", f"{t.p10:.0f}", f"{t.p25:.0f}",
+                f"{t.median:.0f}", f"{t.p75:.0f}", f"{t.p90:.0f}",
+                f"{t.maximum:.0f}",
+            ])
+    write_artifact(
+        "exp-q3-stats",
+        "Q3(e) — job size and wallclock percentiles per center preset\n\n"
+        + render_columns(headers, rows),
+    )
+
+    # Shape facts.
+    trinity = tables["trinity"][0]["job_size_nodes"]
+    tokyotech = tables["tokyotech"][0]["job_size_nodes"]
+    # Trinity (capability) has a far larger p90 size than Tokyo Tech.
+    assert trinity.p90 >= 4 * tokyotech.p90
+    # Every table is internally monotone.
+    for slug, (table, _) in tables.items():
+        for t in table.values():
+            assert (t.minimum <= t.p10 <= t.p25 <= t.median
+                    <= t.p75 <= t.p90 <= t.maximum), slug
+
+    # Mean work ordering encoded in the presets survives generation.
+    trinity_work = np.mean([j.work_seconds for j in tables["trinity"][1]])
+    tokyotech_work = np.mean([j.work_seconds for j in tables["tokyotech"][1]])
+    assert trinity_work > 2 * tokyotech_work

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Grid interaction: a demand-response day with dual-source supply.
+
+The survey's motivating scenario (Bates et al.; RIKEN's grid-vs-gas-
+turbine research line): the electricity provider requests reduced
+draw during an afternoon peak.  The site responds with DR-aware
+scheduling; the supply side decides hour by hour whether grid or
+on-site gas turbine is cheaper.
+
+Run:  python examples/demand_response_day.py
+"""
+
+from repro.centers.base import center_workload, standard_machine
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.grid import (
+    DemandResponseEvent,
+    DualSourceSupply,
+    ElectricityPriceSchedule,
+    ElectricityServiceProvider,
+    GridEventSchedule,
+)
+from repro.policies import DemandResponsePolicy
+from repro.units import HOUR
+
+
+def main() -> None:
+    machine = standard_machine("k-like", nodes=96, idle_power=60.0,
+                               max_power=180.0, seed=3)
+    limit = machine.peak_power * 0.5
+    events = GridEventSchedule([
+        DemandResponseEvent(13 * HOUR, 17 * HOUR, limit),
+    ])
+    print(f"DR event: hours 13-17, limit {limit / 1e3:.1f} kW "
+          f"(peak {machine.peak_power / 1e3:.1f} kW)")
+
+    jobs = center_workload("riken", machine, duration=24 * HOUR, seed=3)
+    sim = ClusterSimulation(
+        machine, EasyBackfillScheduler(), jobs,
+        policies=[DemandResponsePolicy(events, check_interval=300.0)],
+        seed=3,
+    )
+    result = sim.run()
+    m = result.metrics
+    times, watts = result.meter.series()
+
+    print(f"completed {m.jobs_completed}/{m.jobs_submitted}, "
+          f"killed {m.jobs_killed}")
+    in_window = (times >= 13 * HOUR) & (times < 17 * HOUR)
+    if in_window.any():
+        peak_in_window = watts[in_window].max()
+        print(f"peak inside DR window : {peak_in_window / 1e3:.1f} kW "
+              f"(limit {limit / 1e3:.1f} kW)")
+    print(f"peak outside          : {watts.max() / 1e3:.1f} kW")
+
+    # Price the day: tariff + demand penalty, then the supply decision.
+    tariff = ElectricityPriceSchedule.day_night(0.26, 0.08)
+    esp = ElectricityServiceProvider(tariff, demand_limit_watts=limit,
+                                     penalty_per_kwh=2.0)
+    cost = esp.cost_of(list(times), list(watts))
+    print(f"day's energy cost     : {cost:.2f} (tariff + penalties)")
+
+    supply = DualSourceSupply(tariff, turbine_capacity_watts=limit,
+                              turbine_cost_per_kwh=0.14)
+    print("\nhourly supply decision (demand = hourly mean power):")
+    for hour in range(0, 24, 3):
+        mask = (times >= hour * HOUR) & (times < (hour + 3) * HOUR)
+        if not mask.any():
+            continue
+        demand = float(watts[mask].mean())
+        decision = supply.decide(hour * HOUR, demand)
+        print(f"  {hour:02d}:00  demand {demand / 1e3:6.1f} kW -> "
+              f"grid {decision.grid_watts / 1e3:6.1f} kW, "
+              f"turbine {decision.turbine_watts / 1e3:6.1f} kW "
+              f"({decision.cost_per_hour:.2f}/h)")
+
+
+if __name__ == "__main__":
+    main()

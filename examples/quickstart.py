@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: build a machine, generate a workload, run a scheduler.
+
+Walks through the minimal EPA JSRM pipeline:
+
+1. describe a machine (survey Q2 style),
+2. generate a synthetic workload (survey Q3 style),
+3. run it under EASY backfilling with a power meter attached,
+4. read out the responsiveness + energy metrics every bench reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClusterSimulation,
+    EasyBackfillScheduler,
+    Machine,
+    MachineSpec,
+    RngStreams,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+from repro.units import HOUR, joules_to_mwh
+
+
+def main() -> None:
+    # 1. The machine: 128 nodes, 32 cores each, 100 W idle / 350 W peak.
+    machine = Machine(
+        MachineSpec(
+            name="demo-cluster",
+            nodes=128,
+            cores_per_node=32,
+            idle_power=100.0,
+            max_power=350.0,
+        )
+    )
+    print(f"machine: {machine.name}, {len(machine)} nodes, "
+          f"{machine.peak_power / 1e3:.0f} kW peak")
+
+    # 2. The workload: ~50 jobs/hour for a day, jobs up to 64 nodes.
+    spec = WorkloadSpec(
+        arrival_rate=50.0 / HOUR,
+        duration=24.0 * HOUR,
+        max_nodes=64,
+        mean_work=1.0 * HOUR,
+    )
+    rng = RngStreams(seed=42)
+    jobs = WorkloadGenerator(spec, rng.stream("workload")).generate()
+    print(f"workload: {len(jobs)} jobs, "
+          f"{sum(j.nodes for j in jobs)} node-requests total")
+
+    # 3. Run under EASY backfilling.
+    simulation = ClusterSimulation(
+        machine, EasyBackfillScheduler(), jobs, seed=42
+    )
+    result = simulation.run()
+
+    # 4. The numbers.
+    m = result.metrics
+    print()
+    print(f"completed        : {m.jobs_completed}/{m.jobs_submitted} jobs")
+    print(f"utilization      : {m.utilization:.1%}")
+    print(f"mean wait        : {m.mean_wait / 60:.1f} min")
+    print(f"bounded slowdown : {m.mean_bounded_slowdown:.2f}")
+    print(f"energy           : {joules_to_mwh(m.total_energy_joules):.3f} MWh")
+    print(f"average power    : {m.average_power_watts / 1e3:.1f} kW")
+    print(f"peak power       : {m.peak_power_watts / 1e3:.1f} kW")
+
+
+if __name__ == "__main__":
+    main()

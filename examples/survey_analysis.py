@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate the paper's artifacts: Tables I/II, Figures 1/2, and the
+announced cross-center analysis.
+
+Run:  python examples/survey_analysis.py
+"""
+
+from repro.survey import (
+    SurveyAnalysis,
+    build_component_graph,
+    regional_distribution,
+    selection_funnel,
+    verify_component_graph,
+)
+from repro.survey.components import category_coverage
+from repro.survey.geography import ascii_map
+from repro.survey.matrix import render_table1, render_table2
+
+
+def main() -> None:
+    print(render_table1(cell_width=30))
+    print()
+    print(render_table2(cell_width=30))
+
+    print("\nFIGURE 1 — component graph verification:")
+    graph = build_component_graph()
+    problems = verify_component_graph(graph)
+    print(f"  {graph.number_of_nodes()} components, "
+          f"{graph.number_of_edges()} interactions, "
+          f"problems: {problems or 'none'}")
+    for category, members in category_coverage(graph).items():
+        print(f"  {category.value}: {', '.join(sorted(members))}")
+
+    print("\nFIGURE 2 — geographic distribution:")
+    for region, count in sorted(regional_distribution().items()):
+        print(f"  {region:15s}: {count}")
+    print()
+    print(ascii_map())
+
+    funnel = selection_funnel()
+    print(f"\nSELECTION — identified {funnel.identified}, "
+          f"participating {funnel.participating} "
+          f"({funnel.participation_rate:.0%})")
+
+    analysis = SurveyAnalysis()
+    print("\nANALYSIS — common themes (>= 3 centers):")
+    for record in analysis.common_themes(min_centers=3):
+        print(f"  {record.technique.value:45s} "
+              f"{record.total_centers} centers "
+              f"({len(record.production)} in production)")
+
+    print("\nANALYSIS — research/practice gap (research-only techniques):")
+    for technique in analysis.research_production_gap()["research_only"]:
+        print(f"  {technique.value}")
+
+    print("\nANALYSIS — center clusters:")
+    clusters = analysis.cluster_centers(num_clusters=3)
+    by_label: dict = {}
+    for slug, label in clusters.items():
+        by_label.setdefault(label, []).append(slug)
+    for label, members in sorted(by_label.items()):
+        print(f"  cluster {label}: {', '.join(members)}")
+    a, b, score = analysis.most_similar_pair()
+    print(f"  most similar pair: {a} / {b} (Jaccard {score:.2f})")
+
+    print("\nANALYSIS — vendor engagement:")
+    for partner, centers in analysis.vendor_engagement().items():
+        print(f"  {partner:30s}: {', '.join(centers)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Tokyo Tech's production deployment: windowed cap tracking by
+dynamic node provisioning.
+
+Table I: "Resource manager dynamically boots or shuts down nodes to
+stay under power cap (summer only, enforced over ~30 min window).
+Interacts with job scheduler to avoid killing jobs."
+
+The example runs a summer day on the TSUBAME-like scenario, then
+prints the 30-minute window-averaged power against the cap and the
+boot/shutdown actuation the resource manager performed, demonstrating
+the cooperative guarantee: the cap holds with zero jobs killed.
+
+Run:  python examples/tokyotech_seasonal_cap.py
+"""
+
+import numpy as np
+
+from repro.centers import build_center_simulation
+from repro.units import HOUR
+
+
+def main() -> None:
+    build = build_center_simulation("tokyotech", seed=11,
+                                    duration=12 * HOUR, nodes=96)
+    sim = build.simulation
+    policy = sim.policies[0]
+    print("Tokyo Tech scenario:")
+    for note in build.notes:
+        print(f"  - {note}")
+    print(f"  ambient now: "
+          f"{sim.site.ambient.temperature(sim.sim.now):.1f} C "
+          f"(summer: {sim.site.ambient.is_summer(sim.sim.now)})")
+
+    result = sim.run()
+    m = result.metrics
+
+    times, watts = result.meter.series()
+    # 30-minute rolling window average of machine power.
+    window = 1800.0
+    window_avgs = []
+    for i, t in enumerate(times):
+        mask = (times >= t - window) & (times <= t)
+        if mask.sum() >= 2:
+            window_avgs.append(np.trapezoid(watts[mask], times[mask])
+                               / (times[mask][-1] - times[mask][0]))
+    window_avgs = np.array(window_avgs) if window_avgs else np.array([0.0])
+
+    print()
+    print(f"cap                      : {policy.cap_watts / 1e3:.1f} kW")
+    print(f"max 30-min window average: {window_avgs.max() / 1e3:.1f} kW")
+    print(f"instantaneous peak       : {m.peak_power_watts / 1e3:.1f} kW")
+    print(f"window compliance        : "
+          f"{(window_avgs <= policy.cap_watts * 1.02).mean():.1%} of samples")
+    print(f"boots / shutdowns        : {sim.rm.boots_initiated} / "
+          f"{sim.rm.shutdowns_initiated}")
+    print(f"jobs killed              : {m.jobs_killed}  "
+          f"(the cooperative guarantee)")
+    print(f"completed                : {m.jobs_completed}/{m.jobs_submitted}")
+
+    from repro.analysis import render_sparkline
+
+    print("\nmachine power over the run (sparkline):")
+    print(f"  {render_sparkline(watts, width=70)}")
+
+    # The energy reports Tokyo Tech delivers to users at job end.
+    reporting = sim.policies[-1]
+    sample = reporting.reports[:3]
+    print("\nfirst three post-job energy reports:")
+    for report in sample:
+        print(f"  {report.job_id}: {report.energy_joules / 3.6e6:.2f} kWh, "
+              f"avg {report.average_watts / 1e3:.2f} kW, "
+              f"grade {report.grade}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — an Energy and Power Aware Job Scheduling and Resource
+Management (EPA JSRM) simulation framework.
+
+Reproduction of *"Energy and Power Aware Job Scheduling and Resource
+Management: Global Survey — Initial Analysis"* (EE HPC WG EPA JSRM
+team, IPDPSW 2018): the survey's questionnaire, center data, Tables
+I/II and Figures 1/2 as typed, testable artifacts — plus an executable
+simulation of every surveyed technique, so the qualitative capability
+matrix becomes a quantitative evaluation.
+
+Quick start::
+
+    from repro import quickstart
+    result = quickstart()
+    print(result.metrics.as_dict())
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.simulator` — discrete-event engine
+- :mod:`repro.cluster` — nodes, machines, facility, thermal model
+- :mod:`repro.power` — power models, DVFS, RAPL, CAPMC, meters, budgets
+- :mod:`repro.workload` — jobs, generators, SWF traces
+- :mod:`repro.telemetry` — samplers, aggregation, archives, Power API
+- :mod:`repro.prediction` — job power/runtime and thermal prediction
+- :mod:`repro.grid` — ESP tariffs, demand response, dual supply
+- :mod:`repro.core` — schedulers, resource manager, the simulation
+- :mod:`repro.policies` — the surveyed EPA techniques
+- :mod:`repro.centers` — executable per-center scenarios
+- :mod:`repro.survey` — the questionnaire, Tables I/II, Figures 1/2
+- :mod:`repro.analysis` — experiment harness and reporting
+"""
+
+from ._version import __version__
+from .cluster import Machine, MachineSpec, Node, NodeState, Site
+from .core import (
+    ClusterSimulation,
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    FcfsScheduler,
+    MetricsReport,
+    SimulationResult,
+)
+from .errors import ReproError
+from .power import NodePowerModel
+from .simulator import RngStreams, Simulator
+from .workload import Job, WorkloadGenerator, WorkloadSpec
+
+__all__ = [
+    "ClusterSimulation",
+    "ConservativeBackfillScheduler",
+    "EasyBackfillScheduler",
+    "FcfsScheduler",
+    "Job",
+    "Machine",
+    "MachineSpec",
+    "MetricsReport",
+    "Node",
+    "NodePowerModel",
+    "NodeState",
+    "ReproError",
+    "RngStreams",
+    "SimulationResult",
+    "Simulator",
+    "Site",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "__version__",
+    "quickstart",
+]
+
+
+def quickstart(
+    nodes: int = 64,
+    jobs: int = 200,
+    seed: int = 7,
+) -> SimulationResult:
+    """Run a small EASY-backfilled simulation and return its result.
+
+    A convenience for first contact with the library; see
+    ``examples/quickstart.py`` for the narrated version.
+    """
+    from .units import HOUR
+
+    machine = Machine(MachineSpec(name="demo", nodes=nodes))
+    spec = WorkloadSpec(
+        arrival_rate=40.0 / HOUR,
+        duration=12.0 * HOUR,
+        max_nodes=max(1, nodes // 2),
+    )
+    workload = WorkloadGenerator(spec, RngStreams(seed).stream("wl")).generate(
+        count=jobs
+    )
+    simulation = ClusterSimulation(
+        machine, EasyBackfillScheduler(), workload, seed=seed
+    )
+    return simulation.run()

@@ -1,0 +1,26 @@
+"""Experiment harness: run, compare and report policy evaluations."""
+
+from .stats import percentile_table, PercentileTable, workload_summary
+from .runner import ExperimentRunner, Variant, VariantResult
+from .compare import relative_change, compare_metrics
+from .report import (
+    format_quantity,
+    render_columns,
+    render_dict_table,
+    render_sparkline,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "PercentileTable",
+    "Variant",
+    "VariantResult",
+    "compare_metrics",
+    "format_quantity",
+    "percentile_table",
+    "relative_change",
+    "render_columns",
+    "render_dict_table",
+    "render_sparkline",
+    "workload_summary",
+]

@@ -1,0 +1,31 @@
+"""Pairwise comparison of metric reports."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.metrics import MetricsReport
+
+
+def relative_change(baseline: float, candidate: float) -> float:
+    """(candidate - baseline) / |baseline|; 0 when both are zero."""
+    if baseline == 0.0:
+        return 0.0 if candidate == 0.0 else float("inf")
+    return (candidate - baseline) / abs(baseline)
+
+
+def compare_metrics(
+    baseline: MetricsReport, candidate: MetricsReport
+) -> Dict[str, float]:
+    """Relative change of every shared scalar metric.
+
+    Positive values mean the candidate is higher; interpretation
+    (better/worse) depends on the metric.
+    """
+    base = baseline.as_dict()
+    cand = candidate.as_dict()
+    return {
+        key: relative_change(base[key], cand[key])
+        for key in base
+        if key in cand and isinstance(base[key], (int, float))
+    }

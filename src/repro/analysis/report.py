@@ -1,0 +1,105 @@
+"""Text rendering of experiment results.
+
+Benches and examples print aligned-text tables; these helpers keep
+that formatting in one place (and out of the science code).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_quantity(value: float, unit: str = "") -> str:
+    """Human-scale formatting with SI-ish prefixes for big numbers."""
+    if value != value:  # NaN
+        return "n/a"
+    abs_value = abs(value)
+    if abs_value >= 1e9:
+        text = f"{value / 1e9:.2f}G"
+    elif abs_value >= 1e6:
+        text = f"{value / 1e6:.2f}M"
+    elif abs_value >= 1e3:
+        text = f"{value / 1e3:.2f}k"
+    elif abs_value >= 10:
+        text = f"{value:.1f}"
+    else:
+        text = f"{value:.3f}"
+    return f"{text}{unit}" if unit else text
+
+
+def render_columns(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    min_width: int = 6,
+) -> str:
+    """Align *rows* under *headers* with auto column widths."""
+    columns = len(headers)
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rows:
+        for i in range(min(columns, len(row))):
+            widths[i] = max(widths[i], len(str(row[i])))
+    lines = []
+    header_line = "  ".join(f"{h:<{w}}" for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        cells = [str(c) for c in row] + [""] * (columns - len(row))
+        lines.append("  ".join(f"{c:<{w}}" for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(values, width: int = 60) -> str:
+    """ASCII sparkline of a numeric series (resampled to *width*).
+
+    The terminal-friendly way to show the "series the paper reports":
+    power over time, queue depth, utilization.  Values are min-max
+    normalized; a flat series renders mid-height.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        # Average-pool down to the target width.
+        pooled = []
+        step = len(values) / width
+        for i in range(width):
+            lo = int(i * step)
+            hi = max(lo + 1, int((i + 1) * step))
+            chunk = values[lo:hi]
+            pooled.append(sum(chunk) / len(chunk))
+        values = pooled
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def render_dict_table(
+    table: Dict[str, Dict[str, float]],
+    metric_units: Optional[Dict[str, str]] = None,
+    row_label: str = "variant",
+) -> str:
+    """Render a {row -> {column -> value}} mapping as aligned text."""
+    if not table:
+        return "(empty table)"
+    metric_units = metric_units or {}
+    columns = list(next(iter(table.values())).keys())
+    headers = [row_label] + columns
+    rows = []
+    for name, metrics in table.items():
+        rows.append(
+            [name]
+            + [
+                format_quantity(metrics[c], metric_units.get(c, ""))
+                for c in columns
+            ]
+        )
+    return render_columns(headers, rows)

@@ -1,0 +1,76 @@
+"""Experiment runner: evaluate policy variants on matched workloads.
+
+Runs each named variant on an *identically generated* workload and
+fresh machine (common random numbers — the standard variance-reduction
+technique for simulation comparisons), then tabulates the metrics the
+benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.metrics import MetricsReport
+from ..core.simulation import ClusterSimulation, SimulationResult
+
+
+@dataclass
+class Variant:
+    """One experimental arm.
+
+    ``build`` must return a fresh, fully wired
+    :class:`ClusterSimulation` — including its own machine and its own
+    copy of the workload (job objects are mutated by runs).
+    """
+
+    name: str
+    build: Callable[[], ClusterSimulation]
+    notes: str = ""
+
+
+@dataclass
+class VariantResult:
+    """Result of one arm."""
+
+    name: str
+    metrics: MetricsReport
+    result: SimulationResult
+    notes: str = ""
+
+
+class ExperimentRunner:
+    """Run a list of variants and collect comparable results."""
+
+    def __init__(self, variants: List[Variant]) -> None:
+        names = [v.name for v in variants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variant names: {names}")
+        self.variants = variants
+        self.results: List[VariantResult] = []
+
+    def run_all(self, until: Optional[float] = None) -> List[VariantResult]:
+        """Execute every variant; returns (and stores) the results."""
+        self.results = []
+        for variant in self.variants:
+            simulation = variant.build()
+            result = simulation.run(until=until)
+            self.results.append(
+                VariantResult(variant.name, result.metrics, result, variant.notes)
+            )
+        return self.results
+
+    def metric_table(self, keys: List[str]) -> Dict[str, Dict[str, float]]:
+        """variant -> {metric -> value} for the chosen metric keys."""
+        table: Dict[str, Dict[str, float]] = {}
+        for res in self.results:
+            flat = res.metrics.as_dict()
+            table[res.name] = {k: flat.get(k, float("nan")) for k in keys}
+        return table
+
+    def best_by(self, key: str, minimize: bool = True) -> VariantResult:
+        """The variant with the best value of one metric."""
+        if not self.results:
+            raise ValueError("run_all() first")
+        chooser = min if minimize else max
+        return chooser(self.results, key=lambda r: r.metrics.as_dict().get(key, float("inf")))

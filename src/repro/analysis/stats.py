@@ -1,0 +1,99 @@
+"""Workload statistics — the Q3(e) percentile tables.
+
+Survey Q3(e): "what is the minimum, median, maximum, and 10th, 25th,
+75th, and 90th percentile job size and wallclock time?"  These helpers
+compute exactly that table for any job collection, plus the snapshot
+and backlog summaries of Q3(a)-(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..units import DAY
+from ..workload.job import Job, JobState
+
+#: The exact percentile set of Q3(e).
+Q3E_PERCENTILES = (10, 25, 75, 90)
+
+
+@dataclass(frozen=True)
+class PercentileTable:
+    """Q3(e)-style summary of one quantity."""
+
+    quantity: str
+    minimum: float
+    p10: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    maximum: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict keyed like the survey question."""
+        return {
+            "min": self.minimum,
+            "p10": self.p10,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p90": self.p90,
+            "max": self.maximum,
+        }
+
+
+def _table(quantity: str, values: Sequence[float]) -> PercentileTable:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return PercentileTable(quantity, *([0.0] * 7))
+    p10, p25, p75, p90 = (float(np.percentile(arr, p)) for p in Q3E_PERCENTILES)
+    return PercentileTable(
+        quantity,
+        float(arr.min()),
+        p10,
+        p25,
+        float(np.median(arr)),
+        p75,
+        p90,
+        float(arr.max()),
+    )
+
+
+def percentile_table(jobs: Iterable[Job]) -> Dict[str, PercentileTable]:
+    """Q3(e) tables: job size (nodes) and wallclock time (actual runtime
+    where known, else the work estimate)."""
+    jobs = list(jobs)
+    sizes = [float(j.nodes) for j in jobs]
+    times = [
+        float(j.run_time) if j.run_time is not None else float(j.work_seconds)
+        for j in jobs
+    ]
+    return {
+        "job_size_nodes": _table("job_size_nodes", sizes),
+        "wallclock_seconds": _table("wallclock_seconds", times),
+    }
+
+
+def workload_summary(jobs: Iterable[Job], span: float) -> Dict[str, float]:
+    """Q3(a)-(c): snapshot-style counts and throughput."""
+    jobs = list(jobs)
+    completed = [j for j in jobs if j.state is JobState.COMPLETED]
+    return {
+        "jobs_total": float(len(jobs)),
+        "jobs_completed": float(len(completed)),
+        "jobs_per_month": len(completed) / (span / (30 * DAY)) if span > 0 else 0.0,
+        "mean_size_nodes": float(np.mean([j.nodes for j in jobs])) if jobs else 0.0,
+        "mean_work_hours": (
+            float(np.mean([j.work_seconds for j in jobs])) / 3600.0 if jobs else 0.0
+        ),
+        "capability_fraction": (
+            sum(1 for j in jobs if j.nodes >= max(1, max(j.nodes for j in jobs) // 4))
+            / len(jobs)
+            if jobs
+            else 0.0
+        ),
+    }

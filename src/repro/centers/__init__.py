@@ -1,0 +1,21 @@
+"""Executable center configurations.
+
+One module per surveyed center, each wiring a scaled machine model,
+the center's Q3-style workload preset and its Tables-I/II production
+policy stack into a ready-to-run
+:class:`~repro.core.simulation.ClusterSimulation`.  The registry makes
+the capability matrix *executable*: iterating it runs every surveyed
+production technique.
+"""
+
+from .base import CenterBuild, standard_machine, standard_site
+from .registry import CENTER_BUILDERS, build_center_simulation, center_slugs
+
+__all__ = [
+    "CENTER_BUILDERS",
+    "CenterBuild",
+    "build_center_simulation",
+    "center_slugs",
+    "standard_machine",
+    "standard_site",
+]

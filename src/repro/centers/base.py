@@ -1,0 +1,136 @@
+"""Shared scaffolding for center scenarios.
+
+Real surveyed systems range from hundreds (STFC's 360-node testbed) to
+tens of thousands of nodes; scenarios default to O(100) nodes so a
+full center simulation runs in seconds while preserving the control
+dynamics (the policies operate on fractions and windows, not absolute
+node counts).  Power figures are loosely calibrated to the public
+specs of each flagship system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..cluster.facility import Chiller, Facility, PowerDistributionUnit
+from ..cluster.machine import Machine, MachineSpec
+from ..cluster.site import Site
+from ..cluster.thermal import AmbientModel, CoolingModel
+from ..cluster.topology import build_for
+from ..cluster.variability import VariabilityModel
+from ..core.simulation import ClusterSimulation
+from ..simulator.rng import RngStreams
+from ..units import DAY
+from ..workload.generator import WorkloadGenerator
+from ..workload.job import Job
+from ..workload.presets import center_workload_spec
+
+
+@dataclass
+class CenterBuild:
+    """The assembled pieces of one center scenario."""
+
+    slug: str
+    simulation: ClusterSimulation
+    notes: List[str] = field(default_factory=list)
+
+
+def standard_machine(
+    name: str,
+    nodes: int = 128,
+    idle_power: float = 100.0,
+    max_power: float = 350.0,
+    interconnect: str = "fat-tree",
+    with_topology: bool = False,
+    variability_std: float = 0.05,
+    seed: int = 0,
+    boot_time: float = 300.0,
+) -> Machine:
+    """A homogeneous machine with optional topology and variability."""
+    spec = MachineSpec(
+        name=name,
+        nodes=nodes,
+        nodes_per_cabinet=max(8, nodes // 8),
+        idle_power=idle_power,
+        max_power=max_power,
+        interconnect=interconnect,
+        boot_time=boot_time,
+    )
+    topology = build_for(interconnect, nodes) if with_topology else None
+    machine = Machine(spec, topology=topology)
+    if variability_std > 0:
+        VariabilityModel(std=variability_std).apply(
+            machine.nodes, RngStreams(seed).stream("variability")
+        )
+    return machine
+
+
+def standard_site(
+    name: str,
+    machine: Machine,
+    region: str = "Europe",
+    budget_factor: float = 1.3,
+    ambient: Optional[AmbientModel] = None,
+    with_facility_map: bool = False,
+    pdu_groups: int = 4,
+) -> Site:
+    """A site wrapping one machine, optionally with a PDU/chiller map."""
+    budget = machine.peak_power * budget_factor
+    facility = None
+    if with_facility_map:
+        nodes = machine.nodes
+        per = max(1, len(nodes) // pdu_groups)
+        pdus = []
+        for g in range(pdu_groups):
+            ids = [n.node_id for n in nodes[g * per : (g + 1) * per]]
+            if not ids:
+                continue
+            pdus.append(
+                PowerDistributionUnit(
+                    f"pdu{g}",
+                    capacity_watts=sum(
+                        machine.node(i).effective_max_power for i in ids
+                    ) * 1.2,
+                    node_ids=ids,
+                )
+            )
+        chillers = [
+            Chiller(
+                f"chiller{c}",
+                capacity_watts=budget,
+                pdu_ids=[p.pdu_id for p in pdus[c::2]],
+            )
+            for c in range(min(2, len(pdus)))
+        ]
+        facility = Facility(budget, cooling_capacity_watts=budget,
+                            pdus=pdus, chillers=chillers)
+    return Site(
+        name,
+        [machine],
+        facility=facility or Facility(budget),
+        ambient=ambient,
+        cooling=CoolingModel(),
+        region=region,
+    )
+
+
+def center_workload(
+    slug: str,
+    machine: Machine,
+    duration: float = 2.0 * DAY,
+    seed: int = 0,
+    count: Optional[int] = None,
+    **overrides,
+) -> List[Job]:
+    """Generate the center's preset workload scaled to *machine*."""
+    spec = center_workload_spec(
+        slug,
+        duration=duration,
+        max_nodes=min(
+            center_workload_spec(slug).max_nodes, max(1, len(machine) // 2)
+        ),
+        **overrides,
+    )
+    rng = RngStreams(seed).stream(f"workload:{slug}")
+    return WorkloadGenerator(spec, rng).generate(count=count)

@@ -1,0 +1,68 @@
+"""CEA (Curie) scenario — Table I row 3.
+
+Production: manual node shutdown to shift power budget between
+systems.  Tech development: SLURM 'layout logic' — PDU/chiller
+dependency awareness with maintenance avoidance (enabled here, since
+it is the distinctive CEA capability this framework implements).
+"""
+
+from __future__ import annotations
+
+from ..cluster.facility import MaintenanceWindow
+from ..core.backfill import EasyBackfillScheduler
+from ..core.simulation import ClusterSimulation
+from ..policies.layout_aware import LayoutAwarePolicy
+from ..policies.manual import AdminAction, ManualActionPolicy
+from ..units import DAY, HOUR
+from .base import CenterBuild, center_workload, standard_machine, standard_site
+
+
+def build_simulation(
+    seed: int = 0,
+    duration: float = 2.0 * DAY,
+    nodes: int = 128,
+    maintenance_at: float = 8.0 * HOUR,
+    maintenance_hours: float = 6.0,
+    shifted_nodes: int = 16,
+) -> CenterBuild:
+    """Assemble the CEA scenario.
+
+    A chiller maintenance window opens at *maintenance_at*; the layout
+    policy keeps jobs off the dependent nodes ahead of time.  At the
+    same time an admin script powers down *shifted_nodes* idle nodes,
+    modelling the manual budget shift to a sibling system.
+    """
+    machine = standard_machine(
+        "curie", nodes=nodes, idle_power=90.0, max_power=320.0, seed=seed,
+    )
+    site = standard_site(
+        "cea", machine, region="Europe", with_facility_map=True, pdu_groups=4,
+    )
+    site.facility.add_maintenance(
+        MaintenanceWindow(
+            "chiller0", maintenance_at, maintenance_at + maintenance_hours * HOUR
+        )
+    )
+    workload = center_workload("cea", machine, duration=duration, seed=seed)
+    simulation = ClusterSimulation(
+        machine,
+        EasyBackfillScheduler(),
+        workload,
+        policies=[
+            LayoutAwarePolicy(horizon=6.0 * HOUR),
+            ManualActionPolicy(
+                [AdminAction(maintenance_at, "shutdown", count=shifted_nodes)]
+            ),
+        ],
+        site=site,
+        seed=seed,
+    )
+    return CenterBuild(
+        "cea",
+        simulation,
+        notes=[
+            f"chiller0 maintenance at t={maintenance_at / HOUR:.0f}h "
+            f"for {maintenance_hours:.0f}h (layout logic active)",
+            f"manual shutdown of {shifted_nodes} nodes shifts budget",
+        ],
+    )

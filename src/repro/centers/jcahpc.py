@@ -1,0 +1,82 @@
+"""JCAHPC (Oakforest-PACS) scenario — Table II row 4.
+
+Production: group power caps via the resource manager (Fujitsu
+proprietary), manual emergency response (admin sets a cap), and
+post-job energy reports.  The machine is split into node groups with
+per-group caps; an admin emergency action tightens one group's cap
+mid-run.
+"""
+
+from __future__ import annotations
+
+from ..cluster.thermal import AmbientModel
+from ..core.backfill import EasyBackfillScheduler
+from ..core.simulation import ClusterSimulation
+from ..policies.group_caps import GroupCapPolicy
+from ..policies.manual import AdminAction, ManualActionPolicy
+from ..policies.reporting import EnergyReportingPolicy
+from ..units import DAY, HOUR
+from .base import CenterBuild, center_workload, standard_machine, standard_site
+
+
+def build_simulation(
+    seed: int = 0,
+    duration: float = 2.0 * DAY,
+    nodes: int = 128,
+    groups: int = 4,
+    group_cap_fraction: float = 0.85,
+    emergency_at: float = 12.0 * HOUR,
+    emergency_fraction: float = 0.6,
+) -> CenterBuild:
+    """Assemble the JCAHPC scenario with grouped caps + emergency."""
+    # Oakforest-PACS: Knights Landing nodes.
+    machine = standard_machine(
+        "oakforest-pacs", nodes=nodes, idle_power=100.0, max_power=330.0,
+        seed=seed,
+    )
+    site = standard_site(
+        "jcahpc", machine, region="Asia",
+        ambient=AmbientModel(mean=15.5, seasonal_amplitude=10.0),
+    )
+    per_group = max(1, nodes // groups)
+    group_map = {
+        f"group{g}": [
+            n.node_id for n in machine.nodes[g * per_group : (g + 1) * per_group]
+        ]
+        for g in range(groups)
+    }
+    group_map = {k: v for k, v in group_map.items() if v}
+    group_peak = per_group * machine.nodes[0].effective_max_power
+    caps = {name: group_peak * group_cap_fraction for name in group_map}
+    group_policy = GroupCapPolicy(group_map, caps)
+
+    manual = ManualActionPolicy(
+        [
+            AdminAction(
+                emergency_at,
+                "custom",
+                callback=lambda: group_policy.set_group_cap(
+                    "group0", group_peak * emergency_fraction
+                ),
+            )
+        ]
+    )
+    workload = center_workload("jcahpc", machine, duration=duration, seed=seed)
+    simulation = ClusterSimulation(
+        machine,
+        EasyBackfillScheduler(),
+        workload,
+        policies=[group_policy, manual, EnergyReportingPolicy()],
+        site=site,
+        seed=seed,
+    )
+    return CenterBuild(
+        "jcahpc",
+        simulation,
+        notes=[
+            f"{len(group_map)} node groups capped at "
+            f"{group_cap_fraction:.0%} of group peak",
+            f"admin emergency tightens group0 to {emergency_fraction:.0%} "
+            f"at t={emergency_at / HOUR:.0f}h",
+        ],
+    )

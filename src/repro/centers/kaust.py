@@ -1,0 +1,59 @@
+"""KAUST (Shaheen, Cray XC40) scenario — Table I row 4.
+
+Production: static power capping via Cray CAPMC — 30 % of nodes
+uncapped, 70 % capped at 270 W — plus SLURM Dynamic Power Management
+on top of CAPMC.  The scenario installs exactly that partition; the
+`exp-capping` bench sweeps the fraction and cap level.
+"""
+
+from __future__ import annotations
+
+from ..cluster.thermal import AmbientModel
+from ..core.backfill import EasyBackfillScheduler
+from ..core.simulation import ClusterSimulation
+from ..policies.static_capping import StaticCappingPolicy
+from ..units import DAY
+from .base import CenterBuild, center_workload, standard_machine, standard_site
+
+#: The production numbers from Table I.
+KAUST_CAP_WATTS = 270.0
+KAUST_CAPPED_FRACTION = 0.70
+
+
+def build_simulation(
+    seed: int = 0,
+    duration: float = 2.0 * DAY,
+    nodes: int = 128,
+    cap_watts: float = KAUST_CAP_WATTS,
+    capped_fraction: float = KAUST_CAPPED_FRACTION,
+) -> CenterBuild:
+    """Assemble the KAUST scenario with the 70 % / 270 W partition."""
+    # Shaheen XC40: dual-socket Haswell, ~350 W node peak.
+    machine = standard_machine(
+        "shaheen", nodes=nodes, idle_power=110.0, max_power=360.0,
+        interconnect="dragonfly", seed=seed,
+    )
+    site = standard_site(
+        "kaust", machine, region="Middle East",
+        ambient=AmbientModel(mean=28.0, seasonal_amplitude=7.0),
+    )
+    policy = StaticCappingPolicy(
+        cap_watts=cap_watts, capped_fraction=capped_fraction
+    )
+    workload = center_workload("kaust", machine, duration=duration, seed=seed)
+    simulation = ClusterSimulation(
+        machine,
+        EasyBackfillScheduler(),
+        workload,
+        policies=[policy],
+        site=site,
+        seed=seed,
+    )
+    return CenterBuild(
+        "kaust",
+        simulation,
+        notes=[
+            f"{capped_fraction:.0%} of nodes capped at {cap_watts:.0f} W "
+            f"(CAPMC-style)",
+        ],
+    )

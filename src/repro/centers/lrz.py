@@ -1,0 +1,60 @@
+"""LRZ (SuperMUC) scenario — Table I row 5.
+
+Production: first-run application characterization for frequency,
+runtime and energy; administrator-selected scheduling goal (energy to
+solution vs. best performance) — the LoadLeveler/LSF energy-aware
+scheduling line ([4], [24]).
+"""
+
+from __future__ import annotations
+
+from ..cluster.thermal import AmbientModel
+from ..core.backfill import EasyBackfillScheduler
+from ..core.simulation import ClusterSimulation
+from ..policies.energy_tags import EnergyTagPolicy, SchedulingGoal
+from ..policies.reporting import EnergyReportingPolicy
+from ..units import DAY
+from .base import CenterBuild, center_workload, standard_machine, standard_site
+
+
+def build_simulation(
+    seed: int = 0,
+    duration: float = 2.0 * DAY,
+    nodes: int = 128,
+    goal: SchedulingGoal = SchedulingGoal.ENERGY_TO_SOLUTION,
+    with_cooling_research: bool = False,
+) -> CenterBuild:
+    """Assemble the LRZ scenario; *goal* is the admin's selection.
+
+    ``with_cooling_research`` additionally enables the Table-I research
+    line — "scheduler may delay jobs when IT infrastructure is
+    particularly inefficient" — via
+    :class:`~repro.policies.cooling_aware.CoolingAwarePolicy`.
+    """
+    # SuperMUC: Sandy Bridge thin nodes, warm-water cooled.
+    machine = standard_machine(
+        "supermuc", nodes=nodes, idle_power=95.0, max_power=340.0, seed=seed,
+    )
+    site = standard_site(
+        "lrz", machine, region="Europe",
+        ambient=AmbientModel(mean=9.0, seasonal_amplitude=10.0),
+    )
+    policies = [EnergyTagPolicy(goal=goal), EnergyReportingPolicy()]
+    notes = [f"energy-tag scheduling, goal={goal.value}"]
+    if with_cooling_research:
+        from ..policies.cooling_aware import CoolingAwarePolicy
+        from ..units import HOUR
+
+        policies.insert(0, CoolingAwarePolicy(pue_threshold=1.25,
+                                              max_delay=12 * HOUR))
+        notes.append("research line: delay jobs while facility PUE > 1.25")
+    workload = center_workload("lrz", machine, duration=duration, seed=seed)
+    simulation = ClusterSimulation(
+        machine,
+        EasyBackfillScheduler(),
+        workload,
+        policies=policies,
+        site=site,
+        seed=seed,
+    )
+    return CenterBuild("lrz", simulation, notes=notes)

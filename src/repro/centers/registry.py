@@ -1,0 +1,45 @@
+"""Registry of the nine executable center scenarios.
+
+Maps survey slugs to scenario builders, so benches and examples can
+iterate the capability matrix and *run* it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import SurveyError
+from ..units import DAY
+from .base import CenterBuild
+from . import cea, cineca, jcahpc, kaust, lrz, riken, stfc, tokyotech, trinity
+
+#: slug -> builder.  Signature: (seed, duration, **kwargs) -> CenterBuild.
+CENTER_BUILDERS: Dict[str, Callable[..., CenterBuild]] = {
+    "riken": riken.build_simulation,
+    "tokyotech": tokyotech.build_simulation,
+    "cea": cea.build_simulation,
+    "kaust": kaust.build_simulation,
+    "lrz": lrz.build_simulation,
+    "stfc": stfc.build_simulation,
+    "trinity": trinity.build_simulation,
+    "cineca": cineca.build_simulation,
+    "jcahpc": jcahpc.build_simulation,
+}
+
+
+def center_slugs() -> List[str]:
+    """All registered center slugs, survey-table order."""
+    return list(CENTER_BUILDERS)
+
+
+def build_center_simulation(
+    slug: str, seed: int = 0, duration: float = 2.0 * DAY, **kwargs
+) -> CenterBuild:
+    """Build one center's scenario by slug."""
+    try:
+        builder = CENTER_BUILDERS[slug]
+    except KeyError:
+        raise SurveyError(
+            f"unknown center {slug!r}; known: {center_slugs()}"
+        ) from None
+    return builder(seed=seed, duration=duration, **kwargs)

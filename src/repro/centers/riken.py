@@ -1,0 +1,89 @@
+"""RIKEN (K computer) scenario — Table I row 1.
+
+Production: reserved large-job days each month; automated emergency
+job killing if the power limit is exceeded; pre-run temperature-based
+power estimates.  Research: grid vs. gas-turbine supply decision
+(exercised by the `exp-demand-response` bench via
+:mod:`repro.grid.supply`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.thermal import AmbientModel
+from ..core.backfill import EasyBackfillScheduler
+from ..core.queue import QueueConfig
+from ..core.simulation import ClusterSimulation
+from ..policies.emergency import EmergencyPowerPolicy
+from ..policies.reporting import EnergyReportingPolicy
+from ..policies.requeue import RequeuePolicy, ReservedWindow, ReservedWindowPolicy
+from ..units import DAY
+from .base import CenterBuild, center_workload, standard_machine, standard_site
+
+
+def build_simulation(
+    seed: int = 0,
+    duration: float = 2.0 * DAY,
+    nodes: int = 128,
+    power_limit_fraction: float = 0.85,
+    reserved_window: Optional[ReservedWindow] = None,
+) -> CenterBuild:
+    """Assemble the RIKEN scenario.
+
+    The emergency limit defaults to 85 % of machine peak — tight enough
+    that the prediction gate and (rarely) the killer engage.  Pass a
+    :class:`ReservedWindow` to enable the monthly large-job days gate
+    (off by default: short scenario runs would otherwise hold all
+    large jobs until a window that never opens in-run).
+    """
+    # K computer: SPARC64 VIIIfx nodes, modest per-node power, torus.
+    machine = standard_machine(
+        "k-computer", nodes=nodes, idle_power=60.0, max_power=180.0,
+        interconnect="torus3d", seed=seed,
+    )
+    site = standard_site(
+        "riken", machine, region="Asia",
+        ambient=AmbientModel(mean=15.0, seasonal_amplitude=10.0),
+    )
+    limit = machine.peak_power * power_limit_fraction
+    queues = [
+        QueueConfig("default", priority=0),
+        # The capability class: large jobs get their own queue.
+        QueueConfig("large", priority=10, max_nodes=None),
+    ]
+    workload = center_workload("riken", machine, duration=duration, seed=seed)
+    for job in workload:
+        if job.nodes >= max(2, len(machine) // 4):
+            job.queue = "large"
+    policies = [
+        EmergencyPowerPolicy(limit_watts=limit, grace_period=300.0),
+        # Killed jobs are requeued from scratch (no system checkpoints
+        # on the K computer's emergency path).
+        RequeuePolicy(max_retries=1, reasons=("power",)),
+        EnergyReportingPolicy(),
+    ]
+    notes = [
+        f"emergency limit {limit / 1e3:.0f} kW "
+        f"({power_limit_fraction:.0%} of peak)",
+        "power-killed jobs requeued once",
+    ]
+    if reserved_window is not None:
+        policies.insert(0, ReservedWindowPolicy(
+            reserved_window, reserved_queue="large", exclusive=True,
+        ))
+        notes.append(
+            f"{reserved_window.duration / DAY:.0f}-day large-job window "
+            f"every {reserved_window.period / DAY:.0f} days"
+        )
+    simulation = ClusterSimulation(
+        machine,
+        EasyBackfillScheduler(),
+        workload,
+        policies=policies,
+        queue_configs=queues,
+        site=site,
+        seed=seed,
+        cap_watts_for_metrics=limit,
+    )
+    return CenterBuild("riken", simulation, notes=notes)

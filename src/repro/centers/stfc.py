@@ -1,0 +1,56 @@
+"""STFC (Hartree Centre) scenario — Table II row 1.
+
+Production: continuous power and energy monitoring at data-center,
+machine and job levels.  Tech development: job-level user power
+reporting.  Research: PowerAPI-style segment measurement (exercised by
+the telemetry tests).  The distinctive trait: heavy monitoring, no
+active power control — the scenario wires a multi-channel telemetry
+sampler and the reporting policy, and nothing that caps or throttles.
+"""
+
+from __future__ import annotations
+
+from ..core.backfill import EasyBackfillScheduler
+from ..core.simulation import ClusterSimulation
+from ..policies.reporting import EnergyReportingPolicy
+from ..telemetry.sampler import TelemetrySampler
+from ..units import DAY
+from .base import CenterBuild, center_workload, standard_machine, standard_site
+
+
+def build_simulation(
+    seed: int = 0,
+    duration: float = 2.0 * DAY,
+    nodes: int = 90,  # scaled stand-in for the 360-node testbed
+) -> CenterBuild:
+    """Assemble the STFC monitoring-centric scenario."""
+    machine = standard_machine(
+        "scafell-pike", nodes=nodes, idle_power=85.0, max_power=300.0, seed=seed,
+    )
+    site = standard_site("stfc", machine, region="Europe")
+    workload = center_workload("stfc", machine, duration=duration, seed=seed)
+    simulation = ClusterSimulation(
+        machine,
+        EasyBackfillScheduler(),
+        workload,
+        policies=[EnergyReportingPolicy()],
+        site=site,
+        seed=seed,
+        sample_interval=30.0,  # "continuously collecting": fine-grained
+    )
+    # Data-center / machine / job -level channels (Table II wording).
+    sampler = TelemetrySampler(simulation.sim, interval=60.0)
+    sampler.add_channel("machine-power", simulation.machine_power, "W")
+    sampler.add_channel(
+        "facility-pue",
+        lambda: site.cooling.pue(site.ambient.temperature(simulation.sim.now)),
+    )
+    sampler.add_channel(
+        "running-jobs", lambda: float(len(simulation.running_jobs()))
+    )
+    sampler.start()
+    return CenterBuild(
+        "stfc",
+        simulation,
+        notes=["monitoring-only: 30 s power meter + 3 telemetry channels"],
+    )

@@ -1,0 +1,76 @@
+"""Tokyo Tech (TSUBAME) scenario — Table I row 2.
+
+Production: dynamic node boot/shutdown to stay under a power cap
+(summer only, ~30-minute enforcement window, cooperative with the
+scheduler — no job killing); idle-node shutdown; post-job energy
+reports.  Tech development: inter-system budget sharing and user
+efficiency marks (the reporting policy grades every job).
+"""
+
+from __future__ import annotations
+
+from ..cluster.thermal import AmbientModel
+from ..core.backfill import EasyBackfillScheduler
+from ..core.simulation import ClusterSimulation
+from ..policies.dynamic_provisioning import DynamicProvisioningPolicy
+from ..policies.node_shutdown import IdleShutdownPolicy
+from ..policies.reporting import EnergyReportingPolicy
+from ..units import DAY
+from .base import CenterBuild, center_workload, standard_machine, standard_site
+
+#: Simulated seconds at which northern-hemisphere summer begins (day 152).
+SUMMER_START = 152.0 * DAY
+
+
+def build_simulation(
+    seed: int = 0,
+    duration: float = 2.0 * DAY,
+    nodes: int = 128,
+    cap_fraction: float = 0.75,
+    start_in_summer: bool = True,
+) -> CenterBuild:
+    """Assemble the Tokyo Tech scenario.
+
+    With ``start_in_summer`` the clock starts inside the summer window
+    so the seasonal cap is active (the interesting regime); set it
+    False to watch the policy stand down.
+    """
+    # TSUBAME: GPU-dense nodes, high per-node power.
+    machine = standard_machine(
+        "tsubame", nodes=nodes, idle_power=150.0, max_power=600.0,
+        seed=seed, boot_time=300.0,
+    )
+    site = standard_site(
+        "tokyotech", machine, region="Asia",
+        ambient=AmbientModel(mean=16.0, seasonal_amplitude=11.0),
+    )
+    cap = machine.peak_power * cap_fraction
+    start_time = SUMMER_START if start_in_summer else 0.0
+    workload = center_workload("tokyotech", machine, duration=duration, seed=seed)
+    for job in workload:
+        job.submit_time += start_time
+
+    simulation = ClusterSimulation(
+        machine,
+        EasyBackfillScheduler(),
+        workload,
+        policies=[
+            DynamicProvisioningPolicy(
+                cap_watts=cap, window=1800.0, summer_only=True,
+            ),
+            IdleShutdownPolicy(idle_threshold=1800.0, min_spare=4),
+            EnergyReportingPolicy(),
+        ],
+        site=site,
+        seed=seed,
+        start_time=start_time,
+        cap_watts_for_metrics=cap,
+    )
+    return CenterBuild(
+        "tokyotech",
+        simulation,
+        notes=[
+            f"summer cap {cap / 1e3:.0f} kW over 30 min window",
+            "idle shutdown after 30 min; energy report per job",
+        ],
+    )

@@ -1,0 +1,64 @@
+"""Trinity (LANL + Sandia) scenario — Table II row 2.
+
+Production: Cray CAPMC power-capping infrastructure with out-of-band
+control and administrator-set system-wide and node-level caps.  The
+scenario wires a :class:`~repro.power.capmc.Capmc` facade and an
+admin script that imposes a system-wide cap partway through the run —
+exactly the administrator workflow the table describes.
+"""
+
+from __future__ import annotations
+
+from ..core.backfill import EasyBackfillScheduler
+from ..core.simulation import ClusterSimulation
+from ..policies.manual import AdminAction, ManualActionPolicy
+from ..power.capmc import Capmc
+from ..units import DAY, HOUR
+from .base import CenterBuild, center_workload, standard_machine, standard_site
+
+
+def build_simulation(
+    seed: int = 0,
+    duration: float = 2.0 * DAY,
+    nodes: int = 128,
+    admin_cap_fraction: float = 0.8,
+    cap_at: float = 6.0 * HOUR,
+) -> CenterBuild:
+    """Assemble the Trinity scenario.
+
+    At *cap_at* the administrator sets a node-level cap sized so the
+    whole system fits ``admin_cap_fraction`` of peak — the CAPMC
+    system/node capping capability.
+    """
+    # Trinity XC40: Haswell/KNL, dragonfly (Aries).
+    machine = standard_machine(
+        "trinity", nodes=nodes, idle_power=120.0, max_power=400.0,
+        interconnect="dragonfly", seed=seed,
+    )
+    site = standard_site("trinity", machine, region="North America")
+    capmc = Capmc(machine)
+    per_node_cap = machine.peak_power * admin_cap_fraction / len(machine)
+    workload = center_workload("trinity", machine, duration=duration, seed=seed)
+    simulation = ClusterSimulation(
+        machine,
+        EasyBackfillScheduler(),
+        workload,
+        policies=[
+            ManualActionPolicy(
+                [AdminAction(cap_at, "set_cap", cap_watts=per_node_cap)]
+            )
+        ],
+        site=site,
+        seed=seed,
+        cap_watts_for_metrics=machine.peak_power * admin_cap_fraction,
+    )
+    build = CenterBuild(
+        "trinity",
+        simulation,
+        notes=[
+            f"admin sets {per_node_cap:.0f} W/node cap at "
+            f"t={cap_at / HOUR:.0f}h (CAPMC out-of-band)",
+        ],
+    )
+    build.simulation.extra_capmc = capmc  # exposed for tests/examples
+    return build

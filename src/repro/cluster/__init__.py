@@ -1,0 +1,47 @@
+"""Machine and facility model.
+
+This package models the physical substrate the surveyed centers run:
+nodes with explicit power states and boot/shutdown latencies, cabinets,
+machines, multi-system sites sharing one facility power envelope,
+interconnect topologies, the electrical/cooling plant (PDUs, chillers)
+and the thermal environment (seasonal/diurnal ambient temperature,
+cooling efficiency) that several surveyed policies key off (Tokyo
+Tech's summer-only capping, RIKEN's temperature-based power estimates,
+LRZ's infrastructure-efficiency-aware scheduling).
+"""
+
+from .node import Node, NodeState
+from .cabinet import Cabinet
+from .machine import Machine, MachineSpec
+from .site import Site
+from .topology import (
+    Topology,
+    build_dragonfly,
+    build_fat_tree,
+    build_torus3d,
+)
+from .facility import Chiller, Facility, MaintenanceWindow, PowerDistributionUnit
+from .thermal import AmbientModel, CoolingModel
+from .variability import VariabilityModel
+from .failures import FailureInjector
+
+__all__ = [
+    "AmbientModel",
+    "Cabinet",
+    "Chiller",
+    "CoolingModel",
+    "Facility",
+    "FailureInjector",
+    "Machine",
+    "MachineSpec",
+    "MaintenanceWindow",
+    "Node",
+    "NodeState",
+    "PowerDistributionUnit",
+    "Site",
+    "Topology",
+    "VariabilityModel",
+    "build_dragonfly",
+    "build_fat_tree",
+    "build_torus3d",
+]

@@ -1,0 +1,42 @@
+"""Cabinet (rack) grouping of nodes.
+
+Question 2(c) of the survey asks centers to describe systems "in terms
+related to: number of cabinets, nodes, and cores".  Cabinets matter for
+EPA JSRM because power distribution and cooling are provisioned per
+cabinet, and because some control mechanisms (Cray CAPMC, Fujitsu's
+group caps at JCAHPC) actuate at cabinet/group granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .node import Node
+
+
+class Cabinet:
+    """A rack of nodes sharing power distribution and cooling."""
+
+    def __init__(self, cabinet_id: int, nodes: Iterable[Node]) -> None:
+        self.cabinet_id = int(cabinet_id)
+        self.nodes: List[Node] = list(nodes)
+        for node in self.nodes:
+            node.cabinet_id = self.cabinet_id
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Ids of the member nodes."""
+        return [n.node_id for n in self.nodes]
+
+    @property
+    def peak_power(self) -> float:
+        """Sum of member nodes' variability-adjusted max power, watts."""
+        return sum(n.effective_max_power for n in self.nodes)
+
+    @property
+    def idle_power(self) -> float:
+        """Sum of member nodes' idle power, watts."""
+        return sum(n.idle_power for n in self.nodes)

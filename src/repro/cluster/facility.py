@@ -1,0 +1,183 @@
+"""Electrical and cooling plant model.
+
+Survey question 2 asks for the "total site power budget or capacity in
+watts" and "total site cooling capacity"; CEA's technology-development
+item is a 'layout logic' in SLURM that knows "what PDUs/Chillers a node
+or rack depends on and avoid scheduling jobs on them when maintenance"
+is planned.  This module models exactly that dependency structure:
+
+* :class:`PowerDistributionUnit` — feeds a set of nodes, has a rated
+  capacity;
+* :class:`Chiller` — removes heat for a set of PDUs, has a rated
+  thermal capacity;
+* :class:`Facility` — the site envelope: total power budget, cooling
+  capacity, the node -> PDU -> chiller map, and maintenance windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..errors import ClusterError
+from ..units import check_positive
+
+
+@dataclass(frozen=True)
+class MaintenanceWindow:
+    """A scheduled outage of one facility component.
+
+    ``component`` names a PDU or chiller id; during [start, end) any
+    node depending on it should not receive new work (CEA layout
+    logic).
+    """
+
+    component: str
+    start: float
+    end: float
+
+    def active_at(self, time: float) -> bool:
+        """True while the window is in force."""
+        return self.start <= time < self.end
+
+
+class PowerDistributionUnit:
+    """A PDU feeding a group of nodes."""
+
+    def __init__(self, pdu_id: str, capacity_watts: float, node_ids: Iterable[int]) -> None:
+        self.pdu_id = str(pdu_id)
+        self.capacity_watts = check_positive("capacity_watts", capacity_watts)
+        self.node_ids: Set[int] = set(int(n) for n in node_ids)
+
+
+class Chiller:
+    """A chiller cooling the heat load of a set of PDUs."""
+
+    def __init__(self, chiller_id: str, capacity_watts: float, pdu_ids: Iterable[str]) -> None:
+        self.chiller_id = str(chiller_id)
+        self.capacity_watts = check_positive("capacity_watts", capacity_watts)
+        self.pdu_ids: Set[str] = set(str(p) for p in pdu_ids)
+
+
+class Facility:
+    """Site-level electrical/cooling envelope and dependency map.
+
+    Parameters
+    ----------
+    power_budget_watts:
+        Total site power budget (survey Q2a).
+    cooling_capacity_watts:
+        Total heat-removal capacity (survey Q2b).
+    pdus / chillers:
+        The distribution plant.  Every node of every machine should be
+        covered by exactly one PDU; each PDU by exactly one chiller.
+        An uncovered node is tolerated (it simply has no maintenance
+        dependency) so that small test fixtures stay terse.
+    """
+
+    def __init__(
+        self,
+        power_budget_watts: float,
+        cooling_capacity_watts: Optional[float] = None,
+        pdus: Optional[Iterable[PowerDistributionUnit]] = None,
+        chillers: Optional[Iterable[Chiller]] = None,
+    ) -> None:
+        self.power_budget_watts = check_positive("power_budget_watts", power_budget_watts)
+        self.cooling_capacity_watts = (
+            check_positive("cooling_capacity_watts", cooling_capacity_watts)
+            if cooling_capacity_watts is not None
+            else self.power_budget_watts
+        )
+        self.pdus: Dict[str, PowerDistributionUnit] = {}
+        for pdu in pdus or []:
+            if pdu.pdu_id in self.pdus:
+                raise ClusterError(f"duplicate PDU id {pdu.pdu_id!r}")
+            self.pdus[pdu.pdu_id] = pdu
+        self.chillers: Dict[str, Chiller] = {}
+        for ch in chillers or []:
+            if ch.chiller_id in self.chillers:
+                raise ClusterError(f"duplicate chiller id {ch.chiller_id!r}")
+            for pdu_id in ch.pdu_ids:
+                if pdu_id not in self.pdus:
+                    raise ClusterError(
+                        f"chiller {ch.chiller_id!r} references unknown PDU {pdu_id!r}"
+                    )
+            self.chillers[ch.chiller_id] = ch
+
+        self._node_to_pdu: Dict[int, str] = {}
+        for pdu in self.pdus.values():
+            for nid in pdu.node_ids:
+                if nid in self._node_to_pdu:
+                    raise ClusterError(
+                        f"node {nid} fed by two PDUs "
+                        f"({self._node_to_pdu[nid]!r} and {pdu.pdu_id!r})"
+                    )
+                self._node_to_pdu[nid] = pdu.pdu_id
+        self._pdu_to_chiller: Dict[str, str] = {}
+        for ch in self.chillers.values():
+            for pdu_id in ch.pdu_ids:
+                if pdu_id in self._pdu_to_chiller:
+                    raise ClusterError(f"PDU {pdu_id!r} cooled by two chillers")
+                self._pdu_to_chiller[pdu_id] = ch.chiller_id
+
+        self.maintenance: List[MaintenanceWindow] = []
+
+    # ------------------------------------------------------------------
+    # Dependency queries (the CEA "layout logic")
+    # ------------------------------------------------------------------
+    def pdu_of(self, node_id: int) -> Optional[str]:
+        """PDU feeding *node_id*, or None if unmapped."""
+        return self._node_to_pdu.get(node_id)
+
+    def chiller_of(self, node_id: int) -> Optional[str]:
+        """Chiller ultimately cooling *node_id*, or None if unmapped."""
+        pdu = self._node_to_pdu.get(node_id)
+        return self._pdu_to_chiller.get(pdu) if pdu is not None else None
+
+    def dependencies_of(self, node_id: int) -> Set[str]:
+        """All facility component ids *node_id* depends on."""
+        deps: Set[str] = set()
+        pdu = self.pdu_of(node_id)
+        if pdu is not None:
+            deps.add(pdu)
+            chiller = self._pdu_to_chiller.get(pdu)
+            if chiller is not None:
+                deps.add(chiller)
+        return deps
+
+    def nodes_of_component(self, component: str) -> Set[int]:
+        """All node ids depending on PDU or chiller *component*."""
+        if component in self.pdus:
+            return set(self.pdus[component].node_ids)
+        if component in self.chillers:
+            nodes: Set[int] = set()
+            for pdu_id in self.chillers[component].pdu_ids:
+                nodes |= self.pdus[pdu_id].node_ids
+            return nodes
+        raise ClusterError(f"unknown facility component {component!r}")
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add_maintenance(self, window: MaintenanceWindow) -> None:
+        """Register a maintenance window; component must exist."""
+        if window.component not in self.pdus and window.component not in self.chillers:
+            raise ClusterError(
+                f"maintenance on unknown component {window.component!r}"
+            )
+        if window.end <= window.start:
+            raise ClusterError("maintenance window must have end > start")
+        self.maintenance.append(window)
+
+    def nodes_under_maintenance(self, time: float, horizon: float = 0.0) -> Set[int]:
+        """Node ids whose dependencies have maintenance in [time, time+horizon].
+
+        A *horizon* greater than zero lets schedulers avoid starting a
+        job that would still be running when the window opens.
+        """
+        affected: Set[int] = set()
+        end_of_interest = time + max(0.0, horizon)
+        for window in self.maintenance:
+            if window.start <= end_of_interest and window.end > time:
+                affected |= self.nodes_of_component(window.component)
+        return affected

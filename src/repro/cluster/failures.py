@@ -1,0 +1,106 @@
+"""Node failure injection.
+
+Production EPA JSRM operates on machines where nodes fail; RIKEN's
+emergency killing and Tokyo Tech's cooperative provisioning both have
+to coexist with ordinary hardware attrition.  The injector draws
+exponential inter-failure times per the fleet MTBF, fails a random
+powered node (killing whatever ran there), holds it DOWN for a repair
+time, then returns it to service.  Deterministic under the seeded RNG
+streams, so failure scenarios replay exactly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from ..simulator.events import EventPriority
+from ..units import check_positive
+from .node import NodeState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.simulation import ClusterSimulation
+
+
+class FailureInjector:
+    """Inject random node failures into a running simulation.
+
+    Parameters
+    ----------
+    simulation:
+        The simulation to disturb.
+    node_mtbf:
+        Mean time between failures *per node*, seconds.  The fleet
+        failure rate is ``len(machine) / node_mtbf``.
+    repair_time:
+        Seconds a failed node stays DOWN before returning.
+    rng:
+        Random stream (defaults to the simulation's "failures" stream).
+    """
+
+    def __init__(
+        self,
+        simulation: "ClusterSimulation",
+        node_mtbf: float,
+        repair_time: float = 4.0 * 3600.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.simulation = simulation
+        self.node_mtbf = check_positive("node_mtbf", node_mtbf)
+        self.repair_time = check_positive("repair_time", repair_time)
+        self.rng = rng if rng is not None else simulation.rng.stream("failures")
+        self.failures = 0
+        self.jobs_lost = 0
+        self._armed = False
+
+    @property
+    def fleet_rate(self) -> float:
+        """Failures per second across the whole machine."""
+        return len(self.simulation.machine) / self.node_mtbf
+
+    def arm(self) -> None:
+        """Start injecting (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = float(self.rng.exponential(1.0 / self.fleet_rate))
+        self.simulation.sim.after(
+            gap, self._fail_one, priority=EventPriority.STATE,
+            name="node-failure",
+        )
+
+    def _fail_one(self) -> None:
+        machine = self.simulation.machine
+        candidates = [
+            n for n in machine.nodes
+            if n.state in (NodeState.IDLE, NodeState.BUSY)
+        ]
+        if candidates:
+            node = candidates[int(self.rng.integers(0, len(candidates)))]
+            now = self.simulation.sim.now
+            if node.state is NodeState.BUSY and node.running_job:
+                # The job dies with the node.
+                if self.simulation.kill_job(node.running_job, "node failure"):
+                    self.jobs_lost += 1
+            # kill_job released the node to IDLE; take it DOWN.
+            if node.state is NodeState.IDLE:
+                self.simulation.rm.drain_node(node)
+                self.failures += 1
+                self.simulation.trace.emit(now, "node.failure",
+                                           node=node.node_id)
+                self.simulation.sim.after(
+                    self.repair_time, self._repair, node,
+                    priority=EventPriority.STATE, name="node-repair",
+                )
+        self._schedule_next()
+
+    def _repair(self, node) -> None:
+        if node.state is NodeState.DOWN:
+            self.simulation.rm.undrain_node(node)
+            self.simulation.trace.emit(
+                self.simulation.sim.now, "node.repair", node=node.node_id
+            )

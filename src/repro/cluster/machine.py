@@ -1,0 +1,147 @@
+"""Machine (one HPC system) model.
+
+A :class:`Machine` is one system in the sense of survey question 2(c):
+a set of cabinets of nodes with a peak performance, an interconnect
+topology and aggregate power characteristics.  Sites can operate
+several machines sharing one facility envelope (Tokyo Tech's TSUBAME2 +
+TSUBAME3 inter-system capping; CEA shifting budget between systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ClusterError
+from ..units import check_positive
+from .cabinet import Cabinet
+from .node import Node, NodeState
+from .topology import Topology
+
+
+@dataclass
+class MachineSpec:
+    """Declarative description of a machine, survey-Q2 style.
+
+    All power figures are per node, in watts; a machine is homogeneous
+    unless a variability model perturbs individual nodes afterwards.
+    """
+
+    name: str
+    nodes: int
+    cores_per_node: int = 32
+    memory_gb_per_node: float = 128.0
+    nodes_per_cabinet: int = 64
+    idle_power: float = 100.0
+    max_power: float = 350.0
+    boot_time: float = 300.0
+    shutdown_time: float = 120.0
+    max_frequency: float = 2.4e9
+    min_frequency: float = 1.2e9
+    peak_tflops: float = 1000.0
+    interconnect: str = "fat-tree"
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ClusterError(f"machine {self.name!r} needs >= 1 node")
+        if self.nodes_per_cabinet <= 0:
+            raise ClusterError("nodes_per_cabinet must be >= 1")
+        check_positive("idle_power", self.idle_power)
+        check_positive("max_power", self.max_power)
+
+
+class Machine:
+    """One HPC system: nodes grouped into cabinets, plus a topology.
+
+    Construction from a :class:`MachineSpec` builds homogeneous nodes;
+    pass a prebuilt node list for heterogeneous systems (e.g. the
+    CPU+GPU+MIC Eurora machine at CINECA).
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        nodes: Optional[Iterable[Node]] = None,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self.spec = spec
+        self.name = spec.name
+        if nodes is None:
+            nodes = [
+                Node(
+                    node_id=i,
+                    cores=spec.cores_per_node,
+                    memory_gb=spec.memory_gb_per_node,
+                    idle_power=spec.idle_power,
+                    max_power=spec.max_power,
+                    boot_time=spec.boot_time,
+                    shutdown_time=spec.shutdown_time,
+                    max_frequency=spec.max_frequency,
+                    min_frequency=spec.min_frequency,
+                )
+                for i in range(spec.nodes)
+            ]
+        self.nodes: List[Node] = list(nodes)
+        if len(self.nodes) != spec.nodes:
+            raise ClusterError(
+                f"machine {spec.name!r}: spec says {spec.nodes} nodes, "
+                f"got {len(self.nodes)}"
+            )
+        self._by_id: Dict[int, Node] = {n.node_id: n for n in self.nodes}
+        if len(self._by_id) != len(self.nodes):
+            raise ClusterError(f"machine {spec.name!r}: duplicate node ids")
+
+        self.cabinets: List[Cabinet] = []
+        per = spec.nodes_per_cabinet
+        for c, start in enumerate(range(0, len(self.nodes), per)):
+            self.cabinets.append(Cabinet(c, self.nodes[start : start + per]))
+
+        self.topology = topology
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id."""
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise ClusterError(f"machine {self.name!r}: no node {node_id}") from None
+
+    def nodes_in_state(self, state: NodeState) -> List[Node]:
+        """All nodes currently in *state*."""
+        return [n for n in self.nodes if n.state is state]
+
+    @property
+    def available_nodes(self) -> List[Node]:
+        """Nodes that can accept a job right now (IDLE)."""
+        return [n for n in self.nodes if n.is_available]
+
+    @property
+    def total_cores(self) -> int:
+        """Total core count across all nodes."""
+        return sum(n.cores for n in self.nodes)
+
+    @property
+    def peak_power(self) -> float:
+        """Variability-adjusted peak draw of all nodes, watts."""
+        return sum(n.effective_max_power for n in self.nodes)
+
+    @property
+    def idle_floor_power(self) -> float:
+        """Draw with every node on but idle, watts."""
+        return sum(n.idle_power for n in self.nodes)
+
+    def utilization(self) -> float:
+        """Fraction of nodes currently BUSY (0 when machine is empty)."""
+        if not self.nodes:
+            return 0.0
+        busy = sum(1 for n in self.nodes if n.state is NodeState.BUSY)
+        return busy / len(self.nodes)
+
+    def powered_fraction(self) -> float:
+        """Fraction of nodes consuming operational power."""
+        if not self.nodes:
+            return 0.0
+        return sum(1 for n in self.nodes if n.is_on) / len(self.nodes)

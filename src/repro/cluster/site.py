@@ -1,0 +1,81 @@
+"""Site model: several machines sharing one facility envelope.
+
+Two surveyed behaviours are inherently *inter-system*: Tokyo Tech's
+TSUBAME2/TSUBAME3 "will need to share the facility power budget", and
+CEA manually shuts nodes down "to shift power budget between systems".
+A :class:`Site` therefore owns the facility, the thermal environment
+and a list of machines, and can answer the site-level power questions
+of survey Q2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ClusterError
+from .facility import Facility
+from .machine import Machine
+from .thermal import AmbientModel, CoolingModel
+
+
+class Site:
+    """An HPC center: machines + facility + thermal environment."""
+
+    def __init__(
+        self,
+        name: str,
+        machines: Iterable[Machine],
+        facility: Optional[Facility] = None,
+        ambient: Optional[AmbientModel] = None,
+        cooling: Optional[CoolingModel] = None,
+        region: str = "unspecified",
+    ) -> None:
+        self.name = str(name)
+        self.machines: List[Machine] = list(machines)
+        if not self.machines:
+            raise ClusterError(f"site {name!r} needs at least one machine")
+        names = [m.name for m in self.machines]
+        if len(set(names)) != len(names):
+            raise ClusterError(f"site {name!r}: duplicate machine names {names}")
+        self._by_name: Dict[str, Machine] = {m.name: m for m in self.machines}
+        self.facility = facility or Facility(
+            power_budget_watts=sum(m.peak_power for m in self.machines) * 1.2
+        )
+        self.ambient = ambient or AmbientModel()
+        self.cooling = cooling or CoolingModel()
+        self.region = region
+
+    def machine(self, name: str) -> Machine:
+        """Look up a machine by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ClusterError(f"site {self.name!r}: no machine {name!r}") from None
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count across all machines."""
+        return sum(len(m) for m in self.machines)
+
+    @property
+    def peak_it_power(self) -> float:
+        """Variability-adjusted peak IT draw across machines, watts."""
+        return sum(m.peak_power for m in self.machines)
+
+    def headroom(self, current_it_watts: float, time: float) -> float:
+        """Remaining site power headroom at *time*, watts.
+
+        Accounts for the cooling overhead of the current IT load: the
+        facility budget must cover IT power plus cooling power.
+        """
+        ambient = self.ambient.temperature(time)
+        overhead = self.cooling.overhead_watts(current_it_watts, ambient)
+        return self.facility.power_budget_watts - current_it_watts - overhead
+
+    def max_it_power(self, time: float) -> float:
+        """Largest IT load the facility budget can host at *time*.
+
+        Solves ``L + L/cop(T) <= budget`` for L.
+        """
+        cop = self.cooling.cop(self.ambient.temperature(time))
+        return self.facility.power_budget_watts * cop / (cop + 1.0)

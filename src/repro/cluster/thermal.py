@@ -1,0 +1,128 @@
+"""Thermal environment: ambient temperature and cooling efficiency.
+
+Three surveyed behaviours hinge on the thermal environment:
+
+* Tokyo Tech enforces its power cap *in summer only* — ambient drives
+  the facility's effective power headroom;
+* RIKEN pre-estimates each job's power "based on temperature";
+* LRZ investigates delaying jobs "when IT infrastructure is
+  particularly inefficient" — cooling efficiency varies with outdoor
+  conditions (free cooling in winter, chillers in summer).
+
+:class:`AmbientModel` produces a deterministic seasonal + diurnal
+temperature signal with optional noise; :class:`CoolingModel` maps
+ambient temperature to a coefficient of performance (COP) and thus to
+the facility overhead watts per IT watt.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..units import DAY, check_positive
+
+#: Days per (model) year; calendar precision is irrelevant here.
+YEAR_DAYS = 365.0
+
+
+class AmbientModel:
+    """Seasonal + diurnal ambient (outdoor) temperature, Celsius.
+
+    ``T(t) = mean + seasonal·sin(2π(d - phase)/365) + diurnal·sin(2π h/24 - π/2) + noise``
+
+    where *d* is the day of year and *h* the hour of day of simulated
+    time *t* (t=0 is midnight, January 1).  The diurnal term peaks at
+    14:00, roughly matching real daily cycles.
+    """
+
+    def __init__(
+        self,
+        mean: float = 12.0,
+        seasonal_amplitude: float = 10.0,
+        diurnal_amplitude: float = 4.0,
+        phase_days: float = 105.0,
+        noise_std: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.mean = float(mean)
+        self.seasonal_amplitude = float(seasonal_amplitude)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        self.phase_days = float(phase_days)
+        self.noise_std = float(noise_std)
+        self._rng = rng
+
+    def temperature(self, time: float) -> float:
+        """Ambient temperature at simulated *time* (seconds)."""
+        day = (time / DAY) % YEAR_DAYS
+        hour = (time % DAY) / 3600.0
+        t = self.mean
+        t += self.seasonal_amplitude * math.sin(
+            2.0 * math.pi * (day - self.phase_days) / YEAR_DAYS
+        )
+        t += self.diurnal_amplitude * math.sin(2.0 * math.pi * hour / 24.0 - math.pi / 2.0)
+        if self.noise_std > 0.0 and self._rng is not None:
+            t += float(self._rng.normal(0.0, self.noise_std))
+        return t
+
+    def is_summer(self, time: float) -> bool:
+        """True during the warm half-season (day 152..243 ~= Jun-Aug).
+
+        Tokyo Tech's dynamic capping is "summer only"; this predicate is
+        what that policy consults.
+        """
+        day = (time / DAY) % YEAR_DAYS
+        return 152.0 <= day < 244.0
+
+
+class CoolingModel:
+    """Cooling overhead as a function of ambient temperature.
+
+    The coefficient of performance degrades linearly with ambient
+    temperature between a free-cooling regime and a worst-case regime:
+
+    * at or below ``free_cooling_below`` °C: ``cop_max`` (cheap cooling),
+    * at or above ``design_ambient`` °C: ``cop_min`` (struggling chillers).
+
+    Facility overhead power for an IT load L is ``L / cop(T)``; the
+    instantaneous PUE is therefore ``1 + 1/cop(T)``.
+    """
+
+    def __init__(
+        self,
+        cop_max: float = 8.0,
+        cop_min: float = 2.5,
+        free_cooling_below: float = 8.0,
+        design_ambient: float = 32.0,
+    ) -> None:
+        self.cop_max = check_positive("cop_max", cop_max)
+        self.cop_min = check_positive("cop_min", cop_min)
+        if self.cop_min > self.cop_max:
+            raise ValueError("cop_min must be <= cop_max")
+        self.free_cooling_below = float(free_cooling_below)
+        self.design_ambient = float(design_ambient)
+        if self.design_ambient <= self.free_cooling_below:
+            raise ValueError("design_ambient must exceed free_cooling_below")
+
+    def cop(self, ambient_c: float) -> float:
+        """Coefficient of performance at the given ambient temperature."""
+        if ambient_c <= self.free_cooling_below:
+            return self.cop_max
+        if ambient_c >= self.design_ambient:
+            return self.cop_min
+        frac = (ambient_c - self.free_cooling_below) / (
+            self.design_ambient - self.free_cooling_below
+        )
+        return self.cop_max + frac * (self.cop_min - self.cop_max)
+
+    def overhead_watts(self, it_watts: float, ambient_c: float) -> float:
+        """Facility overhead (cooling) power for an IT load, watts."""
+        if it_watts <= 0.0:
+            return 0.0
+        return it_watts / self.cop(ambient_c)
+
+    def pue(self, ambient_c: float) -> float:
+        """Instantaneous power usage effectiveness at this ambient."""
+        return 1.0 + 1.0 / self.cop(ambient_c)

@@ -1,0 +1,136 @@
+"""Node-selection (allocation) strategies.
+
+Given a job that fits, *which* nodes should it get?  Three strategies
+from the surveyed material:
+
+* first-fit — the baseline every resource manager implements;
+* topology-aware — survey Q6's "topology-aware task allocation, as a
+  way of ... indirectly improving energy consumption (by improving
+  application performance, resulting in reduced wallclock time)";
+* low-power-first — exploit manufacturing variability ([25], [39]) by
+  preferring nodes that draw less power for the same work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..cluster.machine import Machine
+from ..cluster.node import Node
+from ..cluster.topology import Topology
+from ..errors import AllocationError
+
+
+class Allocator:
+    """Base class: pick ``count`` nodes from the available pool."""
+
+    name = "base"
+
+    def select(
+        self, machine: Machine, available: Sequence[Node], count: int
+    ) -> List[Node]:
+        """Return exactly *count* nodes from *available*.
+
+        Raises :class:`AllocationError` if the pool is too small —
+        callers are expected to check fit first.
+        """
+        raise NotImplementedError
+
+    def _check(self, available: Sequence[Node], count: int) -> None:
+        if count <= 0:
+            raise AllocationError(f"cannot allocate {count} nodes")
+        if len(available) < count:
+            raise AllocationError(
+                f"need {count} nodes, only {len(available)} available"
+            )
+
+
+class FirstFitAllocator(Allocator):
+    """Lowest node ids first — deterministic baseline."""
+
+    name = "first-fit"
+
+    def select(
+        self, machine: Machine, available: Sequence[Node], count: int
+    ) -> List[Node]:
+        self._check(available, count)
+        return sorted(available, key=lambda n: n.node_id)[:count]
+
+
+class LowPowerAllocator(Allocator):
+    """Prefer nodes with the lowest variability-adjusted max power.
+
+    Under a power budget, efficient nodes buy more throughput per watt
+    (Inadomi et al. [25]).  Ties break on node id for determinism.
+    """
+
+    name = "low-power"
+
+    def select(
+        self, machine: Machine, available: Sequence[Node], count: int
+    ) -> List[Node]:
+        self._check(available, count)
+        return sorted(available, key=lambda n: (n.effective_max_power, n.node_id))[:count]
+
+
+class TopologyAwareAllocator(Allocator):
+    """Greedy compact placement on the machine's topology.
+
+    Strategy: try each cabinet-aligned contiguous window first (cheap
+    and usually compact); fall back to a greedy nearest-neighbour
+    expansion from the best seed.  Falls back to first-fit when the
+    machine has no topology.
+    """
+
+    name = "topology-aware"
+
+    def __init__(self, sample_seeds: int = 4) -> None:
+        self.sample_seeds = max(1, int(sample_seeds))
+
+    def select(
+        self, machine: Machine, available: Sequence[Node], count: int
+    ) -> List[Node]:
+        self._check(available, count)
+        topo: Optional[Topology] = machine.topology
+        ordered = sorted(available, key=lambda n: n.node_id)
+        if topo is None or count == 1:
+            return ordered[:count]
+
+        # Contiguous-id window: in all three topology builders node ids
+        # are laid out with locality, so a contiguous window is compact.
+        best_window: Optional[List[Node]] = None
+        best_cost = float("inf")
+        ids = [n.node_id for n in ordered]
+        for start in range(0, len(ordered) - count + 1):
+            window_ids = ids[start : start + count]
+            # Perfectly contiguous windows are likely compact; score them.
+            if window_ids[-1] - window_ids[0] == count - 1:
+                cost = topo.placement_cost(window_ids)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_window = ordered[start : start + count]
+        if best_window is not None:
+            return best_window
+
+        # Greedy expansion from a few seeds.
+        best_sel: Optional[List[Node]] = None
+        step = max(1, len(ordered) // self.sample_seeds)
+        for seed_idx in range(0, len(ordered), step):
+            seed = ordered[seed_idx]
+            chosen = [seed]
+            rest = [n for n in ordered if n is not seed]
+            while len(chosen) < count:
+                nearest = min(
+                    rest,
+                    key=lambda n: (
+                        min(topo.distance(n.node_id, c.node_id) for c in chosen),
+                        n.node_id,
+                    ),
+                )
+                chosen.append(nearest)
+                rest.remove(nearest)
+            cost = topo.placement_cost([n.node_id for n in chosen])
+            if best_sel is None or cost < best_cost:
+                best_sel, best_cost = chosen, cost
+        assert best_sel is not None
+        return best_sel

@@ -1,0 +1,71 @@
+"""The EPA coordinator: Figure 1's four functional categories.
+
+"Depending on the complexity of the implementation, the tasks of an
+EPA JSRM solution can be divided into four functional categories — the
+monitoring and control of energy/power consumed by the resources, and
+their availability."  The coordinator is the registry that wires a
+concrete deployment: which components monitor resources, which control
+them, which monitor energy/power and which control it.  It is what the
+Figure-1 reproduction (:mod:`repro.survey.components`) introspects,
+and it lets a configured simulation describe itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class FunctionalCategory(enum.Enum):
+    """The four functional categories of Figure 1."""
+
+    RESOURCE_MONITORING = "resource monitoring"
+    RESOURCE_CONTROL = "resource control"
+    POWER_MONITORING = "energy/power monitoring"
+    POWER_CONTROL = "energy/power control"
+
+
+@dataclass(frozen=True)
+class EpaComponent:
+    """One registered component of an EPA JSRM solution."""
+
+    name: str
+    category: FunctionalCategory
+    description: str = ""
+
+
+@dataclass
+class EpaCoordinator:
+    """Registry of an EPA JSRM deployment's components.
+
+    A complete solution (in the Figure-1 sense) covers all four
+    categories; :meth:`coverage` reports which are present.
+    """
+
+    components: List[EpaComponent] = field(default_factory=list)
+
+    def register(
+        self, name: str, category: FunctionalCategory, description: str = ""
+    ) -> None:
+        """Register a component under a functional category."""
+        self.components.append(EpaComponent(name, category, description))
+
+    def by_category(self) -> Dict[FunctionalCategory, List[EpaComponent]]:
+        """Components grouped by category (all categories present)."""
+        groups: Dict[FunctionalCategory, List[EpaComponent]] = {
+            cat: [] for cat in FunctionalCategory
+        }
+        for comp in self.components:
+            groups[comp.category].append(comp)
+        return groups
+
+    def coverage(self) -> Dict[FunctionalCategory, bool]:
+        """Which of the four categories have at least one component."""
+        groups = self.by_category()
+        return {cat: bool(members) for cat, members in groups.items()}
+
+    @property
+    def is_complete(self) -> bool:
+        """True when all four functional categories are covered."""
+        return all(self.coverage().values())

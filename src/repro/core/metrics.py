@@ -1,0 +1,149 @@
+"""Evaluation metrics.
+
+The quantities every scheduling/power paper in the survey's related
+work reports, plus the compliance metrics specific to power capping:
+
+* responsiveness — mean/median/p95 wait, mean bounded slowdown;
+* throughput — completed jobs, jobs per day, utilization;
+* power/energy — total energy, average and peak power, energy per
+  completed job, energy-delay product;
+* compliance — fraction of time above a cap, count of killed jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..power.meter import PowerMeter
+from ..units import DAY, joules_to_mwh
+from ..workload.job import Job, JobState
+
+
+@dataclass
+class MetricsReport:
+    """Summary of one simulation run.  All times seconds, energy joules."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_killed: int = 0
+    jobs_timed_out: int = 0
+    jobs_unfinished: int = 0
+    makespan: float = 0.0
+    utilization: float = 0.0
+    mean_wait: float = 0.0
+    median_wait: float = 0.0
+    p95_wait: float = 0.0
+    mean_bounded_slowdown: float = 0.0
+    throughput_per_day: float = 0.0
+    total_energy_joules: float = 0.0
+    average_power_watts: float = 0.0
+    peak_power_watts: float = 0.0
+    energy_per_job_joules: float = 0.0
+    cap_exceedance_fraction: float = 0.0
+    node_seconds_delivered: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_energy_mwh(self) -> float:
+        """Total energy in megawatt-hours (for report rendering)."""
+        return joules_to_mwh(self.total_energy_joules)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict of all scalar metrics (extras merged in)."""
+        out = {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_killed": self.jobs_killed,
+            "jobs_timed_out": self.jobs_timed_out,
+            "jobs_unfinished": self.jobs_unfinished,
+            "makespan": self.makespan,
+            "utilization": self.utilization,
+            "mean_wait": self.mean_wait,
+            "median_wait": self.median_wait,
+            "p95_wait": self.p95_wait,
+            "mean_bounded_slowdown": self.mean_bounded_slowdown,
+            "throughput_per_day": self.throughput_per_day,
+            "total_energy_joules": self.total_energy_joules,
+            "average_power_watts": self.average_power_watts,
+            "peak_power_watts": self.peak_power_watts,
+            "energy_per_job_joules": self.energy_per_job_joules,
+            "cap_exceedance_fraction": self.cap_exceedance_fraction,
+            "node_seconds_delivered": self.node_seconds_delivered,
+        }
+        out.update(self.extra)
+        return out
+
+
+def compute_metrics(
+    jobs: Iterable[Job],
+    total_nodes: int,
+    span: Optional[float] = None,
+    meter: Optional[PowerMeter] = None,
+    cap_watts: Optional[float] = None,
+) -> MetricsReport:
+    """Compute a :class:`MetricsReport` over finished simulation state.
+
+    Parameters
+    ----------
+    jobs:
+        All jobs that were submitted.
+    total_nodes:
+        Machine size, for utilization.
+    span:
+        Observation span (defaults to last end time minus first submit).
+    meter:
+        Machine-level power meter, for energy/power metrics.
+    cap_watts:
+        If given, compute the fraction of samples above this cap.
+    """
+    jobs = list(jobs)
+    report = MetricsReport(jobs_submitted=len(jobs))
+    if not jobs:
+        return report
+
+    finished = [j for j in jobs if j.end_time is not None]
+    report.jobs_completed = sum(1 for j in jobs if j.state is JobState.COMPLETED)
+    report.jobs_killed = sum(1 for j in jobs if j.state is JobState.KILLED)
+    report.jobs_timed_out = sum(1 for j in jobs if j.state is JobState.TIMEOUT)
+    report.jobs_unfinished = sum(1 for j in jobs if not j.is_terminal)
+
+    first_submit = min(j.submit_time for j in jobs)
+    last_end = max((j.end_time for j in finished), default=first_submit)
+    observed_span = span if span is not None else max(last_end - first_submit, 1e-9)
+    report.makespan = last_end - first_submit
+
+    waits = np.array([j.wait_time for j in jobs if j.wait_time is not None])
+    if waits.size:
+        report.mean_wait = float(waits.mean())
+        report.median_wait = float(np.median(waits))
+        report.p95_wait = float(np.percentile(waits, 95))
+
+    slowdowns = np.array(
+        [s for j in finished if (s := j.bounded_slowdown()) is not None]
+    )
+    if slowdowns.size:
+        report.mean_bounded_slowdown = float(slowdowns.mean())
+
+    node_seconds = sum(j.node_seconds or 0.0 for j in finished)
+    report.node_seconds_delivered = node_seconds
+    if total_nodes > 0 and observed_span > 0:
+        report.utilization = node_seconds / (total_nodes * observed_span)
+    report.throughput_per_day = report.jobs_completed / (observed_span / DAY)
+
+    if meter is not None:
+        report.total_energy_joules = meter.energy_joules
+        report.average_power_watts = meter.average_watts()
+        report.peak_power_watts = meter.peak_watts()
+        if cap_watts is not None:
+            report.cap_exceedance_fraction = meter.exceedance_fraction(cap_watts)
+    else:
+        report.total_energy_joules = sum(j.energy_joules for j in jobs)
+
+    if report.jobs_completed:
+        report.energy_per_job_joules = (
+            report.total_energy_joules / report.jobs_completed
+        )
+    return report

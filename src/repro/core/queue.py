@@ -1,0 +1,135 @@
+"""Batch queues.
+
+Section II-A: "Users submit batch jobs into one or more batch queues
+that are defined within the job scheduler. ... The various queues ...
+may be designated as having higher or lower priorities and may be
+restricted to some subset of the center's users."  This module models
+exactly that: named queues with priorities, optional size/walltime
+limits and user restrictions, and a merged priority order for the
+scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import QueueError
+from ..workload.job import Job, JobState
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Definition of one batch queue.
+
+    Attributes
+    ----------
+    name:
+        Queue name; jobs select it via ``job.queue``.
+    priority:
+        Higher runs first across queues.
+    max_nodes / max_walltime:
+        Admission limits (None = unlimited).
+    allowed_users:
+        If non-empty, only these users may submit.
+    """
+
+    name: str
+    priority: int = 0
+    max_nodes: Optional[int] = None
+    max_walltime: Optional[float] = None
+    allowed_users: frozenset = field(default_factory=frozenset)
+
+    def admits(self, job: Job) -> bool:
+        """True if *job* satisfies this queue's limits."""
+        if self.max_nodes is not None and job.nodes > self.max_nodes:
+            return False
+        if self.max_walltime is not None and job.walltime_request > self.max_walltime:
+            return False
+        if self.allowed_users and job.user not in self.allowed_users:
+            return False
+        return True
+
+
+class JobQueue:
+    """A set of named queues with a merged scheduling order.
+
+    The merged order is (queue priority desc, job priority desc,
+    submit time asc, job id) — deterministic and the standard
+    priority-FCFS base order that backfilling variants preserve.
+    """
+
+    def __init__(self, configs: Optional[List[QueueConfig]] = None) -> None:
+        configs = configs or [QueueConfig("default")]
+        self._configs: Dict[str, QueueConfig] = {}
+        for cfg in configs:
+            if cfg.name in self._configs:
+                raise QueueError(f"duplicate queue name {cfg.name!r}")
+            self._configs[cfg.name] = cfg
+        self._jobs: Dict[str, Job] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_names(self) -> List[str]:
+        """Configured queue names."""
+        return list(self._configs)
+
+    def config(self, name: str) -> QueueConfig:
+        """The configuration of queue *name*."""
+        try:
+            return self._configs[name]
+        except KeyError:
+            raise QueueError(f"no queue named {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Enqueue a pending job into its declared queue."""
+        if job.state is not JobState.PENDING:
+            raise QueueError(f"job {job.job_id} is {job.state.value}, not pending")
+        if job.job_id in self._jobs:
+            raise QueueError(f"job {job.job_id} already queued")
+        cfg = self._configs.get(job.queue) or self._configs.get("default")
+        if cfg is None:
+            raise QueueError(
+                f"job {job.job_id}: queue {job.queue!r} undefined and no default"
+            )
+        if not cfg.admits(job):
+            raise QueueError(
+                f"job {job.job_id} violates limits of queue {cfg.name!r}"
+            )
+        self._jobs[job.job_id] = job
+
+    def remove(self, job_id: str) -> Job:
+        """Remove and return a queued job (started or cancelled)."""
+        try:
+            return self._jobs.pop(job_id)
+        except KeyError:
+            raise QueueError(f"job {job_id} not in queue") from None
+
+    def pending(self) -> List[Job]:
+        """Jobs in merged scheduling order."""
+
+        def sort_key(job: Job):
+            cfg = self._configs.get(job.queue) or self._configs.get("default")
+            qprio = cfg.priority if cfg else 0
+            return (-qprio, -job.priority, job.submit_time, job.job_id)
+
+        return sorted(self._jobs.values(), key=sort_key)
+
+    def backlog_nodes(self) -> int:
+        """Total nodes requested by queued jobs (Q3b's backlog size)."""
+        return sum(j.nodes for j in self._jobs.values())
+
+    def by_queue(self) -> Dict[str, List[Job]]:
+        """Pending jobs grouped by queue name."""
+        groups: Dict[str, List[Job]] = {name: [] for name in self._configs}
+        for job in self.pending():
+            name = job.queue if job.queue in self._configs else "default"
+            groups.setdefault(name, []).append(job)
+        return groups

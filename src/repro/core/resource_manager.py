@@ -1,0 +1,188 @@
+"""The resource manager: privileged control over the machine.
+
+Section II-A: "A resource manager is a piece of system software that
+has privileged ability to control various resources within a
+datacenter" — including, "in some cases, ... pieces of the physical
+plant".  This class is the only component allowed to mutate node
+state: boot/shutdown (with realistic latencies), power caps, DVFS
+frequencies, and draining for maintenance.  Policies act *through* it;
+the simulation observes its notifications.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..cluster.machine import Machine
+from ..cluster.node import Node, NodeState
+from ..errors import NodeStateError
+from ..simulator.engine import Simulator
+from ..simulator.events import EventPriority
+from ..simulator.trace import TraceRecorder
+
+
+class ResourceManager:
+    """Privileged actuator for one machine.
+
+    Parameters
+    ----------
+    sim:
+        Simulator for latency modelling (boots/shutdowns take time).
+    machine:
+        The machine under control.
+    trace:
+        Optional structured trace ("rm.*" categories).
+    on_nodes_changed:
+        Callback fired when node availability changes (boot completes,
+        shutdown completes, drain/undrain) so the scheduler can react.
+    on_speed_changed:
+        Callback fired with the affected node ids whenever caps or
+        frequencies change — running jobs must be re-evaluated.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        trace: Optional[TraceRecorder] = None,
+        on_nodes_changed: Optional[Callable[[], None]] = None,
+        on_speed_changed: Optional[Callable[[List[int]], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.trace = trace
+        self.on_nodes_changed = on_nodes_changed
+        self.on_speed_changed = on_speed_changed
+        self.boots_initiated = 0
+        self.shutdowns_initiated = 0
+
+    # ------------------------------------------------------------------
+    def _emit(self, category: str, **data) -> None:
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, category, **data)
+
+    def _notify_nodes_changed(self) -> None:
+        if self.on_nodes_changed is not None:
+            self.on_nodes_changed()
+
+    def _notify_power_changed(self, node_id: int) -> None:
+        # Power-state transitions change machine power; the simulation
+        # listens on the speed-change channel to invalidate caches.
+        if self.on_speed_changed is not None:
+            self.on_speed_changed([node_id])
+
+    # ------------------------------------------------------------------
+    # Power state control (Tokyo Tech dynamic provisioning, CEA manual
+    # shutdown, Mämmelä idle shutdown)
+    # ------------------------------------------------------------------
+    def boot_node(self, node: Node) -> None:
+        """Begin powering on an OFF node; IDLE after its boot time."""
+        node.transition(NodeState.BOOTING, self.sim.now)
+        self.boots_initiated += 1
+        self._emit("rm.boot.start", node=node.node_id)
+        self._notify_power_changed(node.node_id)
+
+        def complete() -> None:
+            if node.state is NodeState.BOOTING:
+                node.transition(NodeState.IDLE, self.sim.now)
+                self._emit("rm.boot.done", node=node.node_id)
+                self._notify_nodes_changed()
+
+        self.sim.after(node.boot_time, complete, priority=EventPriority.STATE,
+                       name=f"boot:{node.node_id}")
+
+    def shutdown_node(self, node: Node) -> None:
+        """Begin powering off an IDLE node; OFF after its shutdown time."""
+        node.transition(NodeState.SHUTTING_DOWN, self.sim.now)
+        self.shutdowns_initiated += 1
+        self._emit("rm.shutdown.start", node=node.node_id)
+        self._notify_power_changed(node.node_id)
+
+        def complete() -> None:
+            if node.state is NodeState.SHUTTING_DOWN:
+                node.transition(NodeState.OFF, self.sim.now)
+                self._emit("rm.shutdown.done", node=node.node_id)
+                self._notify_nodes_changed()
+
+        self.sim.after(node.shutdown_time, complete, priority=EventPriority.STATE,
+                       name=f"shutdown:{node.node_id}")
+
+    def boot_nodes(self, nodes: Iterable[Node]) -> int:
+        """Boot all OFF nodes in *nodes*; returns how many were started."""
+        count = 0
+        for node in nodes:
+            if node.state is NodeState.OFF:
+                self.boot_node(node)
+                count += 1
+        return count
+
+    def shutdown_nodes(self, nodes: Iterable[Node]) -> int:
+        """Shut down all IDLE nodes in *nodes*; returns the count."""
+        count = 0
+        for node in nodes:
+            if node.state is NodeState.IDLE:
+                self.shutdown_node(node)
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Maintenance (CEA layout logic support)
+    # ------------------------------------------------------------------
+    def drain_node(self, node: Node) -> None:
+        """Mark a non-busy node administratively DOWN."""
+        if node.state is NodeState.BUSY:
+            raise NodeStateError(
+                f"node {node.node_id} is busy; cannot drain (wait for job end)"
+            )
+        node.transition(NodeState.DOWN, self.sim.now)
+        self._emit("rm.drain", node=node.node_id)
+        self._notify_nodes_changed()
+
+    def undrain_node(self, node: Node) -> None:
+        """Return a DOWN node to service (IDLE)."""
+        node.transition(NodeState.IDLE, self.sim.now)
+        self._emit("rm.undrain", node=node.node_id)
+        self._notify_nodes_changed()
+
+    # ------------------------------------------------------------------
+    # Power control (caps and DVFS)
+    # ------------------------------------------------------------------
+    def set_power_cap(self, nodes: Iterable[Node], cap: Optional[float]) -> List[int]:
+        """Set (or clear) per-node caps; returns affected node ids."""
+        affected = []
+        for node in nodes:
+            node.set_power_cap(cap)
+            affected.append(node.node_id)
+        self._emit("rm.cap", nodes=len(affected), cap=cap)
+        if affected and self.on_speed_changed is not None:
+            self.on_speed_changed(affected)
+        return affected
+
+    def set_frequency(self, nodes: Iterable[Node], frequency: float) -> List[int]:
+        """Set the DVFS frequency on *nodes*; returns affected ids."""
+        affected = []
+        for node in nodes:
+            node.set_frequency(frequency)
+            affected.append(node.node_id)
+        self._emit("rm.dvfs", nodes=len(affected), frequency=frequency)
+        if affected and self.on_speed_changed is not None:
+            self.on_speed_changed(affected)
+        return affected
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def idle_nodes_longer_than(self, threshold: float) -> List[Node]:
+        """IDLE nodes whose idle time exceeds *threshold* seconds."""
+        now = self.sim.now
+        return [
+            n
+            for n in self.machine.nodes
+            if n.state is NodeState.IDLE
+            and n.idle_since is not None
+            and now - n.idle_since >= threshold
+        ]
+
+    def off_nodes(self) -> List[Node]:
+        """Nodes currently OFF (candidates for booting)."""
+        return self.machine.nodes_in_state(NodeState.OFF)

@@ -1,0 +1,134 @@
+"""Scheduler interface and the FCFS baseline.
+
+"The job scheduler examines the overall set of pending work waiting to
+run on the computer and makes decisions about which jobs to place next
+onto the computational nodes" (Section II-A).  A scheduler here is a
+pure decision function: given a :class:`SchedulingContext` snapshot it
+returns the list of jobs to start *now* and on which nodes.  All
+actuation (node binding, event scheduling, power control) happens in
+:class:`~repro.core.simulation.ClusterSimulation`, so schedulers stay
+deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..cluster.machine import Machine
+from ..cluster.node import Node
+from ..workload.job import Job
+from .allocator import Allocator, FirstFitAllocator
+
+
+@dataclass(frozen=True)
+class RunningJobInfo:
+    """Scheduler-visible view of one running job.
+
+    ``expected_end`` is based on the user's walltime request — a hard
+    upper bound, since jobs are terminated at their walltime.  This is
+    what makes backfill reservations sound even when power management
+    slows jobs down.
+    """
+
+    job: Job
+    node_ids: Tuple[int, ...]
+    expected_end: float
+
+
+@dataclass
+class SchedulingContext:
+    """Snapshot handed to :meth:`Scheduler.schedule`.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time.
+    machine:
+        The machine (read-only use).
+    pending:
+        Queued jobs in merged priority order.
+    available:
+        Idle nodes usable right now (already filtered by policies,
+        e.g. maintenance-affected nodes removed).
+    running:
+        Running-job views with conservative end estimates.
+    admit:
+        EPA admission predicate: policies veto job starts (power
+        budget exceeded, prediction says too hungry, ...).  Schedulers
+        must consult it before deciding to start a job.
+    usable_node_count:
+        Number of nodes that can eventually become available (powered
+        or bootable, not down/maintenance) — the capacity horizon for
+        reservations.
+    """
+
+    now: float
+    machine: Machine
+    pending: List[Job]
+    available: List[Node]
+    running: List[RunningJobInfo]
+    admit: Callable[[Job], bool] = field(default=lambda job: True)
+    usable_node_count: int = 0
+
+    def free_count(self) -> int:
+        """Number of immediately usable nodes."""
+        return len(self.available)
+
+
+@dataclass(frozen=True)
+class StartDecision:
+    """One job start: which job, on which nodes."""
+
+    job: Job
+    nodes: Tuple[Node, ...]
+
+
+class Scheduler:
+    """Base class for schedulers.
+
+    Parameters
+    ----------
+    allocator:
+        Node-selection strategy used once a job is cleared to start.
+    """
+
+    name = "base"
+
+    def __init__(self, allocator: Optional[Allocator] = None) -> None:
+        self.allocator = allocator or FirstFitAllocator()
+
+    def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
+        """Return the job starts to perform at ``ctx.now``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _allocate(
+        self, ctx: SchedulingContext, job: Job, pool: Sequence[Node]
+    ) -> Tuple[Node, ...]:
+        """Pick nodes for *job* from *pool* via the allocator."""
+        chosen = self.allocator.select(ctx.machine, list(pool), job.nodes)
+        return tuple(chosen)
+
+
+class FcfsScheduler(Scheduler):
+    """Strict first-come-first-served.
+
+    Starts jobs in queue order; the first job that cannot start (not
+    enough nodes, or vetoed by admission) blocks everything behind it.
+    The canonical lower-bound baseline of the backfilling literature.
+    """
+
+    name = "fcfs"
+
+    def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
+        decisions: List[StartDecision] = []
+        pool = list(ctx.available)
+        for job in ctx.pending:
+            if job.nodes > len(pool) or not ctx.admit(job):
+                break
+            nodes = self._allocate(ctx, job, pool)
+            chosen_ids = {n.node_id for n in nodes}
+            pool = [n for n in pool if n.node_id not in chosen_ids]
+            decisions.append(StartDecision(job, nodes))
+        return decisions

@@ -1,0 +1,659 @@
+"""The cluster simulation: wiring scheduler, RM, power and policies.
+
+:class:`ClusterSimulation` is the top-level object a user builds: it
+owns the event engine, the machine, the queue, the resource manager,
+the power model and meter, and a list of EPA policies.  It executes a
+workload and returns a :class:`SimulationResult`.
+
+Execution model
+---------------
+Jobs run on whole nodes at the speed of their *slowest* node (tightly
+coupled parallel applications synchronize).  A running job is a
+:class:`JobExecution` tracking remaining work; whenever any of its
+nodes changes frequency or cap, the execution is re-evaluated: work
+done so far is banked at the old speed, a new speed is computed, and
+the completion event is rescheduled.  Jobs are killed at their
+requested walltime — which keeps scheduler reservations sound and
+reproduces the real-world failure mode where aggressive power capping
+pushes jobs into their walltime limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cluster.machine import Machine
+from ..cluster.node import Node, NodeState
+from ..cluster.site import Site
+from ..errors import SchedulingError
+from ..power.meter import PowerMeter
+from ..power.model import NodePowerModel
+from ..simulator.engine import EventHandle, Simulator
+from ..simulator.events import EventPriority
+from ..simulator.rng import RngStreams
+from ..simulator.trace import TraceRecorder
+from ..workload.job import Job, JobState
+from .epa import EpaCoordinator, FunctionalCategory
+from .metrics import MetricsReport, compute_metrics
+from .queue import JobQueue, QueueConfig
+from .resource_manager import ResourceManager
+from .scheduler import RunningJobInfo, Scheduler, SchedulingContext
+from ..policies.base import Policy
+
+
+class JobExecution:
+    """Runtime state of one running job."""
+
+    __slots__ = (
+        "job",
+        "nodes",
+        "work_done",
+        "speed",
+        "power_watts",
+        "last_update",
+        "end_handle",
+        "timeout_handle",
+        "cap_violated",
+        "placement_penalty",
+    )
+
+    def __init__(self, job: Job, nodes: List[Node]) -> None:
+        self.job = job
+        self.nodes = nodes
+        self.work_done = 0.0
+        self.speed = 1.0
+        self.power_watts = 0.0
+        self.last_update = 0.0
+        self.end_handle: Optional[EventHandle] = None
+        self.timeout_handle: Optional[EventHandle] = None
+        self.cap_violated = False
+        #: >= 1.0; divides speed (communication cost of a spread placement).
+        self.placement_penalty = 1.0
+
+    @property
+    def remaining_work(self) -> float:
+        """Full-speed seconds of work still to do."""
+        return max(0.0, self.job.work_seconds - self.work_done)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces."""
+
+    jobs: List[Job]
+    metrics: MetricsReport
+    trace: TraceRecorder
+    meter: PowerMeter
+    machine: Machine
+    final_time: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def completed_jobs(self) -> List[Job]:
+        """Jobs that finished normally."""
+        return [j for j in self.jobs if j.state is JobState.COMPLETED]
+
+
+class ClusterSimulation:
+    """Simulate a workload on a machine under a scheduler and policies.
+
+    Parameters
+    ----------
+    machine:
+        The machine to run on.
+    scheduler:
+        Decision function (FCFS, EASY, conservative, or a subclass).
+    workload:
+        Jobs to submit (at their ``submit_time``).
+    power_model:
+        Node power model; a default is built if omitted.
+    policies:
+        EPA policies, applied in order (filters compose, admission is
+        a conjunction).
+    seed:
+        Root seed for all random streams.
+    sample_interval:
+        Power-meter sampling period, seconds.
+    queue_configs:
+        Batch queue definitions (defaults to one "default" queue).
+    site:
+        Optional site context (facility, thermal) for policies that
+        need it.
+    cap_watts_for_metrics:
+        If set, the metrics report includes the fraction of samples
+        above this limit.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler: Scheduler,
+        workload: Iterable[Job],
+        power_model: Optional[NodePowerModel] = None,
+        policies: Sequence[Policy] = (),
+        seed: int = 0,
+        sample_interval: float = 60.0,
+        scheduler_interval: float = 300.0,
+        queue_configs: Optional[List[QueueConfig]] = None,
+        site: Optional[Site] = None,
+        cap_watts_for_metrics: Optional[float] = None,
+        trace_enabled: bool = True,
+        start_time: float = 0.0,
+        sim: Optional[Simulator] = None,
+        trace: Optional[TraceRecorder] = None,
+        comm_penalty: float = 0.0,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.scheduler_interval = scheduler_interval
+        self.jobs: List[Job] = sorted(workload, key=lambda j: (j.submit_time, j.job_id))
+        self.power_model = power_model or NodePowerModel()
+        self.site = site
+        self.cap_watts_for_metrics = cap_watts_for_metrics
+        # Survey Q6: topology-aware placement "indirectly improv[es]
+        # energy consumption ... by improving application performance".
+        # With comm_penalty > 0 and a machine topology, a job's
+        # communication phases slow down in proportion to how spread
+        # out its placement is (see _placement_penalty).  Default off.
+        self.comm_penalty = float(comm_penalty)
+
+        # A shared engine/trace may be injected so several machines can
+        # coexist in one simulation (multi-system sites; see
+        # repro.core.multi.SiteSimulation).
+        self.sim = sim if sim is not None else Simulator(start_time=start_time)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=trace_enabled)
+        self.rng = RngStreams(seed)
+        self.queue = JobQueue(queue_configs)
+        self.epa = EpaCoordinator()
+
+        self.rm = ResourceManager(
+            self.sim,
+            machine,
+            trace=self.trace,
+            on_nodes_changed=self.request_schedule_pass,
+            on_speed_changed=self._on_speed_changed,
+        )
+
+        self._executions: Dict[str, JobExecution] = {}
+        self._node_exec: Dict[int, JobExecution] = {}
+        self._pass_pending = False
+        self._started_count = 0
+        self._terminal_count = 0
+        self._prepared = False
+        # machine_power() cache: admission checks call it once per
+        # pending job; the value only changes when node state, caps or
+        # frequencies change (tracked by the version counter) or time
+        # advances (tracked by the event counter).
+        self._power_version = 0
+        self._power_cache_key: Tuple[float, int, int] = (-1.0, -1, -1)
+        self._power_cache_value = 0.0
+
+        self.meter = PowerMeter(
+            self.sim,
+            self.machine_power,
+            interval=sample_interval,
+            name=machine.name,
+            trace=self.trace,
+        )
+
+        # Built-in EPA registry entries: the scheduler/RM/meter baseline.
+        self.epa.register("job-scheduler", FunctionalCategory.RESOURCE_CONTROL,
+                          f"{scheduler.name} scheduler")
+        self.epa.register("resource-manager", FunctionalCategory.RESOURCE_CONTROL,
+                          "node boot/shutdown, caps, DVFS")
+        self.epa.register("queue-monitor", FunctionalCategory.RESOURCE_MONITORING,
+                          "pending/running job state")
+        self.epa.register("power-meter", FunctionalCategory.POWER_MONITORING,
+                          f"{sample_interval:.0f}s machine power sampling")
+
+        self.policies: List[Policy] = []
+        for policy in policies:
+            self.add_policy(policy)
+
+    # ------------------------------------------------------------------
+    # Policy management
+    # ------------------------------------------------------------------
+    def add_policy(self, policy: Policy) -> None:
+        """Register an EPA policy (before :meth:`run`)."""
+        policy.attach(self)
+        self.policies.append(policy)
+        for name, category, desc in policy.epa_components():
+            self.epa.register(name, category, desc)
+        if policy.control_interval is not None:
+            self.sim.every(
+                policy.control_interval,
+                lambda p=policy: p.on_tick(self.sim.now),
+                priority=EventPriority.CONTROL,
+                name=f"tick:{policy.name}",
+            )
+
+    # ------------------------------------------------------------------
+    # Power accounting
+    # ------------------------------------------------------------------
+    def _node_operating_point(self, node: Node):
+        execution = self._node_exec.get(node.node_id)
+        if execution is not None:
+            job = execution.job
+            return self.power_model.operating_point(
+                node, job.mean_power_intensity, job.mean_sensitivity
+            )
+        return self.power_model.operating_point(node)
+
+    def machine_power(self) -> float:
+        """Instantaneous IT power of the machine, watts (cached)."""
+        key = (self.sim.now, self.sim.events_fired, self._power_version)
+        if key != self._power_cache_key:
+            self._power_cache_value = sum(
+                self._node_operating_point(n).watts for n in self.machine.nodes
+            )
+            self._power_cache_key = key
+        return self._power_cache_value
+
+    def job_power(self, job_id: str) -> float:
+        """Instantaneous power of one running job, watts."""
+        execution = self._executions.get(job_id)
+        if execution is None:
+            return 0.0
+        self._update_execution(execution)
+        return execution.power_watts
+
+    def running_jobs(self) -> List[Job]:
+        """Jobs currently running."""
+        return [e.job for e in self._executions.values()]
+
+    # ------------------------------------------------------------------
+    # Execution bookkeeping
+    # ------------------------------------------------------------------
+    def _placement_penalty(self, job: Job, node_ids: List[int]) -> float:
+        """Speed divisor (>= 1) from the communication cost of a spread
+        placement; 1.0 when penalties are off or no topology exists.
+
+        ``penalty = 1 + comm_penalty x comm_fraction x excess`` where
+        *excess* is the placement's mean pairwise hop distance beyond
+        the compact reference (2 hops — one switch away).
+        """
+        if self.comm_penalty <= 0.0 or self.machine.topology is None:
+            return 1.0
+        if len(node_ids) < 2:
+            return 1.0
+        comm_fraction = sum(
+            p.fraction for p in job.profile if p.kind == "comm"
+        )
+        if comm_fraction <= 0.0:
+            return 1.0
+        cost = self.machine.topology.placement_cost(node_ids)
+        excess = max(0.0, (cost - 2.0) / 2.0)
+        return 1.0 + self.comm_penalty * comm_fraction * excess
+
+    def _compute_operating(self, execution: JobExecution) -> Tuple[float, float, bool]:
+        """(speed, power, violated) of a job across its nodes now."""
+        job = execution.job
+        speed = 1.0
+        power = 0.0
+        violated = False
+        for node in execution.nodes:
+            sample = self.power_model.operating_point(
+                node, job.mean_power_intensity, job.mean_sensitivity
+            )
+            speed = min(speed, sample.speed)
+            power += sample.watts
+            violated = violated or sample.cap_violated
+        speed /= execution.placement_penalty
+        return max(speed, 1e-9), power, violated
+
+    def _update_execution(self, execution: JobExecution) -> None:
+        """Bank work and energy accumulated since the last update."""
+        now = self.sim.now
+        dt = now - execution.last_update
+        if dt > 0:
+            execution.work_done += execution.speed * dt
+            execution.job.energy_joules += execution.power_watts * dt
+            execution.last_update = now
+
+    def _schedule_end(self, execution: JobExecution) -> None:
+        """(Re)schedule the completion event from remaining work."""
+        if execution.end_handle is not None:
+            execution.end_handle.cancel()
+        eta = execution.remaining_work / execution.speed
+        execution.end_handle = self.sim.after(
+            eta,
+            self._complete_job,
+            execution.job.job_id,
+            priority=EventPriority.STATE,
+            name=f"end:{execution.job.job_id}",
+        )
+
+    def _on_speed_changed(self, node_ids: List[int]) -> None:
+        """RM changed caps/frequency: re-evaluate affected executions."""
+        self._power_version += 1
+        seen = set()
+        for nid in node_ids:
+            execution = self._node_exec.get(nid)
+            if execution is None or execution.job.job_id in seen:
+                continue
+            seen.add(execution.job.job_id)
+            self._update_execution(execution)
+            speed, power, violated = self._compute_operating(execution)
+            execution.speed = speed
+            execution.power_watts = power
+            if violated and not execution.cap_violated:
+                execution.cap_violated = True
+                self.trace.emit(self.sim.now, "power.cap_violation",
+                                job=execution.job.job_id)
+            self._schedule_end(execution)
+
+    # ------------------------------------------------------------------
+    # Job life-cycle
+    # ------------------------------------------------------------------
+    def _submit_job(self, job: Job) -> None:
+        self.queue.submit(job)
+        self.trace.emit(self.sim.now, "job.submit", job=job.job_id,
+                        nodes=job.nodes, walltime=job.walltime_request)
+        self.request_schedule_pass()
+
+    def _start_job(self, job: Job, nodes: Tuple[Node, ...]) -> None:
+        now = self.sim.now
+        self.queue.remove(job.job_id)
+        node_list = list(nodes)
+        job.start(now, [n.node_id for n in node_list])
+        for node in node_list:
+            node.running_job = job.job_id
+            node.transition(NodeState.BUSY, now)
+
+        for policy in self.policies:
+            policy.configure_start(job, node_list, now)
+
+        execution = JobExecution(job, node_list)
+        execution.last_update = now
+        execution.placement_penalty = self._placement_penalty(
+            job, [n.node_id for n in node_list]
+        )
+        speed, power, violated = self._compute_operating(execution)
+        execution.speed = speed
+        execution.power_watts = power
+        execution.cap_violated = violated
+        if violated:
+            self.trace.emit(now, "power.cap_violation", job=job.job_id)
+        self._executions[job.job_id] = execution
+        for node in node_list:
+            self._node_exec[node.node_id] = execution
+
+        self._schedule_end(execution)
+        execution.timeout_handle = self.sim.at(
+            now + job.walltime_request,
+            self._timeout_job,
+            job.job_id,
+            priority=EventPriority.STATE,
+            name=f"timeout:{job.job_id}",
+        )
+        self._started_count += 1
+        self._power_version += 1
+        self.trace.emit(now, "job.start", job=job.job_id, nodes=job.nodes,
+                        power=power, speed=speed)
+        for policy in self.policies:
+            policy.on_job_start(job, now)
+
+    def _teardown_execution(self, execution: JobExecution) -> None:
+        if execution.end_handle is not None:
+            execution.end_handle.cancel()
+        if execution.timeout_handle is not None:
+            execution.timeout_handle.cancel()
+        now = self.sim.now
+        for node in execution.nodes:
+            if node.state is NodeState.BUSY:
+                node.release(now)
+            self._node_exec.pop(node.node_id, None)
+        self._executions.pop(execution.job.job_id, None)
+        self._power_version += 1
+
+    def _finish(self, job_id: str, outcome: str, reason: str = "") -> None:
+        execution = self._executions.get(job_id)
+        if execution is None:
+            return  # already finished (stale event)
+        self._update_execution(execution)
+        job = execution.job
+        now = self.sim.now
+        self._teardown_execution(execution)
+        if outcome == "complete":
+            job.complete(now)
+        elif outcome == "timeout":
+            job.timeout(now)
+        else:
+            job.kill(now, reason)
+        self._terminal_count += 1
+        self.trace.emit(now, f"job.{outcome}", job=job.job_id,
+                        energy=job.energy_joules, reason=reason)
+        for policy in self.policies:
+            policy.on_job_end(job, now)
+        self.request_schedule_pass()
+
+    def _complete_job(self, job_id: str) -> None:
+        execution = self._executions.get(job_id)
+        if execution is None:
+            return
+        self._update_execution(execution)
+        if execution.remaining_work > 1e-6:
+            # Stale completion (speed dropped since scheduling); reschedule.
+            self._schedule_end(execution)
+            return
+        self._finish(job_id, "complete")
+
+    def _timeout_job(self, job_id: str) -> None:
+        execution = self._executions.get(job_id)
+        if execution is None:
+            return
+        self._update_execution(execution)
+        if execution.remaining_work <= 1e-6:
+            self._finish(job_id, "complete")
+        else:
+            self._finish(job_id, "timeout")
+
+    def kill_job(self, job_id: str, reason: str) -> bool:
+        """Forcibly terminate a running job (emergency policies).
+
+        Returns True if the job was running and is now killed.
+        """
+        if job_id not in self._executions:
+            return False
+        self._finish(job_id, "kill", reason)
+        return True
+
+    def resubmit_job(self, job: Job) -> None:
+        """Add a new job mid-run (requeue policies).
+
+        The job joins the accounting set and is submitted at its
+        ``submit_time`` (or immediately if that is in the past); the
+        run loop keeps going until it, too, reaches a terminal state.
+        """
+        if any(existing.job_id == job.job_id for existing in self.jobs):
+            raise SchedulingError(f"duplicate job id {job.job_id!r}")
+        self.jobs.append(job)
+        submit_at = max(job.submit_time, self.sim.now)
+        self.sim.at(submit_at, self._submit_job, job,
+                    priority=EventPriority.STATE,
+                    name=f"submit:{job.job_id}")
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def request_schedule_pass(self) -> None:
+        """Coalesce and schedule a scheduler pass at the current time."""
+        if self._pass_pending:
+            return
+        self._pass_pending = True
+        self.sim.at(
+            self.sim.now,
+            self._schedule_pass,
+            priority=EventPriority.CONTROL,
+            name="schedule-pass",
+        )
+
+    def build_context(self) -> SchedulingContext:
+        """Snapshot the current state for the scheduler."""
+        now = self.sim.now
+        available = [n for n in self.machine.nodes if n.is_available]
+        for policy in self.policies:
+            available = policy.filter_nodes(available, now)
+
+        pending: List[Job] = []
+        for job in self.queue.pending():
+            shaped = job
+            for policy in self.policies:
+                shaped = policy.select_configuration(shaped, now)
+            pending.append(shaped)
+
+        running = [
+            RunningJobInfo(
+                e.job,
+                tuple(n.node_id for n in e.nodes),
+                (e.job.start_time or now) + e.job.walltime_request,
+            )
+            for e in self._executions.values()
+        ]
+
+        def admit(job: Job) -> bool:
+            return all(p.admit(job, now) for p in self.policies)
+
+        usable = sum(1 for n in self.machine.nodes if n.state is not NodeState.DOWN)
+        return SchedulingContext(
+            now=now,
+            machine=self.machine,
+            pending=pending,
+            available=available,
+            running=running,
+            admit=admit,
+            usable_node_count=usable,
+        )
+
+    def _schedule_pass(self) -> None:
+        self._pass_pending = False
+        ctx = self.build_context()
+        if not ctx.pending:
+            return
+        decisions = self.scheduler.schedule(ctx)
+        granted = set()
+        now = self.sim.now
+        for decision in decisions:
+            # Re-check admission at apply time: earlier starts in this
+            # same pass have already raised machine power, and the
+            # snapshot the scheduler saw does not reflect that.
+            if not all(p.admit(decision.job, now) for p in self.policies):
+                continue
+            ids = {n.node_id for n in decision.nodes}
+            if ids & granted:
+                raise SchedulingError(
+                    f"scheduler double-booked nodes for {decision.job.job_id}"
+                )
+            granted |= ids
+            for node in decision.nodes:
+                if not node.is_available:
+                    raise SchedulingError(
+                        f"scheduler picked unavailable node {node.node_id} "
+                        f"for {decision.job.job_id}"
+                    )
+            self._start_job(decision.job, decision.nodes)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Schedule submissions and start periodic components.
+
+        Idempotent; called by :meth:`run`, or directly by a
+        multi-machine driver that owns the shared event loop.
+        """
+        if self._prepared:
+            return
+        self._prepared = True
+        for job in self.jobs:
+            submit_at = max(job.submit_time, self.sim.now)
+            self.sim.at(submit_at, self._submit_job, job,
+                        priority=EventPriority.STATE, name=f"submit:{job.job_id}")
+        # Periodic retry loop: real batch schedulers re-run their main
+        # scheduling pass on a timer, which is what lets jobs vetoed by
+        # a time-varying condition (DR window, seasonal cap, budget)
+        # start once the condition clears.
+        self.sim.every(
+            self.scheduler_interval,
+            self.request_schedule_pass,
+            priority=EventPriority.CONTROL,
+            name="schedule-retry",
+        )
+        self.meter.start()
+
+    @property
+    def all_jobs_terminal(self) -> bool:
+        """True once every submitted job reached a terminal state."""
+        return self._terminal_count >= len(self.jobs)
+
+    @property
+    def progress_count(self) -> int:
+        """Monotone progress indicator (starts + terminations)."""
+        return self._terminal_count + self._started_count
+
+    def finalize(self) -> SimulationResult:
+        """Stop metering and assemble the result bundle."""
+        final = self.sim.now
+        self.meter.stop()
+        self.meter.sample()
+        first_submit = min((j.submit_time for j in self.jobs), default=0.0)
+        span = max(final - first_submit, 1e-9)
+        metrics = compute_metrics(
+            self.jobs,
+            total_nodes=len(self.machine),
+            span=span,
+            meter=self.meter,
+            cap_watts=self.cap_watts_for_metrics,
+        )
+        metrics.extra["boots_initiated"] = float(self.rm.boots_initiated)
+        metrics.extra["shutdowns_initiated"] = float(self.rm.shutdowns_initiated)
+        return SimulationResult(
+            jobs=self.jobs,
+            metrics=metrics,
+            trace=self.trace,
+            meter=self.meter,
+            machine=self.machine,
+            final_time=final,
+        )
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stall_timeout: float = 30.0 * 86400.0,
+    ) -> SimulationResult:
+        """Execute the workload; returns the result bundle.
+
+        With no *until*, runs until every job reached a terminal state.
+        Periodic components (meters, policy ticks) do not keep the
+        simulation alive.  If queued jobs make no progress for
+        *stall_timeout* simulated seconds (e.g. a job larger than the
+        machine under strict FCFS), the run stops and those jobs are
+        reported as unfinished.
+        """
+        self.prepare()
+        if until is not None:
+            self.sim.run(until=until, max_events=max_events)
+        else:
+            fired = 0
+            last_progress_count = -1
+            last_progress_time = self.sim.now
+            while not self.all_jobs_terminal:
+                if not self.sim.step():
+                    break
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SchedulingError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                progress = self.progress_count
+                if progress != last_progress_count:
+                    last_progress_count = progress
+                    last_progress_time = self.sim.now
+                elif self.sim.now - last_progress_time > stall_timeout:
+                    self.trace.emit(
+                        self.sim.now, "sim.stall",
+                        unfinished=len(self.jobs) - self._terminal_count,
+                    )
+                    break
+        return self.finalize()

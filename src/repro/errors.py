@@ -1,0 +1,85 @@
+"""Exception hierarchy for the EPA JSRM framework.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries.  Subclasses are grouped by subsystem: simulation, cluster,
+power, scheduling and survey data.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation engine."""
+
+
+class EventOrderError(SimulationError):
+    """An event was scheduled in the past of the simulation clock."""
+
+
+class ClusterError(ReproError):
+    """Errors in the machine / facility model."""
+
+
+class NodeStateError(ClusterError):
+    """An illegal node power-state transition was requested."""
+
+
+class AllocationError(ClusterError):
+    """A resource allocation request could not be honoured."""
+
+
+class TopologyError(ClusterError):
+    """A network topology was malformed or a request did not fit it."""
+
+
+class PowerError(ReproError):
+    """Errors in the power/energy substrate."""
+
+
+class PowerCapError(PowerError):
+    """A power cap request was out of the supported control range."""
+
+
+class BudgetError(PowerError):
+    """A hierarchical power-budget constraint was violated or malformed."""
+
+
+class SchedulingError(ReproError):
+    """Errors raised by schedulers, queues and resource managers."""
+
+
+class JobStateError(SchedulingError):
+    """An illegal job life-cycle transition was requested."""
+
+
+class QueueError(SchedulingError):
+    """A queue operation was invalid (unknown queue, duplicate job, ...)."""
+
+
+class PolicyError(ReproError):
+    """An EPA policy was misconfigured or violated its contract."""
+
+
+class WorkloadError(ReproError):
+    """Errors in workload generation or trace parsing."""
+
+
+class TraceFormatError(WorkloadError):
+    """A workload trace file (e.g. SWF) was malformed."""
+
+
+class SurveyError(ReproError):
+    """Errors in the survey data model or its analysis."""
+
+
+class PredictionError(ReproError):
+    """Errors raised by the prediction substrate."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent parameters."""

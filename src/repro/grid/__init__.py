@@ -1,0 +1,22 @@
+"""Electricity-service-provider (ESP) interaction substrate.
+
+The survey's motivating line of work (Bates et al. [6], Patki et al.
+[36]) studies how supercomputing centers can respond to their
+electricity providers: time-varying prices, demand-response requests,
+and — in RIKEN's case — a choice between grid power and an on-site
+gas turbine.  This package models those boundary conditions as
+time-indexed signals the EPA policies consume.
+"""
+
+from .esp import ElectricityPriceSchedule, ElectricityServiceProvider
+from .events import DemandResponseEvent, GridEventSchedule
+from .supply import DualSourceSupply, SupplyDecision
+
+__all__ = [
+    "DemandResponseEvent",
+    "DualSourceSupply",
+    "ElectricityPriceSchedule",
+    "ElectricityServiceProvider",
+    "GridEventSchedule",
+    "SupplyDecision",
+]

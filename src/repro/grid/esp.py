@@ -1,0 +1,112 @@
+"""Electricity service provider: tariffs and price signals.
+
+Bates et al. [6] analyzed the ESP-supercomputing-center relationship;
+time-of-use pricing is the simplest coupling: energy is cheaper at
+night, so energy-aware schedulers can shift deferrable load.  Prices
+are piecewise-constant over the day with optional peak surcharges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import DAY
+
+
+@dataclass(frozen=True)
+class ElectricityPriceSchedule:
+    """Piecewise-constant daily tariff.
+
+    ``bands`` is a sequence of (start_hour, end_hour, price_per_kwh)
+    covering [0, 24) without gaps or overlaps.
+    """
+
+    bands: Tuple[Tuple[float, float, float], ...]
+
+    def __post_init__(self) -> None:
+        covered = 0.0
+        last_end = 0.0
+        for start, end, price in sorted(self.bands):
+            if start != last_end:
+                raise ConfigurationError(
+                    f"tariff bands must tile [0,24): gap/overlap at hour {start}"
+                )
+            if price < 0:
+                raise ConfigurationError("negative tariff price")
+            covered += end - start
+            last_end = end
+        if abs(covered - 24.0) > 1e-9:
+            raise ConfigurationError("tariff bands must cover 24 hours")
+
+    @classmethod
+    def flat(cls, price_per_kwh: float) -> "ElectricityPriceSchedule":
+        """Single-band flat tariff."""
+        return cls(((0.0, 24.0, price_per_kwh),))
+
+    @classmethod
+    def day_night(
+        cls,
+        day_price: float,
+        night_price: float,
+        day_start: float = 7.0,
+        day_end: float = 21.0,
+    ) -> "ElectricityPriceSchedule":
+        """Two-band tariff with a daytime price window."""
+        return cls(
+            (
+                (0.0, day_start, night_price),
+                (day_start, day_end, day_price),
+                (day_end, 24.0, night_price),
+            )
+        )
+
+    def price_at(self, time: float) -> float:
+        """Tariff (currency per kWh) at simulated *time*."""
+        hour = (time % DAY) / 3600.0
+        for start, end, price in self.bands:
+            if start <= hour < end:
+                return price
+        return self.bands[-1][2]
+
+
+class ElectricityServiceProvider:
+    """An ESP: a tariff plus a contracted demand limit.
+
+    ``demand_limit_watts`` models the contracted maximum demand; the
+    penalty rate applies to energy drawn above it (a simplification of
+    real demand charges, sufficient to give policies the right
+    gradient).
+    """
+
+    def __init__(
+        self,
+        schedule: ElectricityPriceSchedule,
+        demand_limit_watts: float = float("inf"),
+        penalty_per_kwh: float = 0.0,
+    ) -> None:
+        self.schedule = schedule
+        self.demand_limit_watts = demand_limit_watts
+        self.penalty_per_kwh = penalty_per_kwh
+
+    def cost_of(self, times: Sequence[float], watts: Sequence[float]) -> float:
+        """Energy cost of a sampled power series (trapezoid-free, piecewise).
+
+        Each interval [t_i, t_{i+1}) is billed at the price of its
+        start and the power of its start sample; above-limit power
+        incurs the penalty rate on the excess.
+        """
+        if len(times) != len(watts):
+            raise ConfigurationError("times and watts must have equal length")
+        total = 0.0
+        for i in range(len(times) - 1):
+            dt_hours = (times[i + 1] - times[i]) / 3600.0
+            if dt_hours <= 0:
+                continue
+            kw = watts[i] / 1e3
+            price = self.schedule.price_at(times[i])
+            total += kw * dt_hours * price
+            excess_kw = max(0.0, watts[i] - self.demand_limit_watts) / 1e3
+            total += excess_kw * dt_hours * self.penalty_per_kwh
+        return total

@@ -1,0 +1,72 @@
+"""Demand-response events.
+
+A demand-response (DR) request is the concrete mechanism by which an
+ESP asks a large consumer to shed load for a window of time — the
+central scenario of the ESP studies ([6], [36]) that motivated the
+EPA JSRM team (Section II).  An event carries the window and the
+power level the site must stay under during it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DemandResponseEvent:
+    """One DR window: stay under ``limit_watts`` during [start, end)."""
+
+    start: float
+    end: float
+    limit_watts: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError("DR event must have end > start")
+        if self.limit_watts <= 0:
+            raise ConfigurationError("DR limit must be positive")
+
+    def active_at(self, time: float) -> bool:
+        """True while the event is in force."""
+        return self.start <= time < self.end
+
+
+class GridEventSchedule:
+    """An ordered collection of DR events (non-overlapping)."""
+
+    def __init__(self, events: Sequence[DemandResponseEvent] = ()) -> None:
+        self.events: List[DemandResponseEvent] = sorted(
+            events, key=lambda e: e.start
+        )
+        for a, b in zip(self.events, self.events[1:]):
+            if b.start < a.end:
+                raise ConfigurationError(
+                    f"DR events overlap: [{a.start},{a.end}) and [{b.start},{b.end})"
+                )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def active_event(self, time: float) -> Optional[DemandResponseEvent]:
+        """The event in force at *time*, if any."""
+        for event in self.events:
+            if event.active_at(time):
+                return event
+            if event.start > time:
+                break
+        return None
+
+    def next_event(self, time: float) -> Optional[DemandResponseEvent]:
+        """The next event starting at or after *time*."""
+        for event in self.events:
+            if event.start >= time:
+                return event
+        return None
+
+    def limit_at(self, time: float, default: float = float("inf")) -> float:
+        """Power limit in force at *time* (or *default*)."""
+        event = self.active_event(time)
+        return event.limit_watts if event is not None else default

@@ -1,0 +1,57 @@
+"""EPA JSRM policy library.
+
+Each module implements one energy/power-aware technique the survey
+found in research, development or production at the nine centers (see
+Tables I and II), as a plugin for
+:class:`~repro.core.simulation.ClusterSimulation`.  Policies observe
+the machine through monitoring hooks, veto or configure job starts,
+and act through the resource manager — the monitor/control split of
+Figure 1.
+"""
+
+from .base import Policy
+from .static_capping import StaticCappingPolicy
+from .node_shutdown import IdleShutdownPolicy
+from .dynamic_provisioning import DynamicProvisioningPolicy
+from .emergency import EmergencyPowerPolicy
+from .energy_tags import EnergyTagPolicy, SchedulingGoal
+from .power_sharing import DynamicPowerSharingPolicy
+from .overprovisioning import OverprovisioningPolicy
+from .moldable import MoldablePolicy
+from .layout_aware import LayoutAwarePolicy
+from .group_caps import GroupCapPolicy
+from .dvfs_budget import DvfsBudgetPolicy
+from .demand_response import DemandResponsePolicy
+from .reporting import EnergyReportingPolicy
+from .manual import ManualActionPolicy
+from .power_aware_admission import PowerAwareAdmissionPolicy
+from .cooling_aware import CoolingAwarePolicy
+from .thermal_aware import ThermalAwarePolicy
+from .rapl_enforcement import RaplEnforcementPolicy
+from .requeue import RequeuePolicy, ReservedWindow, ReservedWindowPolicy
+
+__all__ = [
+    "CoolingAwarePolicy",
+    "DemandResponsePolicy",
+    "DvfsBudgetPolicy",
+    "DynamicPowerSharingPolicy",
+    "DynamicProvisioningPolicy",
+    "EmergencyPowerPolicy",
+    "EnergyReportingPolicy",
+    "EnergyTagPolicy",
+    "GroupCapPolicy",
+    "IdleShutdownPolicy",
+    "LayoutAwarePolicy",
+    "ManualActionPolicy",
+    "MoldablePolicy",
+    "OverprovisioningPolicy",
+    "Policy",
+    "PowerAwareAdmissionPolicy",
+    "RaplEnforcementPolicy",
+    "RequeuePolicy",
+    "ReservedWindow",
+    "ReservedWindowPolicy",
+    "SchedulingGoal",
+    "StaticCappingPolicy",
+    "ThermalAwarePolicy",
+]

@@ -1,0 +1,97 @@
+"""Policy plugin interface.
+
+A policy is the unit in which surveyed EPA techniques are packaged.
+The hook set mirrors the touch points Figure 1 gives an EPA JSRM
+solution:
+
+* ``filter_nodes`` — restrict which nodes the scheduler may use
+  (layout/maintenance awareness, capped partitions);
+* ``admit`` — veto a job start (power budget, prediction gate);
+* ``configure_start`` — set frequencies/caps/moldable shape as a job
+  starts (energy tags, DVFS budgeting);
+* ``on_job_start`` / ``on_job_end`` — bookkeeping and reporting;
+* ``on_tick`` — the periodic control loop (capping enforcement,
+  provisioning, power sharing), scheduled at ``control_interval``;
+* ``epa_components`` — self-description for the Figure-1 registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from ..cluster.node import Node
+from ..core.epa import FunctionalCategory
+from ..workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.simulation import ClusterSimulation
+
+
+class Policy:
+    """Base class for all EPA policies.  All hooks are optional."""
+
+    #: Human-readable policy name (subclasses override).
+    name = "policy"
+    #: Seconds between ``on_tick`` calls; None disables the loop.
+    control_interval: Optional[float] = None
+
+    def __init__(self) -> None:
+        self.simulation: Optional["ClusterSimulation"] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, simulation: "ClusterSimulation") -> None:
+        """Called once when the policy is registered with a simulation."""
+        self.simulation = simulation
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Subclass hook run after ``self.simulation`` is set."""
+
+    @property
+    def sim(self):
+        """The discrete-event engine (convenience accessor)."""
+        assert self.simulation is not None, f"policy {self.name} not attached"
+        return self.simulation.sim
+
+    # ------------------------------------------------------------------
+    # Scheduling hooks
+    # ------------------------------------------------------------------
+    def filter_nodes(self, nodes: List[Node], now: float) -> List[Node]:
+        """Restrict the pool of nodes the scheduler may allocate from."""
+        return nodes
+
+    def admit(self, job: Job, now: float) -> bool:
+        """Return False to veto starting *job* right now."""
+        return True
+
+    def configure_start(self, job: Job, nodes: Sequence[Node], now: float) -> None:
+        """Adjust node settings (freq/caps) as *job* starts on *nodes*."""
+
+    def select_configuration(self, job: Job, now: float) -> Job:
+        """Optionally reshape a moldable job before fit checks.
+
+        Returns the job to schedule (possibly the same object mutated,
+        or the original).  Default: unchanged.
+        """
+        return job
+
+    # ------------------------------------------------------------------
+    # Life-cycle hooks
+    # ------------------------------------------------------------------
+    def on_job_start(self, job: Job, now: float) -> None:
+        """Called after *job* has started."""
+
+    def on_job_end(self, job: Job, now: float) -> None:
+        """Called after *job* reached a terminal state."""
+
+    def on_tick(self, now: float) -> None:
+        """Periodic control loop (only if ``control_interval`` set)."""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def epa_components(self) -> List[Tuple[str, FunctionalCategory, str]]:
+        """(name, category, description) triples for the EPA registry."""
+        return []

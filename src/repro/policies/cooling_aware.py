@@ -1,0 +1,82 @@
+"""Cooling-efficiency-aware job delaying — LRZ's research line.
+
+Table I, LRZ research: "Linking job scheduler with IT infrastructure +
+cooling; scheduler may delay jobs when IT infrastructure is
+particularly inefficient."  The instantaneous PUE varies with ambient
+temperature (free cooling at night/winter, chillers at the afternoon
+peak); shifting deferrable work to efficient hours saves *facility*
+energy without touching IT energy.
+
+The policy vetoes job starts while the PUE is above a threshold,
+bounded by a per-job maximum delay so nothing starves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.epa import FunctionalCategory
+from ..errors import PolicyError
+from ..power.pue import FacilityPowerModel
+from ..units import check_non_negative, check_positive
+from ..workload.job import Job
+from .base import Policy
+
+
+class CoolingAwarePolicy(Policy):
+    """Delay job starts while the facility PUE is poor.
+
+    Parameters
+    ----------
+    pue_threshold:
+        Jobs start freely while the instantaneous PUE is at or below
+        this value.
+    max_delay:
+        A job older than this (since submission) is admitted
+        regardless — the efficiency shift must not become starvation.
+    """
+
+    name = "cooling-aware"
+
+    def __init__(
+        self,
+        pue_threshold: float = 1.25,
+        max_delay: float = 8.0 * 3600.0,
+    ) -> None:
+        super().__init__()
+        self.pue_threshold = check_positive("pue_threshold", pue_threshold)
+        self.max_delay = check_non_negative("max_delay", max_delay)
+        self.delayed_passes = 0
+        self._facility_model = None
+
+    def on_attach(self) -> None:
+        if self.simulation.site is None:
+            raise PolicyError("cooling-aware policy needs a site (thermal model)")
+        self._facility_model = FacilityPowerModel(self.simulation.site)
+
+    def admit(self, job: Job, now: float) -> bool:
+        if now - job.submit_time >= self.max_delay:
+            return True
+        if self._facility_model.efficient_now(now, self.pue_threshold):
+            return True
+        self.delayed_passes += 1
+        return False
+
+    def current_pue(self, now: float) -> float:
+        """The instantaneous PUE the policy is reacting to."""
+        return self._facility_model.pue(now)
+
+    def epa_components(self) -> List[Tuple[str, FunctionalCategory, str]]:
+        return [
+            (
+                "pue-monitor",
+                FunctionalCategory.POWER_MONITORING,
+                "instantaneous facility PUE from ambient + cooling model",
+            ),
+            (
+                "cooling-aware-delay",
+                FunctionalCategory.RESOURCE_CONTROL,
+                f"delay starts while PUE > {self.pue_threshold:.2f} "
+                f"(max {self.max_delay / 3600:.0f}h)",
+            ),
+        ]

@@ -1,0 +1,117 @@
+"""DVFS power budgeting — Etinski et al. ([18], [19]).
+
+"Etinski et al. ... extends the standard job scheduling algorithm with
+power budgeting capability through DVFS": when starting a job would
+exceed the machine power budget at nominal frequency, the job is
+started anyway — at a reduced frequency whose predicted power fits the
+remaining headroom.  Only if even the minimum frequency does not fit
+is the start vetoed (the job waits).
+
+This trades a *known, bounded* slowdown for shorter queue waits under
+a budget — the crossover the `exp-dvfs` bench sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..cluster.node import Node
+from ..core.epa import FunctionalCategory
+from ..power.dvfs import FrequencyLadder
+from ..units import check_positive
+from ..workload.job import Job
+from .base import Policy
+
+
+class DvfsBudgetPolicy(Policy):
+    """Start jobs at the highest frequency fitting the power budget.
+
+    Parameters
+    ----------
+    budget_watts:
+        Machine power budget.
+    ladder:
+        Admissible frequencies; defaults to 6 steps over the node range.
+    min_speed:
+        Jobs are never started below this predicted relative speed
+        (guards against walltime blowups); 0 disables the guard.
+    """
+
+    name = "dvfs-budget"
+
+    def __init__(
+        self,
+        budget_watts: float,
+        ladder: Optional[FrequencyLadder] = None,
+        min_speed: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.budget_watts = check_positive("budget_watts", budget_watts)
+        self.ladder = ladder
+        self.min_speed = float(min_speed)
+        self.slowed_starts = 0
+        self.vetoes = 0
+
+    def on_attach(self) -> None:
+        if self.ladder is None:
+            node = self.simulation.machine.nodes[0]
+            self.ladder = FrequencyLadder.linear(
+                node.min_frequency, node.max_frequency, steps=6
+            )
+
+    # ------------------------------------------------------------------
+    def _job_draw_at(self, job: Job, freq: float) -> float:
+        """Predicted extra draw of the job at *freq* (idle already paid)."""
+        model = self.simulation.power_model
+        node = self.simulation.machine.nodes[0]
+        ratio = freq / node.max_frequency
+        per_node = model.power_at_ratio(node, ratio, job.mean_power_intensity)
+        return job.nodes * (per_node - node.idle_power)
+
+    def _pick_frequency(self, job: Job, now: float) -> Optional[float]:
+        """Highest ladder frequency fitting the headroom, or None."""
+        headroom = self.budget_watts - self.simulation.machine_power()
+        model = self.simulation.power_model
+        node = self.simulation.machine.nodes[0]
+        for freq in reversed(self.ladder.frequencies):
+            if self._job_draw_at(job, freq) <= headroom:
+                ratio = freq / node.max_frequency
+                speed = model.speed_at_ratio(ratio, job.mean_sensitivity)
+                if speed >= self.min_speed:
+                    return freq
+        return None
+
+    # ------------------------------------------------------------------
+    def admit(self, job: Job, now: float) -> bool:
+        if self._pick_frequency(job, now) is None:
+            self.vetoes += 1
+            return False
+        return True
+
+    def configure_start(self, job: Job, nodes: Sequence[Node], now: float) -> None:
+        freq = self._pick_frequency(job, now)
+        if freq is None:
+            freq = self.ladder.f_min
+        self.simulation.rm.set_frequency(nodes, freq)
+        job.assigned_frequency = freq
+        if freq < self.ladder.f_max:
+            self.slowed_starts += 1
+            # Extend the walltime limit to match the frequency (as the
+            # Etinski scheme and LSF EAS do), so budgeting does not
+            # convert into walltime kills.
+            ratio = freq / nodes[0].max_frequency
+            speed = self.simulation.power_model.speed_at_ratio(
+                ratio, job.mean_sensitivity
+            )
+            if speed < 1.0:
+                job.walltime_request = job.walltime_request / speed
+
+    def epa_components(self) -> List[Tuple[str, FunctionalCategory, str]]:
+        return [
+            (
+                "dvfs-budgeting",
+                FunctionalCategory.POWER_CONTROL,
+                f"start jobs at reduced frequency under "
+                f"{self.budget_watts / 1e3:.0f} kW budget",
+            )
+        ]

@@ -1,0 +1,96 @@
+"""Scripted administrator actions.
+
+Not every surveyed production capability is automated: CEA "manually
+shut[s] down nodes to shift power budget between systems"; JCAHPC has
+"manual emergency response, admin sets power cap".  This policy plays
+back a script of timestamped admin actions, making manual operations
+reproducible parts of a simulation scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..cluster.node import NodeState
+from ..core.epa import FunctionalCategory
+from ..errors import PolicyError
+from ..simulator.events import EventPriority
+from .base import Policy
+
+
+@dataclass(frozen=True)
+class AdminAction:
+    """One scripted action at an absolute simulated time."""
+
+    time: float
+    kind: str  # "shutdown" | "boot" | "set_cap" | "clear_cap" | "custom"
+    count: int = 0
+    cap_watts: Optional[float] = None
+    callback: Optional[Callable[[], None]] = None
+
+    def __post_init__(self) -> None:
+        valid = {"shutdown", "boot", "set_cap", "clear_cap", "custom"}
+        if self.kind not in valid:
+            raise PolicyError(f"unknown admin action kind {self.kind!r}")
+        if self.kind == "custom" and self.callback is None:
+            raise PolicyError("custom action needs a callback")
+
+
+class ManualActionPolicy(Policy):
+    """Replay a script of administrator actions.
+
+    Actions:
+
+    * ``shutdown`` — power off *count* idle nodes (budget shifting);
+    * ``boot`` — power on *count* off nodes;
+    * ``set_cap`` — set a per-node cap of ``cap_watts`` machine-wide
+      (the JCAHPC emergency knob);
+    * ``clear_cap`` — remove all node caps;
+    * ``custom`` — invoke an arbitrary callback.
+    """
+
+    name = "manual-actions"
+
+    def __init__(self, actions: List[AdminAction]) -> None:
+        super().__init__()
+        self.actions = sorted(actions, key=lambda a: a.time)
+        self.executed: List[AdminAction] = []
+
+    def on_attach(self) -> None:
+        for action in self.actions:
+            self.sim.at(
+                action.time,
+                self._execute,
+                action,
+                priority=EventPriority.CONTROL,
+                name=f"admin:{action.kind}",
+            )
+
+    def _execute(self, action: AdminAction) -> None:
+        machine = self.simulation.machine
+        rm = self.simulation.rm
+        if action.kind == "shutdown":
+            idle = sorted(
+                machine.nodes_in_state(NodeState.IDLE), key=lambda n: n.node_id
+            )
+            rm.shutdown_nodes(idle[: action.count])
+        elif action.kind == "boot":
+            off = sorted(rm.off_nodes(), key=lambda n: n.node_id)
+            rm.boot_nodes(off[: action.count])
+        elif action.kind == "set_cap":
+            rm.set_power_cap(machine.nodes, action.cap_watts)
+        elif action.kind == "clear_cap":
+            rm.set_power_cap(machine.nodes, None)
+        elif action.kind == "custom":
+            action.callback()
+        self.executed.append(action)
+
+    def epa_components(self) -> List[Tuple[str, FunctionalCategory, str]]:
+        return [
+            (
+                "manual-admin",
+                FunctionalCategory.POWER_CONTROL,
+                f"{len(self.actions)} scripted administrator actions",
+            )
+        ]

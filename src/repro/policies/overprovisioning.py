@@ -1,0 +1,132 @@
+"""Over-provisioning under a strict budget — Sarood et al. (SC'14, [38]).
+
+An over-provisioned system has more nodes than its power budget can
+drive at full power.  The scheduler must then choose an *operating
+point* (how many nodes active, at what per-node cap) that maximizes
+throughput: running more nodes at lower power wins whenever the
+workload parallelizes, because dynamic power buys speed sublinearly
+(``speed ~ f`` but ``power ~ f^alpha``).
+
+Sarood et al. solve an ILP; for the homogeneous-machine case the
+optimum is a one-dimensional scan over the active-node count, which
+this policy performs exactly, using the node power model to price
+each candidate.  The policy then (a) caps all nodes at the chosen
+level and (b) restricts the scheduler to the chosen active set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..cluster.node import Node
+from ..core.epa import FunctionalCategory
+from ..units import check_positive
+from .base import Policy
+
+
+class OverprovisioningPolicy(Policy):
+    """Pick (active nodes, per-node cap) maximizing budgeted throughput.
+
+    Parameters
+    ----------
+    budget_watts:
+        The strict machine power budget.
+    sensitivity:
+        Assumed workload frequency sensitivity for the throughput
+        model (1.0 = compute-bound worst case).
+    recompute_interval:
+        How often to re-run the scan (workload mix drifts), seconds.
+    """
+
+    name = "overprovisioning"
+
+    def __init__(
+        self,
+        budget_watts: float,
+        sensitivity: float = 0.9,
+        recompute_interval: float = 3600.0,
+    ) -> None:
+        super().__init__()
+        self.budget_watts = check_positive("budget_watts", budget_watts)
+        self.sensitivity = float(sensitivity)
+        self.control_interval = check_positive(
+            "recompute_interval", recompute_interval
+        )
+        self.active_count: Optional[int] = None
+        self.chosen_cap: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def solve_operating_point(self) -> Tuple[int, float, float]:
+        """Scan n = 1..N for the throughput-optimal operating point.
+
+        Returns ``(n_active, per_node_cap, throughput_score)`` where
+        the score is ``n · speed(cap)``.  The budget pays for the
+        active nodes only — the policy powers the rest off (their
+        residual off-power is subtracted from the budget).
+        """
+        machine = self.simulation.machine
+        model = self.simulation.power_model
+        node = machine.nodes[0]
+        n_total = len(machine.nodes)
+        f_min_ratio = node.min_frequency / node.max_frequency
+        p_min = model.power_at_ratio(node, f_min_ratio, 1.0)
+        p_max = node.effective_max_power
+
+        best = (1, p_max, 0.0)
+        for n in range(1, n_total + 1):
+            usable = self.budget_watts - node.off_power * (n_total - n)
+            cap = usable / n
+            if cap < p_min:
+                break  # more nodes can't be powered even at f_min
+            cap = min(cap, p_max)
+            freq = model.frequency_for_cap(node, cap, 1.0)
+            ratio = freq / node.max_frequency
+            speed = model.speed_at_ratio(ratio, self.sensitivity)
+            score = n * speed
+            if score > best[2]:
+                best = (n, cap, score)
+        return best
+
+    def on_attach(self) -> None:
+        self._apply()
+
+    def on_tick(self, now: float) -> None:
+        self._apply()
+
+    def _active_ids(self) -> set:
+        machine = self.simulation.machine
+        return {n.node_id for n in machine.nodes[: self.active_count or 0]}
+
+    def _apply(self) -> None:
+        n, cap, _score = self.solve_operating_point()
+        self.active_count = n
+        self.chosen_cap = cap
+        machine = self.simulation.machine
+        rm = self.simulation.rm
+        active = self._active_ids()
+        active_nodes = [nd for nd in machine.nodes if nd.node_id in active]
+        floor = max(nd.cap_floor for nd in active_nodes)
+        rm.set_power_cap(active_nodes, max(cap, floor))
+        # The budget covers only the active partition: power the rest
+        # off, and bring active nodes back when the solution grows.
+        parked = [nd for nd in machine.nodes if nd.node_id not in active]
+        rm.shutdown_nodes(parked)
+        rm.boot_nodes(active_nodes)
+
+    # ------------------------------------------------------------------
+    def filter_nodes(self, nodes: List[Node], now: float) -> List[Node]:
+        """Restrict the allocatable pool to the active partition."""
+        if self.active_count is None:
+            return nodes
+        active = self._active_ids()
+        return [n for n in nodes if n.node_id in active]
+
+    def epa_components(self) -> List[Tuple[str, FunctionalCategory, str]]:
+        return [
+            (
+                "overprovision-optimizer",
+                FunctionalCategory.POWER_CONTROL,
+                f"throughput-optimal (n, cap) under "
+                f"{self.budget_watts / 1e3:.0f} kW budget",
+            )
+        ]

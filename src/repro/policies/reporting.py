@@ -1,0 +1,107 @@
+"""Per-job energy reporting and user efficiency marks.
+
+Two production capabilities from the tables:
+
+* Tokyo Tech: "Energy use provided to users at end of every job" and
+  (tech development) "Gives users mark on how well they used power and
+  energy";
+* JCAHPC: "Delivering post-job energy use reports to users."
+
+The policy collects an :class:`EnergyReport` for every finished job
+and grades it A-E by comparing the job's average per-node power draw
+against the machine's nominal range — a job that kept its nodes busy
+near their efficient operating point scores well; a job that held
+nodes mostly idle scores poorly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.epa import FunctionalCategory
+from ..workload.job import Job, JobState
+from .base import Policy
+
+#: Grade thresholds on the utilization score (fraction of the node's
+#: dynamic range the job actually used, time-averaged).
+_GRADES = [(0.8, "A"), (0.6, "B"), (0.4, "C"), (0.2, "D"), (0.0, "E")]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Post-job energy report delivered to the submitting user."""
+
+    job_id: str
+    user: str
+    energy_joules: float
+    average_watts: float
+    node_count: int
+    run_time: float
+    efficiency_score: float
+    grade: str
+
+
+class EnergyReportingPolicy(Policy):
+    """Collect post-job energy reports and per-user summaries."""
+
+    name = "energy-reporting"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reports: List[EnergyReport] = []
+
+    def on_job_end(self, job: Job, now: float) -> None:
+        run = job.run_time
+        if run is None or run <= 0 or job.state is JobState.CANCELLED:
+            return
+        avg_watts = job.energy_joules / run
+        node = self.simulation.machine.nodes[0]
+        per_node = avg_watts / max(1, job.nodes)
+        dyn_range = max(node.max_power - node.idle_power, 1e-9)
+        score = (per_node - node.idle_power) / dyn_range
+        score = min(1.0, max(0.0, score))
+        grade = next(g for threshold, g in _GRADES if score >= threshold)
+        self.reports.append(
+            EnergyReport(
+                job_id=job.job_id,
+                user=job.user,
+                energy_joules=job.energy_joules,
+                average_watts=avg_watts,
+                node_count=job.nodes,
+                run_time=run,
+                efficiency_score=score,
+                grade=grade,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def report_for(self, job_id: str) -> Optional[EnergyReport]:
+        """The report for one job, if it finished."""
+        for report in self.reports:
+            if report.job_id == job_id:
+                return report
+        return None
+
+    def user_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-user totals: jobs, energy, mean efficiency score."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for report in self.reports:
+            entry = summary.setdefault(
+                report.user, {"jobs": 0.0, "energy_joules": 0.0, "score_sum": 0.0}
+            )
+            entry["jobs"] += 1
+            entry["energy_joules"] += report.energy_joules
+            entry["score_sum"] += report.efficiency_score
+        for entry in summary.values():
+            entry["mean_score"] = entry.pop("score_sum") / entry["jobs"]
+        return summary
+
+    def epa_components(self) -> List[Tuple[str, FunctionalCategory, str]]:
+        return [
+            (
+                "energy-reports",
+                FunctionalCategory.POWER_MONITORING,
+                "post-job energy use reports with efficiency marks",
+            )
+        ]

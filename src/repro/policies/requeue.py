@@ -1,0 +1,208 @@
+"""Requeue-after-kill and reserved job windows.
+
+Two operational behaviours from Table I that complete the RIKEN row:
+
+* **Requeue**: centers that kill jobs for power emergencies (or lose
+  them to node failures) requeue them — from scratch, or from a
+  checkpoint if the application writes them.  :class:`RequeuePolicy`
+  resubmits killed jobs as fresh copies, optionally crediting
+  checkpointed progress.
+* **Reserved windows**: "3 days for large jobs each month" — during a
+  reserved window only jobs of the designated class (queue or minimum
+  size) may start; outside it, large jobs wait.
+  :class:`ReservedWindowPolicy` implements both directions of the
+  gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.epa import FunctionalCategory
+from ..errors import PolicyError
+from ..units import DAY, check_non_negative, check_positive
+from ..workload.job import Job, JobState
+from .base import Policy
+
+
+class RequeuePolicy(Policy):
+    """Resubmit killed jobs as fresh copies.
+
+    Parameters
+    ----------
+    max_retries:
+        Per-original-job resubmission limit.
+    checkpoint_interval:
+        If set, applications checkpoint this often: the requeued copy
+        carries only the work since the last checkpoint.  ``None``
+        models restart-from-scratch.
+    reasons:
+        Only kills whose reason contains one of these substrings are
+        requeued (default: all kills).
+    delay:
+        Seconds between the kill and the resubmission.
+    """
+
+    name = "requeue"
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        checkpoint_interval: Optional[float] = None,
+        reasons: Tuple[str, ...] = (),
+        delay: float = 60.0,
+    ) -> None:
+        super().__init__()
+        if max_retries < 1:
+            raise PolicyError("max_retries must be >= 1")
+        self.max_retries = int(max_retries)
+        if checkpoint_interval is not None:
+            check_positive("checkpoint_interval", checkpoint_interval)
+        self.checkpoint_interval = checkpoint_interval
+        self.reasons = tuple(reasons)
+        self.delay = check_non_negative("delay", delay)
+        self.requeued = 0
+        self.work_salvaged = 0.0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _retry_index(job_id: str) -> Tuple[str, int]:
+        """Split ``base-rN`` ids into (base, N)."""
+        if "-r" in job_id:
+            base, _, suffix = job_id.rpartition("-r")
+            if suffix.isdigit():
+                return base, int(suffix)
+        return job_id, 0
+
+    def _matches_reason(self, reason: str) -> bool:
+        if not self.reasons:
+            return True
+        return any(token in reason for token in self.reasons)
+
+    def _remaining_work(self, job: Job) -> float:
+        """Work the requeued copy must redo."""
+        run = job.run_time or 0.0
+        done = min(run, job.work_seconds)  # conservative: speed <= 1
+        if self.checkpoint_interval is None:
+            return job.work_seconds
+        checkpointed = (done // self.checkpoint_interval) * self.checkpoint_interval
+        self.work_salvaged += checkpointed
+        return max(1.0, job.work_seconds - checkpointed)
+
+    def on_job_end(self, job: Job, now: float) -> None:
+        if job.state is not JobState.KILLED:
+            return
+        if not self._matches_reason(job.kill_reason):
+            return
+        base, retry = self._retry_index(job.job_id)
+        if retry >= self.max_retries:
+            return
+        copy = Job(
+            job_id=f"{base}-r{retry + 1}",
+            nodes=job.nodes,
+            work_seconds=self._remaining_work(job),
+            walltime_request=job.walltime_request,
+            submit_time=now + self.delay,
+            user=job.user,
+            profile=job.profile,
+            app_name=job.app_name,
+            tag=job.tag,
+            memory_gb_per_node=job.memory_gb_per_node,
+            priority=job.priority,
+            queue=job.queue,
+            moldable=job.moldable,
+        )
+        self.simulation.resubmit_job(copy)
+        self.requeued += 1
+
+    def epa_components(self) -> List[Tuple[str, FunctionalCategory, str]]:
+        mode = ("checkpointed" if self.checkpoint_interval is not None
+                else "from scratch")
+        return [(
+            "requeue",
+            FunctionalCategory.RESOURCE_CONTROL,
+            f"resubmit killed jobs {mode}, up to {self.max_retries} retries",
+        )]
+
+
+@dataclass(frozen=True)
+class ReservedWindow:
+    """One recurring reserved period."""
+
+    start: float          # first window's opening time, seconds
+    duration: float       # window length, seconds
+    period: float = 30 * DAY  # recurrence (RIKEN: monthly)
+
+    def active_at(self, time: float) -> bool:
+        """True while a window occurrence is in force."""
+        if time < self.start:
+            return False
+        phase = (time - self.start) % self.period
+        return phase < self.duration
+
+
+class ReservedWindowPolicy(Policy):
+    """Dedicate recurring windows to a class of jobs.
+
+    RIKEN: "3 days for large jobs each month."  During a window, only
+    *large* jobs (>= ``min_nodes`` or in ``reserved_queue``) may start;
+    outside the window, those jobs are held.  Small jobs fill the rest
+    of the month.
+
+    Parameters
+    ----------
+    window:
+        The recurring reservation.
+    min_nodes:
+        Jobs at least this large belong to the reserved class.
+    reserved_queue:
+        Alternatively (or additionally), jobs in this queue belong to
+        the reserved class.
+    exclusive:
+        If True (RIKEN's arrangement), small jobs may NOT start inside
+        the window either — it is dedicated capability time.
+    """
+
+    name = "reserved-windows"
+
+    def __init__(
+        self,
+        window: ReservedWindow,
+        min_nodes: int = 0,
+        reserved_queue: str = "",
+        exclusive: bool = True,
+    ) -> None:
+        super().__init__()
+        if min_nodes <= 0 and not reserved_queue:
+            raise PolicyError("need min_nodes or reserved_queue")
+        self.window = window
+        self.min_nodes = int(min_nodes)
+        self.reserved_queue = reserved_queue
+        self.exclusive = exclusive
+        self.held_large = 0
+        self.held_small = 0
+
+    def _is_reserved_class(self, job: Job) -> bool:
+        if self.min_nodes > 0 and job.nodes >= self.min_nodes:
+            return True
+        return bool(self.reserved_queue) and job.queue == self.reserved_queue
+
+    def admit(self, job: Job, now: float) -> bool:
+        in_window = self.window.active_at(now)
+        if self._is_reserved_class(job):
+            if not in_window:
+                self.held_large += 1
+            return in_window
+        if in_window and self.exclusive:
+            self.held_small += 1
+            return False
+        return True
+
+    def epa_components(self) -> List[Tuple[str, FunctionalCategory, str]]:
+        return [(
+            "reserved-windows",
+            FunctionalCategory.RESOURCE_CONTROL,
+            f"{self.window.duration / DAY:.0f}-day reserved period every "
+            f"{self.window.period / DAY:.0f} days for the large-job class",
+        )]

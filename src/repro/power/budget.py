@@ -1,0 +1,154 @@
+"""Hierarchical power budgets.
+
+The survey's framing is hierarchical by nature: a *site* power budget
+(Q2a) is divided among *systems* (Tokyo Tech's TSUBAME2/3 sharing;
+CEA shifting budget between systems), a system budget among node
+*groups* (JCAHPC's "power caps for groups of nodes via the resource
+manager"), and group budgets among *nodes* (KAUST's 270 W caps).
+
+:class:`PowerBudget` is a tree of named budgets with the invariant
+that the children of a node never reserve more than the parent's
+allocation.  Policies acquire and release wattage through it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import BudgetError
+from ..units import check_positive
+
+
+class PowerBudget:
+    """One node of a power-budget tree.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the tree.
+    limit_watts:
+        Wattage allocated to this budget.
+    parent:
+        Parent budget; the root has none.  Creating a child reserves
+        its limit from the parent's headroom.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        limit_watts: float,
+        parent: Optional["PowerBudget"] = None,
+    ) -> None:
+        self.name = str(name)
+        self.limit_watts = check_positive("limit_watts", limit_watts)
+        self.parent = parent
+        self.children: Dict[str, PowerBudget] = {}
+        self._reserved = 0.0  # direct reservations, excl. children limits
+        if parent is not None:
+            parent._attach(self)
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+    def _attach(self, child: "PowerBudget") -> None:
+        if child.name in self.children:
+            raise BudgetError(f"budget {self.name!r} already has child {child.name!r}")
+        if child.limit_watts > self.headroom + 1e-9:
+            raise BudgetError(
+                f"child {child.name!r} wants {child.limit_watts:.0f} W but "
+                f"parent {self.name!r} has only {self.headroom:.0f} W headroom"
+            )
+        self.children[child.name] = child
+
+    def subdivide(self, name: str, limit_watts: float) -> "PowerBudget":
+        """Create and return a child budget of *limit_watts*."""
+        return PowerBudget(name, limit_watts, parent=self)
+
+    def resize(self, new_limit: float) -> None:
+        """Change this budget's limit.
+
+        Shrinking below current commitments, or growing beyond the
+        parent's headroom, raises :class:`BudgetError`.  This is the
+        primitive behind CEA's "shift power budget between systems".
+        """
+        new_limit = check_positive("new_limit", new_limit)
+        if new_limit < self.committed - 1e-9:
+            raise BudgetError(
+                f"budget {self.name!r}: cannot shrink to {new_limit:.0f} W "
+                f"below committed {self.committed:.0f} W"
+            )
+        if self.parent is not None:
+            delta = new_limit - self.limit_watts
+            if delta > self.parent.headroom + 1e-9:
+                raise BudgetError(
+                    f"budget {self.name!r}: parent {self.parent.name!r} lacks "
+                    f"{delta:.0f} W headroom"
+                )
+        self.limit_watts = new_limit
+
+    # ------------------------------------------------------------------
+    # Reservations
+    # ------------------------------------------------------------------
+    @property
+    def committed(self) -> float:
+        """Watts committed: direct reservations + children's limits."""
+        return self._reserved + sum(c.limit_watts for c in self.children.values())
+
+    @property
+    def headroom(self) -> float:
+        """Uncommitted watts available in this budget."""
+        return self.limit_watts - self.committed
+
+    @property
+    def reserved(self) -> float:
+        """Directly reserved watts (excluding children)."""
+        return self._reserved
+
+    def reserve(self, watts: float) -> None:
+        """Reserve *watts* from this budget's headroom."""
+        if watts < 0:
+            raise BudgetError(f"cannot reserve negative watts ({watts})")
+        if watts > self.headroom + 1e-9:
+            raise BudgetError(
+                f"budget {self.name!r}: reserving {watts:.0f} W exceeds "
+                f"headroom {self.headroom:.0f} W"
+            )
+        self._reserved += watts
+
+    def release(self, watts: float) -> None:
+        """Return previously reserved watts."""
+        if watts < 0:
+            raise BudgetError(f"cannot release negative watts ({watts})")
+        if watts > self._reserved + 1e-9:
+            raise BudgetError(
+                f"budget {self.name!r}: releasing {watts:.0f} W but only "
+                f"{self._reserved:.0f} W reserved"
+            )
+        self._reserved = max(0.0, self._reserved - watts)
+
+    def can_reserve(self, watts: float) -> bool:
+        """True if :meth:`reserve` would succeed."""
+        return 0 <= watts <= self.headroom + 1e-9
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["PowerBudget"]:
+        """Yield this budget and all descendants, depth-first."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def find(self, name: str) -> "PowerBudget":
+        """Find a budget by name in this subtree."""
+        for b in self.walk():
+            if b.name == name:
+                return b
+        raise BudgetError(f"no budget named {name!r} under {self.name!r}")
+
+    def validate(self) -> None:
+        """Assert the tree invariant everywhere (used by tests)."""
+        for b in self.walk():
+            if b.committed > b.limit_watts + 1e-6:
+                raise BudgetError(
+                    f"budget {b.name!r} over-committed: "
+                    f"{b.committed:.1f} W > {b.limit_watts:.1f} W"
+                )

@@ -1,0 +1,84 @@
+"""Discrete DVFS frequency ladders (P-states).
+
+Real processors expose a discrete set of frequency/voltage operating
+points rather than a continuum.  CEA's research item ("investigating
+with BULL power capping and DVFS") and the Etinski line of work
+([18], [19]) operate on such ladders; this class provides the discrete
+counterpart to the continuous model in :mod:`repro.power.model`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+
+class FrequencyLadder:
+    """An ordered set of admissible operating frequencies (Hz).
+
+    Frequencies are stored ascending.  Helpers map between target
+    frequencies, caps and ladder steps.
+    """
+
+    def __init__(self, frequencies: Sequence[float]) -> None:
+        freqs = sorted(float(f) for f in frequencies)
+        if not freqs:
+            raise ConfigurationError("frequency ladder cannot be empty")
+        if freqs[0] <= 0:
+            raise ConfigurationError("frequencies must be positive")
+        if len(set(freqs)) != len(freqs):
+            raise ConfigurationError("frequency ladder has duplicates")
+        self.frequencies: List[float] = freqs
+
+    @classmethod
+    def linear(cls, f_min: float, f_max: float, steps: int) -> "FrequencyLadder":
+        """Evenly spaced ladder of *steps* points from f_min to f_max."""
+        if steps < 1:
+            raise ConfigurationError("ladder needs >= 1 step")
+        if steps == 1:
+            return cls([f_max])
+        if f_min >= f_max:
+            raise ConfigurationError("f_min must be < f_max")
+        span = f_max - f_min
+        return cls([f_min + span * i / (steps - 1) for i in range(steps)])
+
+    def __len__(self) -> int:
+        return len(self.frequencies)
+
+    @property
+    def f_min(self) -> float:
+        """Lowest admissible frequency."""
+        return self.frequencies[0]
+
+    @property
+    def f_max(self) -> float:
+        """Highest admissible frequency."""
+        return self.frequencies[-1]
+
+    def clamp(self, frequency: float) -> float:
+        """Snap *frequency* to the nearest ladder point at or below it.
+
+        Frequencies below the ladder floor snap to the floor (you can
+        always run at least that slow), mirroring how governors round
+        requested frequencies down to an admissible P-state.
+        """
+        best = self.frequencies[0]
+        for f in self.frequencies:
+            if f <= frequency:
+                best = f
+            else:
+                break
+        return best
+
+    def step_down(self, frequency: float) -> float:
+        """Next ladder point strictly below *frequency* (or the floor)."""
+        candidates = [f for f in self.frequencies if f < frequency]
+        return candidates[-1] if candidates else self.f_min
+
+    def step_up(self, frequency: float) -> float:
+        """Next ladder point strictly above *frequency* (or the ceiling)."""
+        for f in self.frequencies:
+            if f > frequency:
+                return f
+        return self.f_max

@@ -1,0 +1,39 @@
+"""Facility-level power: IT load plus cooling overhead.
+
+Combines a site's cooling model and ambient model into the single
+quantity facility operators (and the survey's Q2) care about: total
+wall power.  LRZ's research item — a scheduler that "may delay jobs
+when IT infrastructure is particularly inefficient" — is driven by the
+instantaneous PUE this model exposes.
+"""
+
+from __future__ import annotations
+
+from ..cluster.site import Site
+
+
+class FacilityPowerModel:
+    """Total-facility power as a function of IT load and time."""
+
+    def __init__(self, site: Site) -> None:
+        self.site = site
+
+    def total_watts(self, it_watts: float, time: float) -> float:
+        """IT load plus cooling overhead at *time*, watts."""
+        ambient = self.site.ambient.temperature(time)
+        return it_watts + self.site.cooling.overhead_watts(it_watts, ambient)
+
+    def pue(self, time: float) -> float:
+        """Instantaneous PUE at *time* (load-independent in this model)."""
+        return self.site.cooling.pue(self.site.ambient.temperature(time))
+
+    def efficient_now(self, time: float, pue_threshold: float = 1.25) -> bool:
+        """True when the instantaneous PUE beats *pue_threshold*.
+
+        The predicate LRZ-style infrastructure-aware delaying consults.
+        """
+        return self.pue(time) <= pue_threshold
+
+    def budget_compliant(self, it_watts: float, time: float) -> bool:
+        """True if IT + cooling fits the site's facility budget."""
+        return self.total_watts(it_watts, time) <= self.site.facility.power_budget_watts

@@ -1,0 +1,114 @@
+"""RAPL-style running-average power limiting.
+
+Intel's Running Average Power Limit (David et al., ISLPED'10, cited as
+[13]) enforces a *time-window averaged* power limit in hardware: short
+excursions above the limit are allowed as long as the average over the
+window stays at or below it.  Several surveyed works combine RAPL with
+job scheduling ([8], [17] — Ellsworth's dynamic power sharing).
+
+:class:`RaplDomain` tracks a power-sample history per node and answers
+the question the enforcement logic needs: *given the recent history,
+how much may this node draw right now without breaking the windowed
+limit?*
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..errors import PowerCapError
+from ..units import check_positive
+
+
+class RaplDomain:
+    """A windowed power limit over one node (package) domain.
+
+    Parameters
+    ----------
+    limit_watts:
+        The running-average limit, or ``None`` for unlimited.
+    window_seconds:
+        Averaging window length (real RAPL windows are milliseconds to
+        seconds; scheduler-level emulations use tens of seconds).
+    """
+
+    def __init__(self, limit_watts: Optional[float] = None, window_seconds: float = 10.0) -> None:
+        self.window_seconds = check_positive("window_seconds", window_seconds)
+        self.limit_watts: Optional[float] = None
+        if limit_watts is not None:
+            self.set_limit(limit_watts)
+        # (timestamp, watts) samples, oldest first.
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def set_limit(self, limit_watts: Optional[float]) -> None:
+        """Install (or clear, with None) the running-average limit."""
+        if limit_watts is not None and limit_watts <= 0:
+            raise PowerCapError(f"RAPL limit must be > 0, got {limit_watts}")
+        self.limit_watts = limit_watts
+
+    # ------------------------------------------------------------------
+    def record(self, time: float, watts: float) -> None:
+        """Record an observed power sample and age out old ones."""
+        self._samples.append((float(time), float(watts)))
+        horizon = time - self.window_seconds
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def window_energy(self, now: float) -> float:
+        """Energy recorded in the trailing window, joules.
+
+        Sample-and-hold integration over [now - W, now]; time before
+        the first recorded sample contributes nothing (the energy-bank
+        view of RAPL: the window's budget is ``L x W`` joules).
+        """
+        if not self._samples:
+            return 0.0
+        start = now - self.window_seconds
+        energy = 0.0
+        samples = list(self._samples)
+        for i, (t, w) in enumerate(samples):
+            seg_start = max(t, start)
+            seg_end = samples[i + 1][0] if i + 1 < len(samples) else now
+            seg_end = max(seg_end, seg_start)
+            energy += w * (seg_end - seg_start)
+        return energy
+
+    def window_average(self, now: float) -> float:
+        """Running-average power over the *full* window length.
+
+        This is the quantity RAPL enforces: recorded energy divided by
+        the window length W, so a short burst inside an otherwise quiet
+        window is cheap — the defining difference from a static cap.
+        """
+        return self.window_energy(now) / self.window_seconds
+
+    def allowance(self, now: float) -> float:
+        """Constant draw sustainable to the end of the current window.
+
+        With budget ``L x W`` joules and *E* already spent over the
+        covered portion of length *D*, the remaining ``W - D`` seconds
+        may draw ``(L x W - E)/(W - D)`` watts.  Once the window is
+        fully covered the steady-state allowance is ``L + (L - avg)``
+        (credit from a quiet recent past, debt from a loud one).
+        Unlimited domains return infinity.
+        """
+        if self.limit_watts is None:
+            return float("inf")
+        budget = self.limit_watts * self.window_seconds
+        energy = self.window_energy(now)
+        if not self._samples:
+            return self.limit_watts
+        window_start = now - self.window_seconds
+        covered = now - max(self._samples[0][0], window_start)
+        remaining = self.window_seconds - covered
+        if remaining <= 1e-9:
+            avg = self.window_average(now)
+            return max(0.0, 2.0 * self.limit_watts - avg)
+        return max(0.0, (budget - energy) / remaining)
+
+    def compliant(self, now: float) -> bool:
+        """True if the running window average is within the limit."""
+        if self.limit_watts is None:
+            return True
+        return self.window_average(now) <= self.limit_watts * (1.0 + 1e-9)

@@ -1,0 +1,32 @@
+"""Prediction substrate: job power, runtime, node temperature.
+
+"A very important aspect for energy and power aware job schedulers
+... is knowledge of an application's features before its execution"
+(Section VI).  The surveyed approaches: tag/history averaging ([4],
+[40]), machine-learning on submission features ([9], [41] — the
+CINECA/Bologna line: "scalable power monitoring, used to predict
+per-job power use and ... predictive models for node power and
+temperature evolution"), and RIKEN's temperature-based pre-run
+estimates.
+"""
+
+from .features import job_features, FEATURE_NAMES
+from .power_predictor import (
+    LinearPowerPredictor,
+    PredictorMetrics,
+    TagHistoryPredictor,
+    evaluate_predictor,
+)
+from .runtime_predictor import UserRuntimePredictor
+from .thermal_model import NodeThermalModel
+
+__all__ = [
+    "FEATURE_NAMES",
+    "LinearPowerPredictor",
+    "NodeThermalModel",
+    "PredictorMetrics",
+    "TagHistoryPredictor",
+    "UserRuntimePredictor",
+    "evaluate_predictor",
+    "job_features",
+]

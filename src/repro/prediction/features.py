@@ -1,0 +1,53 @@
+"""Feature extraction from job submissions.
+
+Only information available *at submission time* may be used (the whole
+point of pre-run prediction): requested nodes, requested walltime, the
+queue, and the user/tag identity.  Identities enter as stable hashes
+so the regression can pick up per-community offsets without a learned
+embedding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import List
+
+import numpy as np
+
+from ..workload.job import Job
+
+#: Order of features produced by :func:`job_features`.
+FEATURE_NAMES: List[str] = [
+    "intercept",
+    "log2_nodes",
+    "log_walltime",
+    "user_hash",
+    "tag_hash",
+    "queue_hash",
+]
+
+
+def _unit_hash(text: str) -> float:
+    """Deterministic hash of *text* into [0, 1)."""
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:4], "little") / 2**32
+
+
+def job_features(job: Job) -> np.ndarray:
+    """Submission-time feature vector of one job (see FEATURE_NAMES)."""
+    return np.array(
+        [
+            1.0,
+            math.log2(max(job.nodes, 1)),
+            math.log(max(job.walltime_request, 1.0)),
+            _unit_hash(job.user),
+            _unit_hash(job.tag or job.app_name),
+            _unit_hash(job.queue),
+        ]
+    )
+
+
+def feature_matrix(jobs) -> np.ndarray:
+    """Stack feature vectors for a job collection (n_jobs x n_features)."""
+    return np.vstack([job_features(j) for j in jobs]) if jobs else np.empty((0, len(FEATURE_NAMES)))

@@ -1,0 +1,182 @@
+"""Per-job power prediction.
+
+Two predictor families from the survey's related work:
+
+* :class:`TagHistoryPredictor` — "application's tag, historical data"
+  ([4], [40]): remember the measured per-node power of finished jobs
+  keyed by tag, fall back tag -> app -> global mean;
+* :class:`LinearPowerPredictor` — "machine learning techniques and job
+  submission information" ([9], [41]): online ridge regression of
+  per-node power on submission features.
+
+Both share the interface the scheduling policies consume:
+``predict(job) -> total watts`` and ``observe(job, measured)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..workload.job import Job
+from .features import job_features
+
+
+class TagHistoryPredictor:
+    """History averaging keyed by tag, with app and global fallbacks.
+
+    Parameters
+    ----------
+    default_per_node_watts:
+        Cold-start estimate used before any observation (set it to the
+        machine's nominal busy power per node).
+    ewma:
+        Exponential weight of the newest observation (1.0 = last value
+        wins, small = long memory).
+    """
+
+    def __init__(self, default_per_node_watts: float, ewma: float = 0.3) -> None:
+        if not (0.0 < ewma <= 1.0):
+            raise PredictionError(f"ewma must be in (0,1], got {ewma}")
+        self.default = float(default_per_node_watts)
+        self.ewma = float(ewma)
+        self._by_tag: Dict[str, float] = {}
+        self._by_app: Dict[str, float] = {}
+        self._global: Optional[float] = None
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def predict_per_node(self, job: Job) -> float:
+        """Predicted per-node power, watts."""
+        tag = job.tag or job.app_name
+        if tag in self._by_tag:
+            return self._by_tag[tag]
+        if job.app_name in self._by_app:
+            return self._by_app[job.app_name]
+        if self._global is not None:
+            return self._global
+        return self.default
+
+    def predict(self, job: Job) -> float:
+        """Predicted total job power, watts."""
+        return job.nodes * self.predict_per_node(job)
+
+    def observe(self, job: Job, measured_total_watts: float) -> None:
+        """Feed back a finished job's measured average power."""
+        if job.nodes <= 0:
+            return
+        per_node = measured_total_watts / job.nodes
+        tag = job.tag or job.app_name
+        for store, key in ((self._by_tag, tag), (self._by_app, job.app_name)):
+            old = store.get(key)
+            store[key] = per_node if old is None else (
+                (1 - self.ewma) * old + self.ewma * per_node
+            )
+        self._global = per_node if self._global is None else (
+            (1 - self.ewma) * self._global + self.ewma * per_node
+        )
+        self.observations += 1
+
+
+class LinearPowerPredictor:
+    """Online ridge regression of per-node power on submission features.
+
+    Refits (closed form, numpy) every *refit_every* observations; until
+    the first fit it behaves like the provided fallback (or a constant).
+    """
+
+    def __init__(
+        self,
+        default_per_node_watts: float,
+        ridge: float = 1.0,
+        refit_every: int = 25,
+        max_history: int = 5000,
+    ) -> None:
+        if ridge < 0:
+            raise PredictionError("ridge must be >= 0")
+        if refit_every < 1:
+            raise PredictionError("refit_every must be >= 1")
+        self.default = float(default_per_node_watts)
+        self.ridge = float(ridge)
+        self.refit_every = int(refit_every)
+        self.max_history = int(max_history)
+        self._X: List[np.ndarray] = []
+        self._y: List[float] = []
+        self.coef: Optional[np.ndarray] = None
+        self.observations = 0
+
+    def predict_per_node(self, job: Job) -> float:
+        """Predicted per-node power, watts (clipped to be positive)."""
+        if self.coef is None:
+            return self.default
+        value = float(job_features(job) @ self.coef)
+        return max(1.0, value)
+
+    def predict(self, job: Job) -> float:
+        """Predicted total job power, watts."""
+        return job.nodes * self.predict_per_node(job)
+
+    def observe(self, job: Job, measured_total_watts: float) -> None:
+        """Record one observation; refit on schedule."""
+        if job.nodes <= 0:
+            return
+        self._X.append(job_features(job))
+        self._y.append(measured_total_watts / job.nodes)
+        if len(self._X) > self.max_history:
+            self._X = self._X[-self.max_history :]
+            self._y = self._y[-self.max_history :]
+        self.observations += 1
+        if self.observations % self.refit_every == 0:
+            self._fit()
+
+    def _fit(self) -> None:
+        X = np.vstack(self._X)
+        y = np.asarray(self._y)
+        n_features = X.shape[1]
+        A = X.T @ X + self.ridge * np.eye(n_features)
+        b = X.T @ y
+        self.coef = np.linalg.solve(A, b)
+
+
+@dataclass(frozen=True)
+class PredictorMetrics:
+    """Accuracy summary of a predictor over a labelled set."""
+
+    count: int
+    mape: float
+    rmse_watts: float
+    mean_bias_watts: float
+
+
+def evaluate_predictor(
+    predictor,
+    labelled: Iterable[Tuple[Job, float]],
+) -> PredictorMetrics:
+    """Score ``predictor`` against (job, measured_total_watts) pairs.
+
+    Does not feed observations back; evaluate-then-observe loops are
+    the caller's responsibility (so online and offline evaluation are
+    both expressible).
+    """
+    errors = []
+    preds = []
+    actuals = []
+    for job, measured in labelled:
+        pred = predictor.predict(job)
+        preds.append(pred)
+        actuals.append(measured)
+        if measured > 0:
+            errors.append(abs(pred - measured) / measured)
+    if not actuals:
+        return PredictorMetrics(0, 0.0, 0.0, 0.0)
+    preds_a = np.asarray(preds)
+    actual_a = np.asarray(actuals)
+    return PredictorMetrics(
+        count=len(actuals),
+        mape=float(np.mean(errors)) if errors else 0.0,
+        rmse_watts=float(np.sqrt(np.mean((preds_a - actual_a) ** 2))),
+        mean_bias_watts=float(np.mean(preds_a - actual_a)),
+    )

@@ -1,0 +1,51 @@
+"""Runtime prediction from user estimates.
+
+Mu'alem & Feitelson [35] established that user walltime requests
+over-estimate real runtimes by large, user-specific factors.  The
+standard correction — learn each user's historical (actual/requested)
+ratio and scale their requests — improves backfilling and gives
+energy predictors a better runtime term (energy = power x time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import PredictionError
+from ..workload.job import Job
+
+
+class UserRuntimePredictor:
+    """Per-user walltime-request correction via EWMA accuracy ratios."""
+
+    def __init__(self, ewma: float = 0.25, floor_ratio: float = 0.01) -> None:
+        if not (0.0 < ewma <= 1.0):
+            raise PredictionError(f"ewma must be in (0,1], got {ewma}")
+        self.ewma = float(ewma)
+        self.floor_ratio = float(floor_ratio)
+        self._ratio_by_user: Dict[str, float] = {}
+        self.observations = 0
+
+    def predict(self, job: Job) -> float:
+        """Predicted runtime, seconds (never above the request)."""
+        ratio = self._ratio_by_user.get(job.user, 1.0)
+        return min(job.walltime_request, max(
+            job.walltime_request * ratio,
+            job.walltime_request * self.floor_ratio,
+        ))
+
+    def observe(self, job: Job) -> None:
+        """Learn from a finished job's actual runtime."""
+        run = job.run_time
+        if run is None or job.walltime_request <= 0:
+            return
+        ratio = min(1.0, run / job.walltime_request)
+        old = self._ratio_by_user.get(job.user)
+        self._ratio_by_user[job.user] = ratio if old is None else (
+            (1 - self.ewma) * old + self.ewma * ratio
+        )
+        self.observations += 1
+
+    def ratio_for(self, user: str) -> Optional[float]:
+        """The learned accuracy ratio of *user*, if any."""
+        return self._ratio_by_user.get(user)

@@ -1,0 +1,89 @@
+"""Node temperature evolution — the CINECA/Bologna predictive model.
+
+Table II, CINECA research: "Scalable power monitoring, used to predict
+per-job power use and used to generate predictive models for node
+power and temperature evolution (with University of Bologna)."
+
+A first-order RC thermal model per node:
+
+    ``tau · dT/dt = (T_ambient + R_th·P) - T``
+
+The steady state under power P is ``T_ambient + R_th·P``; *tau* is
+the thermal time constant.  The closed-form step makes long simulated
+intervals exact (no numerical integration error):
+
+    ``T(t+dt) = T_ss + (T(t) - T_ss)·exp(-dt/tau)``
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import PredictionError
+from ..units import check_positive
+
+
+class NodeThermalModel:
+    """First-order RC thermal model of one node.
+
+    Parameters
+    ----------
+    r_thermal:
+        Thermal resistance, Kelvin per watt (typical node: ~0.1 K/W).
+    tau:
+        Thermal time constant, seconds (typical: a few hundred).
+    initial_temperature:
+        Starting temperature, Celsius.
+    t_max:
+        Throttle/alarm threshold, Celsius.
+    """
+
+    def __init__(
+        self,
+        r_thermal: float = 0.1,
+        tau: float = 300.0,
+        initial_temperature: float = 30.0,
+        t_max: float = 85.0,
+    ) -> None:
+        self.r_thermal = check_positive("r_thermal", r_thermal)
+        self.tau = check_positive("tau", tau)
+        self.temperature = float(initial_temperature)
+        self.t_max = float(t_max)
+
+    def steady_state(self, power_watts: float, ambient_c: float) -> float:
+        """Equilibrium temperature under constant power and ambient."""
+        return ambient_c + self.r_thermal * power_watts
+
+    def step(self, dt: float, power_watts: float, ambient_c: float) -> float:
+        """Advance the model *dt* seconds; returns the new temperature."""
+        if dt < 0:
+            raise PredictionError(f"dt must be >= 0, got {dt}")
+        t_ss = self.steady_state(power_watts, ambient_c)
+        self.temperature = t_ss + (self.temperature - t_ss) * math.exp(-dt / self.tau)
+        return self.temperature
+
+    def predict(self, horizon: float, power_watts: float, ambient_c: float) -> float:
+        """Temperature *horizon* seconds ahead, without mutating state."""
+        if horizon < 0:
+            raise PredictionError(f"horizon must be >= 0, got {horizon}")
+        t_ss = self.steady_state(power_watts, ambient_c)
+        return t_ss + (self.temperature - t_ss) * math.exp(-horizon / self.tau)
+
+    def time_to_threshold(self, power_watts: float, ambient_c: float) -> float:
+        """Seconds until ``t_max`` under constant conditions.
+
+        Returns ``inf`` if the steady state stays below the threshold,
+        0 if already above it.
+        """
+        if self.temperature >= self.t_max:
+            return 0.0
+        t_ss = self.steady_state(power_watts, ambient_c)
+        if t_ss <= self.t_max:
+            return float("inf")
+        # Solve t_max = t_ss + (T0 - t_ss)·exp(-t/tau).
+        frac = (self.t_max - t_ss) / (self.temperature - t_ss)
+        return -self.tau * math.log(frac)
+
+    def would_throttle(self, power_watts: float, ambient_c: float) -> bool:
+        """True if sustained operation would eventually cross t_max."""
+        return self.steady_state(power_watts, ambient_c) > self.t_max

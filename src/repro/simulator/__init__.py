@@ -1,0 +1,23 @@
+"""Discrete-event simulation engine.
+
+This is the bottom-most substrate: a deterministic event-driven
+simulator with a monotonic clock, cancellable event handles, periodic
+processes, named seeded random-number streams and a structured trace
+recorder.  Everything above (cluster, power, scheduling) is written as
+callbacks scheduled on this engine.
+"""
+
+from .engine import EventHandle, Simulator
+from .events import Event, EventPriority
+from .rng import RngStreams
+from .trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "EventPriority",
+    "RngStreams",
+    "Simulator",
+    "TraceRecord",
+    "TraceRecorder",
+]

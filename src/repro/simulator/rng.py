@@ -1,0 +1,63 @@
+"""Named, reproducible random-number streams.
+
+Every stochastic component (arrival process, runtime draw, power noise,
+manufacturing variability, prediction error, ...) draws from its own
+named stream so that adding randomness to one component never perturbs
+another — the classic variance-reduction discipline for simulation
+studies.  Streams are derived from a single root seed with
+``numpy.random.SeedSequence.spawn``-style key derivation, so the whole
+framework is reproducible bit-for-bit from one integer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RngStreams:
+    """Factory of independent named :class:`numpy.random.Generator` streams.
+
+    Examples
+    --------
+    >>> rng = RngStreams(seed=42)
+    >>> arrivals = rng.stream("arrivals")
+    >>> runtimes = rng.stream("runtimes")
+    >>> float(arrivals.random()) != float(runtimes.random())
+    True
+    >>> RngStreams(42).stream("arrivals").random() == RngStreams(42).stream("arrivals").random()
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """Root seed this stream family derives from."""
+        return self._seed
+
+    def _derive_key(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for *name*, creating it on first use.
+
+        The same name always maps to the same generator object, so a
+        component can re-fetch its stream without losing its position.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(
+                np.random.SeedSequence([self._seed, self._derive_key(name)])
+            )
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, name: str) -> "RngStreams":
+        """Create a child family keyed under *name* (e.g. per replica)."""
+        return RngStreams(self._derive_key(name))

@@ -1,0 +1,94 @@
+"""Structured trace recording.
+
+A :class:`TraceRecorder` is an append-only log of typed records emitted
+by any component.  It is the simulation-side analogue of the long-term
+monitoring archives the surveyed centers maintain (STFC: "continuously
+collecting power and energy system monitoring info, data center,
+machine, and job levels") — analyses are run over the trace after the
+simulation, never by reaching into live objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the record, seconds.
+    category:
+        Dotted topic string, e.g. ``"job.start"``, ``"power.cap"``.
+    data:
+        Arbitrary payload; by convention a flat ``dict`` of primitives.
+    """
+
+    time: float
+    category: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only, queryable trace log.
+
+    Categories are dotted paths; queries match by exact category or by
+    prefix (``"job"`` matches ``"job.start"`` and ``"job.end"``).
+    Optional live subscribers receive records as they are emitted —
+    used by telemetry aggregators and by tests.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def emit(self, time: float, category: str, **data: Any) -> None:
+        """Record an event at *time* under *category* with payload *data*."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time, category, data)
+        self._records.append(record)
+        for sub in self._subscribers:
+            sub(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Register a live subscriber invoked for every new record."""
+        self._subscribers.append(callback)
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        """Return records, optionally filtered by category prefix."""
+        if category is None:
+            return list(self._records)
+        prefix = category + "."
+        return [
+            r
+            for r in self._records
+            if r.category == category or r.category.startswith(prefix)
+        ]
+
+    def iter_between(
+        self, start: float, end: float, category: Optional[str] = None
+    ) -> Iterator[TraceRecord]:
+        """Yield records with ``start <= time < end`` (prefix-filtered)."""
+        prefix = None if category is None else category + "."
+        for r in self._records:
+            if not (start <= r.time < end):
+                continue
+            if category is None or r.category == category or r.category.startswith(prefix):  # type: ignore[arg-type]
+                yield r
+
+    def count(self, category: Optional[str] = None) -> int:
+        """Number of records under *category* (prefix match)."""
+        return len(self.records(category))
+
+    def clear(self) -> None:
+        """Drop all records (subscribers stay registered)."""
+        self._records.clear()

@@ -1,0 +1,67 @@
+"""The survey itself: questionnaire, center data, and analysis.
+
+This package encodes the paper's primary content as typed data:
+
+* the full eight-question questionnaire with its rationale
+  (Section IV) — :mod:`repro.survey.questionnaire`;
+* the nine participating centers with geography (Section III,
+  Figure 2) — :mod:`repro.survey.model`, :mod:`repro.survey.data`,
+  :mod:`repro.survey.geography`;
+* the three-part selection test and the 11 -> 9 funnel
+  (Section III) — :mod:`repro.survey.selection`;
+* the capability matrix of Tables I and II —
+  :mod:`repro.survey.matrix`;
+* the Figure-1 component-interaction graph —
+  :mod:`repro.survey.components`;
+* the cross-center analysis the paper announces as next steps —
+  :mod:`repro.survey.analysis`.
+"""
+
+from .taxonomy import Technique, TECHNIQUE_DESCRIPTIONS
+from .model import (
+    Activity,
+    CenterProfile,
+    MaturityStage,
+    SurveyResponse,
+)
+from .questionnaire import QUESTIONNAIRE, Question
+from .data import (
+    all_center_slugs,
+    center_profile,
+    survey_responses,
+    PARTICIPATING_CENTERS,
+    IDENTIFIED_NOT_PARTICIPATING,
+)
+from .matrix import CapabilityMatrix, build_capability_matrix
+from .geography import Region, map_points, regional_distribution
+from .components import build_component_graph, verify_component_graph
+from .selection import SelectionCriteria, selection_funnel
+from .analysis import SurveyAnalysis
+from .report import render_survey_report
+
+__all__ = [
+    "Activity",
+    "CapabilityMatrix",
+    "CenterProfile",
+    "IDENTIFIED_NOT_PARTICIPATING",
+    "MaturityStage",
+    "PARTICIPATING_CENTERS",
+    "QUESTIONNAIRE",
+    "Question",
+    "Region",
+    "SelectionCriteria",
+    "SurveyAnalysis",
+    "SurveyResponse",
+    "TECHNIQUE_DESCRIPTIONS",
+    "Technique",
+    "all_center_slugs",
+    "build_capability_matrix",
+    "build_component_graph",
+    "center_profile",
+    "map_points",
+    "regional_distribution",
+    "render_survey_report",
+    "selection_funnel",
+    "survey_responses",
+    "verify_component_graph",
+]

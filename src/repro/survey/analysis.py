@@ -1,0 +1,171 @@
+"""Cross-center analysis — the work the paper announces as next steps.
+
+Section VII: the detailed analysis "will not only explore each site's
+response ... but will also identify common themes in the responses as
+well as identify any particularly noteworthy approaches".  This module
+computes those artifacts from the typed survey data:
+
+* technique adoption counts by maturity stage;
+* common themes (techniques adopted by >= k centers);
+* unique approaches (techniques only one center has);
+* pairwise center similarity (Jaccard over technique sets) and a
+  hierarchical clustering (scipy) of the centers;
+* the research-vs-production gap Section VI highlights;
+* vendor-engagement statistics (Q5's purpose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.cluster import hierarchy
+from scipy.spatial.distance import squareform
+
+from .data import survey_responses
+from .model import MaturityStage, SurveyResponse
+from .taxonomy import Technique
+
+
+@dataclass(frozen=True)
+class AdoptionRecord:
+    """Adoption of one technique across the nine centers."""
+
+    technique: Technique
+    research: Tuple[str, ...]
+    tech_dev: Tuple[str, ...]
+    production: Tuple[str, ...]
+
+    @property
+    def total_centers(self) -> int:
+        """Distinct centers exhibiting the technique at any stage."""
+        return len(set(self.research) | set(self.tech_dev) | set(self.production))
+
+
+class SurveyAnalysis:
+    """All derived statistics over the survey responses."""
+
+    def __init__(self, responses: Sequence[SurveyResponse] = ()) -> None:
+        self.responses: List[SurveyResponse] = (
+            list(responses) if responses else survey_responses()
+        )
+        self.centers = [r.profile.slug for r in self.responses]
+
+    # ------------------------------------------------------------------
+    # Adoption
+    # ------------------------------------------------------------------
+    def adoption(self) -> List[AdoptionRecord]:
+        """Per-technique adoption lists, sorted by total adoption."""
+        records = []
+        for technique in Technique:
+            stages: Dict[MaturityStage, List[str]] = {s: [] for s in MaturityStage}
+            for response in self.responses:
+                for stage in MaturityStage:
+                    if any(
+                        technique in a.techniques
+                        for a in response.by_stage(stage)
+                    ):
+                        stages[stage].append(response.profile.slug)
+            records.append(
+                AdoptionRecord(
+                    technique,
+                    tuple(stages[MaturityStage.RESEARCH]),
+                    tuple(stages[MaturityStage.TECH_DEV]),
+                    tuple(stages[MaturityStage.PRODUCTION]),
+                )
+            )
+        records.sort(key=lambda r: (-r.total_centers, r.technique.name))
+        return records
+
+    def common_themes(self, min_centers: int = 3) -> List[AdoptionRecord]:
+        """Techniques adopted by at least *min_centers* centers."""
+        return [r for r in self.adoption() if r.total_centers >= min_centers]
+
+    def unique_approaches(self) -> List[AdoptionRecord]:
+        """Techniques exactly one center exhibits ("noteworthy")."""
+        return [r for r in self.adoption() if r.total_centers == 1]
+
+    def production_adoption_counts(self) -> Dict[Technique, int]:
+        """Centers with each technique in production."""
+        return {r.technique: len(r.production) for r in self.adoption()}
+
+    # ------------------------------------------------------------------
+    # Similarity and clustering
+    # ------------------------------------------------------------------
+    def similarity_matrix(self) -> Tuple[np.ndarray, List[str]]:
+        """Pairwise Jaccard similarity of center technique sets."""
+        sets = [r.techniques() for r in self.responses]
+        n = len(sets)
+        matrix = np.eye(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                union = sets[i] | sets[j]
+                inter = sets[i] & sets[j]
+                sim = len(inter) / len(union) if union else 1.0
+                matrix[i, j] = matrix[j, i] = sim
+        return matrix, list(self.centers)
+
+    def cluster_centers(self, num_clusters: int = 3) -> Dict[str, int]:
+        """Hierarchical (average-linkage) clustering of the centers.
+
+        Returns slug -> cluster label (1-based).
+        """
+        sim, centers = self.similarity_matrix()
+        distance = 1.0 - sim
+        np.fill_diagonal(distance, 0.0)
+        condensed = squareform(distance, checks=False)
+        linkage = hierarchy.linkage(condensed, method="average")
+        labels = hierarchy.fcluster(linkage, t=num_clusters, criterion="maxclust")
+        return dict(zip(centers, (int(l) for l in labels)))
+
+    def most_similar_pair(self) -> Tuple[str, str, float]:
+        """The two most similar centers and their Jaccard score."""
+        sim, centers = self.similarity_matrix()
+        n = len(centers)
+        best = (centers[0], centers[1], -1.0)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if sim[i, j] > best[2]:
+                    best = (centers[i], centers[j], float(sim[i, j]))
+        return best
+
+    # ------------------------------------------------------------------
+    # Gap and vendor statistics
+    # ------------------------------------------------------------------
+    def research_production_gap(self) -> Dict[str, List[Technique]]:
+        """Techniques researched somewhere but in production nowhere.
+
+        The "gap between research and current practice" of Section VI.
+        """
+        adoption = self.adoption()
+        gap = [
+            r.technique
+            for r in adoption
+            if (r.research or r.tech_dev) and not r.production
+        ]
+        in_production = [r.technique for r in adoption if r.production]
+        return {"research_only": gap, "reached_production": in_production}
+
+    def vendor_engagement(self) -> Dict[str, List[str]]:
+        """Partner -> centers naming them (Q5's vendor signal)."""
+        engagement: Dict[str, List[str]] = {}
+        for response in self.responses:
+            for partner in response.partners():
+                engagement.setdefault(partner, []).append(response.profile.slug)
+        return dict(sorted(engagement.items(), key=lambda kv: (-len(kv[1]), kv[0])))
+
+    def stage_counts(self) -> Dict[MaturityStage, int]:
+        """Total activity count per maturity stage."""
+        counts = {stage: 0 for stage in MaturityStage}
+        for response in self.responses:
+            for stage in MaturityStage:
+                counts[stage] += len(response.by_stage(stage))
+        return counts
+
+    def all_have_production(self) -> bool:
+        """Section V's claim: every site has some production deployment."""
+        return all(
+            response.by_stage(MaturityStage.PRODUCTION)
+            for response in self.responses
+        )

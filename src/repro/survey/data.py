@@ -1,0 +1,347 @@
+"""The nine centers' survey responses (Tables I and II, transcribed).
+
+Every :class:`~repro.survey.model.Activity` below corresponds to one
+cell entry of Table I or Table II of the paper, tagged with taxonomy
+techniques and named partners.  The two identified-but-not-
+participating centers appear anonymously (the paper does not name
+them) so the Section-III selection funnel (11 identified -> 9
+participating) is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import SurveyError
+from .model import Activity, CenterProfile, MaturityStage, SurveyResponse
+from .taxonomy import Technique
+
+_R = MaturityStage.RESEARCH
+_T = MaturityStage.TECH_DEV
+_P = MaturityStage.PRODUCTION
+
+
+# ----------------------------------------------------------------------
+# Center profiles (Section III + Figure 2 geography)
+# ----------------------------------------------------------------------
+_PROFILES: List[CenterProfile] = [
+    CenterProfile("riken", "RIKEN", "Japan", "Asia", 34.65, 135.22,
+                  "national lab", "K computer"),
+    CenterProfile("tokyotech", "Tokyo Institute of Technology", "Japan",
+                  "Asia", 35.61, 139.68, "academic", "TSUBAME"),
+    CenterProfile("cea", "CEA", "France", "Europe", 48.71, 2.16,
+                  "national lab", "Curie"),
+    CenterProfile("kaust", "KAUST", "Saudi Arabia", "Middle East",
+                  22.31, 39.10, "academic", "Shaheen (Cray XC40)"),
+    CenterProfile("lrz", "LRZ", "Germany", "Europe", 48.26, 11.67,
+                  "academic", "SuperMUC"),
+    CenterProfile("stfc", "STFC", "United Kingdom", "Europe", 53.34, -2.64,
+                  "national lab", "Scafell Pike / Hartree systems"),
+    CenterProfile("trinity", "Trinity (LANL+Sandia)", "United States",
+                  "North America", 35.88, -106.30, "national lab",
+                  "Trinity (Cray XC40)"),
+    CenterProfile("cineca", "CINECA", "Italy", "Europe", 44.49, 11.34,
+                  "academic", "Eurora / Marconi"),
+    CenterProfile("jcahpc", "JCAHPC (U.Tsukuba + U.Tokyo)", "Japan", "Asia",
+                  35.90, 139.94, "joint", "Oakforest-PACS"),
+]
+
+#: The two centers that met the criteria but declined (anonymous).
+IDENTIFIED_NOT_PARTICIPATING: List[CenterProfile] = [
+    CenterProfile("anon-a", "Identified center A (declined)", "undisclosed",
+                  "North America", 40.0, -100.0, "national lab",
+                  "undisclosed", participated=False),
+    CenterProfile("anon-b", "Identified center B (declined)", "undisclosed",
+                  "Asia", 35.0, 110.0, "academic", "undisclosed",
+                  participated=False),
+]
+
+PARTICIPATING_CENTERS: List[str] = [p.slug for p in _PROFILES]
+
+
+# ----------------------------------------------------------------------
+# Activities (Tables I and II)
+# ----------------------------------------------------------------------
+_ACTIVITIES: List[Activity] = [
+    # ---------------- RIKEN (Table I) ----------------
+    Activity("riken", _R,
+             "Integrating job scheduler info with decision to use grid vs. "
+             "gas turbine energy",
+             frozenset({Technique.GRID_INTEGRATION}),),
+    Activity("riken", _T,
+             "Power-aware job scheduling for Post-K, with Fujitsu",
+             frozenset({Technique.POWER_AWARE_SCHEDULING,
+                        Technique.VENDOR_COPRODUCT}),
+             ("Fujitsu",)),
+    Activity("riken", _P,
+             "3 days for large jobs each month",
+             frozenset({Technique.RESERVED_LARGE_JOB_WINDOWS}),),
+    Activity("riken", _P,
+             "Automated emergency job killing if power limit exceeded",
+             frozenset({Technique.EMERGENCY_KILL}),),
+    Activity("riken", _P,
+             "Pre-run estimate of power usage of each job, based on "
+             "temperature",
+             frozenset({Technique.POWER_PREDICTION,
+                        Technique.RUNTIME_ESTIMATION}),),
+
+    # ---------------- Tokyo Tech (Table I) ----------------
+    Activity("tokyotech", _R,
+             "Activities to facilitate Production Development",
+             frozenset(),),
+    Activity("tokyotech", _R,
+             "Analyze collected power and energy info archived long term "
+             "and use for EPA scheduling",
+             frozenset({Technique.LONG_TERM_ARCHIVE,
+                        Technique.ENERGY_AWARE_SCHEDULING}),),
+    Activity("tokyotech", _T,
+             "Inter-system power capping: TSUBAME2 and TSUBAME3 will need "
+             "to share the facility power budget",
+             frozenset({Technique.INTER_SYSTEM_BUDGET,
+                        Technique.SYSTEM_CAPPING}),),
+    Activity("tokyotech", _T,
+             "Gives users mark on how well they used power and energy",
+             frozenset({Technique.USER_EFFICIENCY_MARKS}),),
+    Activity("tokyotech", _P,
+             "Resource manager dynamically boots or shuts down nodes to "
+             "stay under power cap (summer only, enforced over ~30 min "
+             "window); interacts with job scheduler to avoid killing jobs; "
+             "NEC implemented, works cooperatively with PBS Pro",
+             frozenset({Technique.DYNAMIC_CAP_TRACKING,
+                        Technique.VENDOR_COPRODUCT}),
+             ("NEC", "Altair (PBS Pro)")),
+    Activity("tokyotech", _P,
+             "Resource manager shuts down nodes that have been idle for a "
+             "long time",
+             frozenset({Technique.IDLE_SHUTDOWN}),),
+    Activity("tokyotech", _P,
+             "Uses virtual machines to split compute nodes (complicates "
+             "physical node shutdown)",
+             frozenset({Technique.VIRTUALIZATION}),),
+    Activity("tokyotech", _P,
+             "Energy use provided to users at end of every job",
+             frozenset({Technique.ENERGY_REPORTS}),),
+
+    # ---------------- CEA (Table I) ----------------
+    Activity("cea", _R,
+             "Investigating how to use and apply mpi_yield_when_idle",
+             frozenset({Technique.ENERGY_AWARE_SCHEDULING}),),
+    Activity("cea", _R,
+             "Investigating with BULL power capping and DVFS",
+             frozenset({Technique.DVFS_CONTROL, Technique.SYSTEM_CAPPING}),
+             ("BULL",)),
+    Activity("cea", _T,
+             "Together with BULL developing power adaptive scheduling in "
+             "SLURM",
+             frozenset({Technique.POWER_AWARE_SCHEDULING,
+                        Technique.VENDOR_COPRODUCT}),
+             ("BULL", "SchedMD (SLURM)")),
+    Activity("cea", _T,
+             "Developing 'layout logic' in SLURM: tell what PDUs/Chillers a "
+             "node or rack depends on and avoid scheduling jobs on them "
+             "when maintenance",
+             frozenset({Technique.LAYOUT_AWARE_SCHEDULING}),
+             ("SchedMD (SLURM)",)),
+    Activity("cea", _P,
+             "Manually shutting down nodes to shift power budget between "
+             "systems",
+             frozenset({Technique.MANUAL_SHUTDOWN,
+                        Technique.INTER_SYSTEM_BUDGET}),),
+
+    # ---------------- KAUST (Table I) ----------------
+    Activity("kaust", _R,
+             "Monitoring and managing power usage under data center power "
+             "and cooling limits",
+             frozenset({Technique.CONTINUOUS_MONITORING,
+                        Technique.COOLING_AWARE}),),
+    Activity("kaust", _T,
+             "Analyzing and detecting most power hungry applications in "
+             "production; developing optimal power limit constraint "
+             "strategy for users on Shaheen Cray XC40",
+             frozenset({Technique.APP_CHARACTERIZATION,
+                        Technique.POWER_PREDICTION}),),
+    Activity("kaust", _P,
+             "Static power capping via Cray CAPMC: 30% of nodes run "
+             "uncapped, 70% run with 270 W power cap",
+             frozenset({Technique.STATIC_NODE_CAPPING}),
+             ("Cray",)),
+    Activity("kaust", _P,
+             "Using SLURM Dynamic Power Management (SDPM) that interfaces "
+             "with Cray CAPMC (KAUST worked with SchedMD to develop SDPM)",
+             frozenset({Technique.POWER_AWARE_SCHEDULING,
+                        Technique.SYSTEM_CAPPING,
+                        Technique.VENDOR_COPRODUCT}),
+             ("SchedMD (SLURM)", "Cray")),
+
+    # ---------------- LRZ (Table I) ----------------
+    Activity("lrz", _R,
+             "Investigating merging SLURM and GEOPM for system energy & "
+             "power control",
+             frozenset({Technique.POWER_AWARE_SCHEDULING}),
+             ("SchedMD (SLURM)", "Intel (GEOPM)")),
+    Activity("lrz", _R,
+             "Investigating scheduling for power instead of energy",
+             frozenset({Technique.POWER_AWARE_SCHEDULING}),),
+    Activity("lrz", _R,
+             "Linking job scheduler with IT infrastructure + cooling; "
+             "scheduler may delay jobs when IT infrastructure is "
+             "particularly inefficient",
+             frozenset({Technique.COOLING_AWARE,
+                        Technique.ENERGY_AWARE_SCHEDULING}),),
+    Activity("lrz", _T,
+             "Working on adding energy-aware scheduling capabilities to "
+             "SLURM, similar to what they have with LoadLeveler today",
+             frozenset({Technique.ENERGY_AWARE_SCHEDULING}),
+             ("SchedMD (SLURM)",)),
+    Activity("lrz", _P,
+             "First time new app runs: characterized for frequency, "
+             "runtime and energy",
+             frozenset({Technique.APP_CHARACTERIZATION}),),
+    Activity("lrz", _P,
+             "Administrator selects job scheduling goal, energy to "
+             "solution or best performance",
+             frozenset({Technique.ENERGY_AWARE_SCHEDULING,
+                        Technique.DVFS_CONTROL}),),
+    Activity("lrz", _P,
+             "LRZ worked with IBM on energy-aware scheduling support in "
+             "LoadLeveler, now ported to LSF",
+             frozenset({Technique.ENERGY_AWARE_SCHEDULING,
+                        Technique.VENDOR_COPRODUCT}),
+             ("IBM",)),
+
+    # ---------------- STFC (Table II) ----------------
+    Activity("stfc", _R,
+             "IBM/LSF energy-aware scheduling is experimented with on "
+             "small-scale (360 node) system",
+             frozenset({Technique.ENERGY_AWARE_SCHEDULING}),
+             ("IBM",)),
+    Activity("stfc", _R,
+             "Programmable interface (PowerAPI-based) for application "
+             "power measurements of code segments (with interface to JSRM)",
+             frozenset({Technique.SEGMENT_MEASUREMENT}),
+             ("Sandia (Power API)",)),
+    Activity("stfc", _R,
+             "Investigation of power aware policies using higher level "
+             "abstractions, e.g., GEOPM and Job Scheduler",
+             frozenset({Technique.POWER_AWARE_SCHEDULING}),
+             ("Intel (GEOPM)",)),
+    Activity("stfc", _T,
+             "Deployment of reporting tool for user power consumption at "
+             "the job level (fine as well as coarse granularity)",
+             frozenset({Technique.ENERGY_REPORTS}),),
+    Activity("stfc", _P,
+             "Continuously collecting power and energy system monitoring "
+             "info: data center, machine, and job levels",
+             frozenset({Technique.CONTINUOUS_MONITORING,
+                        Technique.LONG_TERM_ARCHIVE}),),
+
+    # ---------------- Trinity / LANL+Sandia (Table II) ----------------
+    Activity("trinity", _R,
+             "Analyzing power system monitoring info to assess potential "
+             "of EPA scheduling; gather traces for evaluating EPA "
+             "approaches",
+             frozenset({Technique.CONTINUOUS_MONITORING,
+                        Technique.LONG_TERM_ARCHIVE}),),
+    Activity("trinity", _T,
+             "EPA job scheduling support developed with Adaptive Inc. for "
+             "MOAB/Torque, interfaces with Cray CAPMC and Power API; "
+             "Trinity is now using SLURM, but MOAB work remains available",
+             frozenset({Technique.POWER_AWARE_SCHEDULING,
+                        Technique.VENDOR_COPRODUCT}),
+             ("Adaptive Computing (MOAB)", "Cray")),
+    Activity("trinity", _T,
+             "Developed Power API implementation with Cray, utilized by "
+             "MOAB/Torque for EPA job scheduling",
+             frozenset({Technique.SEGMENT_MEASUREMENT,
+                        Technique.VENDOR_COPRODUCT}),
+             ("Cray", "Sandia (Power API)")),
+    Activity("trinity", _P,
+             "Cray CAPMC power capping infrastructure, out-of-band "
+             "control, administrator ability to set system-wide and "
+             "node-level power caps (available on all Cray XC systems)",
+             frozenset({Technique.SYSTEM_CAPPING,
+                        Technique.STATIC_NODE_CAPPING,
+                        Technique.MANUAL_EMERGENCY}),
+             ("Cray",)),
+
+    # ---------------- CINECA (Table II) ----------------
+    Activity("cineca", _R,
+             "Scalable power monitoring, used to predict per-job power use "
+             "and to generate predictive models for node power and "
+             "temperature evolution (with University of Bologna)",
+             frozenset({Technique.CONTINUOUS_MONITORING,
+                        Technique.POWER_PREDICTION,
+                        Technique.TEMPERATURE_MODELING}),
+             ("University of Bologna",)),
+    Activity("cineca", _T,
+             "Developing together with E4 EPA job scheduling support in "
+             "SLURM; also tracking EPA SLURM work being done by BULL and "
+             "SchedMD",
+             frozenset({Technique.POWER_AWARE_SCHEDULING,
+                        Technique.VENDOR_COPRODUCT}),
+             ("E4", "SchedMD (SLURM)", "BULL")),
+    Activity("cineca", _P,
+             "EPA job scheduling on Eurora system (now decommissioned) "
+             "using PBSPro, collaboration with Altair",
+             frozenset({Technique.ENERGY_AWARE_SCHEDULING,
+                        Technique.VENDOR_COPRODUCT}),
+             ("Altair (PBS Pro)",)),
+
+    # ---------------- JCAHPC (Table II) ----------------
+    Activity("jcahpc", _R,
+             "Activities to facilitate Production Development",
+             frozenset(),),
+    Activity("jcahpc", _P,
+             "Ability to set power caps for groups of nodes via the "
+             "resource manager (Fujitsu proprietary product)",
+             frozenset({Technique.GROUP_CAPPING,
+                        Technique.VENDOR_COPRODUCT}),
+             ("Fujitsu",)),
+    Activity("jcahpc", _P,
+             "Manual emergency response, admin sets power cap",
+             frozenset({Technique.MANUAL_EMERGENCY}),),
+    Activity("jcahpc", _P,
+             "Delivering post-job energy use reports to users",
+             frozenset({Technique.ENERGY_REPORTS}),),
+]
+
+#: Response page counts: the paper says 8-17 pages per center.
+_PAGES: Dict[str, int] = {
+    "riken": 14, "tokyotech": 17, "cea": 12, "kaust": 11, "lrz": 15,
+    "stfc": 10, "trinity": 13, "cineca": 9, "jcahpc": 8,
+}
+
+
+# ----------------------------------------------------------------------
+# Accessors
+# ----------------------------------------------------------------------
+def all_center_slugs() -> List[str]:
+    """Slugs of the nine participating centers, table order."""
+    return list(PARTICIPATING_CENTERS)
+
+
+def center_profile(slug: str) -> CenterProfile:
+    """Profile of one center (participating or identified)."""
+    for profile in _PROFILES + IDENTIFIED_NOT_PARTICIPATING:
+        if profile.slug == slug:
+            return profile
+    raise SurveyError(f"unknown center {slug!r}")
+
+
+def survey_responses() -> List[SurveyResponse]:
+    """The nine full survey responses, in table order."""
+    out = []
+    for profile in _PROFILES:
+        activities = tuple(a for a in _ACTIVITIES if a.center == profile.slug)
+        out.append(
+            SurveyResponse(profile, activities, _PAGES[profile.slug])
+        )
+    return out
+
+
+def response_for(slug: str) -> SurveyResponse:
+    """One center's survey response."""
+    for response in survey_responses():
+        if response.profile.slug == slug:
+            return response
+    raise SurveyError(f"no survey response for {slug!r}")

@@ -1,0 +1,87 @@
+"""Figure 2: the geographic distribution of the participating centers.
+
+"These span the geographic regions of Asia, Europe and the United
+States" (Section III; KAUST sits in the Middle East on the map).  We
+reproduce the figure as data — map points with coordinates — plus the
+regional aggregation, and an ASCII-art world map for terminal output.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .data import survey_responses
+
+
+class Region(enum.Enum):
+    """Regions used by the paper's geographic framing."""
+
+    ASIA = "Asia"
+    EUROPE = "Europe"
+    NORTH_AMERICA = "North America"
+    MIDDLE_EAST = "Middle East"
+
+
+@dataclass(frozen=True)
+class MapPoint:
+    """One marker of Figure 2."""
+
+    slug: str
+    name: str
+    country: str
+    region: str
+    latitude: float
+    longitude: float
+
+
+def map_points() -> List[MapPoint]:
+    """The nine Figure-2 markers, table order."""
+    return [
+        MapPoint(
+            r.profile.slug,
+            r.profile.name,
+            r.profile.country,
+            r.profile.region,
+            r.profile.latitude,
+            r.profile.longitude,
+        )
+        for r in survey_responses()
+    ]
+
+
+def regional_distribution() -> Dict[str, int]:
+    """Center count per region (the quantitative content of Fig. 2)."""
+    counts: Dict[str, int] = {}
+    for point in map_points():
+        counts[point.region] = counts.get(point.region, 0) + 1
+    return counts
+
+
+def countries() -> Dict[str, int]:
+    """Center count per country."""
+    counts: Dict[str, int] = {}
+    for point in map_points():
+        counts[point.country] = counts.get(point.country, 0) + 1
+    return counts
+
+
+def ascii_map(width: int = 72, height: int = 20) -> str:
+    """Equirectangular ASCII map with center markers (1-9).
+
+    Markers are numbered in table order; collisions show the first.
+    """
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for i, point in enumerate(map_points(), start=1):
+        x = int((point.longitude + 180.0) / 360.0 * (width - 1))
+        y = int((90.0 - point.latitude) / 180.0 * (height - 1))
+        x = min(width - 1, max(0, x))
+        y = min(height - 1, max(0, y))
+        if grid[y][x] == " ":
+            grid[y][x] = str(i)
+        legend.append(f"  {i}. {point.name} ({point.country}, {point.region})")
+    border = "+" + "-" * width + "+"
+    rows = [border] + ["|" + "".join(row) + "|" for row in grid] + [border]
+    return "\n".join(rows + ["Participating centers:"] + legend)

@@ -1,0 +1,155 @@
+"""The capability matrix: Tables I and II as generated artifacts.
+
+:func:`build_capability_matrix` reconstructs the paper's two summary
+tables from the typed survey data; renderers produce the aligned-text
+versions the benchmarks print.  A boolean technique x center matrix
+feeds the cross-center analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .data import all_center_slugs, survey_responses
+from .model import MaturityStage, SurveyResponse
+from .taxonomy import Technique
+
+#: The paper splits the matrix after LRZ: Table I = first 5 centers.
+TABLE1_CENTERS = ("riken", "tokyotech", "cea", "kaust", "lrz")
+TABLE2_CENTERS = ("stfc", "trinity", "cineca", "jcahpc")
+
+
+@dataclass
+class CapabilityMatrix:
+    """Centers x maturity-stages matrix of activity descriptions."""
+
+    centers: List[str]
+    cells: Dict[Tuple[str, MaturityStage], List[str]]
+
+    def cell(self, center: str, stage: MaturityStage) -> List[str]:
+        """Activity descriptions of one cell (may be empty)."""
+        return self.cells.get((center, stage), [])
+
+    def row(self, center: str) -> Dict[MaturityStage, List[str]]:
+        """All three cells of one center."""
+        return {stage: self.cell(center, stage) for stage in MaturityStage}
+
+    # ------------------------------------------------------------------
+    def technique_matrix(self) -> Tuple[np.ndarray, List[str], List[Technique]]:
+        """(matrix, centers, techniques): boolean adoption matrix.
+
+        ``matrix[i, j]`` is True when center *i* exhibits technique *j*
+        at any maturity stage.
+        """
+        responses = {r.profile.slug: r for r in survey_responses()}
+        techniques = sorted(Technique, key=lambda t: t.name)
+        matrix = np.zeros((len(self.centers), len(techniques)), dtype=bool)
+        for i, center in enumerate(self.centers):
+            have = responses[center].techniques()
+            for j, technique in enumerate(techniques):
+                matrix[i, j] = technique in have
+        return matrix, list(self.centers), techniques
+
+    def production_counts(self) -> Dict[str, int]:
+        """Number of production activities per center."""
+        return {
+            center: len(self.cell(center, MaturityStage.PRODUCTION))
+            for center in self.centers
+        }
+
+
+def build_capability_matrix(
+    centers: Optional[Sequence[str]] = None,
+) -> CapabilityMatrix:
+    """Build the matrix for *centers* (default: all nine, table order)."""
+    centers = list(centers) if centers is not None else all_center_slugs()
+    responses = {r.profile.slug: r for r in survey_responses()}
+    cells: Dict[Tuple[str, MaturityStage], List[str]] = {}
+    for center in centers:
+        response = responses[center]
+        for stage in MaturityStage:
+            cells[(center, stage)] = [
+                a.description for a in response.by_stage(stage)
+            ]
+    return CapabilityMatrix(centers, cells)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _wrap(text: str, width: int) -> List[str]:
+    words = text.split()
+    lines: List[str] = []
+    line = ""
+    for word in words:
+        if line and len(line) + 1 + len(word) > width:
+            lines.append(line)
+            line = word
+        else:
+            line = f"{line} {word}".strip()
+    if line:
+        lines.append(line)
+    return lines or [""]
+
+
+def render_table(
+    centers: Sequence[str],
+    title: str,
+    cell_width: int = 36,
+) -> str:
+    """Aligned-text rendering of one capability table."""
+    matrix = build_capability_matrix(centers)
+    responses = {r.profile.slug: r for r in survey_responses()}
+    headers = ["Center"] + [stage.value for stage in MaturityStage]
+    widths = [14] + [cell_width] * 3
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def fmt_row(cols: List[List[str]]) -> str:
+        height = max(len(c) for c in cols)
+        lines = []
+        for k in range(height):
+            parts = []
+            for col, width in zip(cols, widths):
+                text = col[k] if k < len(col) else ""
+                parts.append(f" {text:<{width}} ")
+            lines.append("|" + "|".join(parts) + "|")
+        return "\n".join(lines)
+
+    out = [title, sep, fmt_row([[h] for h in headers]), sep]
+    for center in centers:
+        name = responses[center].profile.name
+        cols = [_wrap(name, widths[0])]
+        for stage in MaturityStage:
+            cell_lines: List[str] = []
+            entries = matrix.cell(center, stage)
+            if not entries:
+                cell_lines = ["-"]
+            for i, entry in enumerate(entries):
+                if i:
+                    cell_lines.append("")
+                cell_lines.extend(_wrap(entry, cell_width))
+            cols.append(cell_lines)
+        out.append(fmt_row(cols))
+        out.append(sep)
+    return "\n".join(out)
+
+
+def render_table1(cell_width: int = 36) -> str:
+    """Table I: RIKEN, Tokyo Tech, CEA, KAUST, LRZ."""
+    return render_table(
+        TABLE1_CENTERS,
+        "TABLE I — Part 1 of the summary of the answers from each center.",
+        cell_width,
+    )
+
+
+def render_table2(cell_width: int = 36) -> str:
+    """Table II: STFC, Trinity (LANL+Sandia), CINECA, JCAHPC."""
+    return render_table(
+        TABLE2_CENTERS,
+        "TABLE II — Part 2 of the summary of the answers from each center.",
+        cell_width,
+    )

@@ -1,0 +1,119 @@
+"""Typed data model of the survey.
+
+The paper categorizes each center's activities "into capabilities that
+each site is considering in the context of research, technology
+development with the intent to eventually deploy into production, and
+those that are actively deployed" (Section V).  These are the three
+:class:`MaturityStage` values; an :class:`Activity` is one cell entry
+of Tables I/II; a :class:`SurveyResponse` bundles a center's profile
+with all its activities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from ..errors import SurveyError
+from .taxonomy import Technique
+
+
+class MaturityStage(enum.Enum):
+    """The three activity-maturity columns of Tables I and II."""
+
+    RESEARCH = "Research Activities"
+    TECH_DEV = "Technology Development with Intent to Deploy"
+    PRODUCTION = "Production Development"
+
+
+@dataclass(frozen=True)
+class CenterProfile:
+    """Who a surveyed center is (Section III + Figure 2).
+
+    Latitude/longitude are approximate city coordinates, sufficient
+    for the Figure-2 regional map.
+    """
+
+    slug: str
+    name: str
+    country: str
+    region: str  # "Asia" | "Europe" | "North America" | "Middle East"
+    latitude: float
+    longitude: float
+    institution_type: str  # "national lab" | "academic" | "joint"
+    flagship_system: str
+    top500_listed: bool = True
+    participated: bool = True
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.latitude <= 90.0):
+            raise SurveyError(f"{self.slug}: bad latitude {self.latitude}")
+        if not (-180.0 <= self.longitude <= 180.0):
+            raise SurveyError(f"{self.slug}: bad longitude {self.longitude}")
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One activity cell from Tables I/II.
+
+    Attributes
+    ----------
+    center:
+        Center slug.
+    stage:
+        Which maturity column the activity sits in.
+    description:
+        The table text (lightly normalized).
+    techniques:
+        Taxonomy tags extracted from the description.
+    partners:
+        Named collaboration partners (vendors, universities) — the
+        survey's Q5/Q6 vendor-engagement signal.
+    """
+
+    center: str
+    stage: MaturityStage
+    description: str
+    techniques: FrozenSet[Technique] = frozenset()
+    partners: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.description:
+            raise SurveyError("activity needs a description")
+
+
+@dataclass(frozen=True)
+class SurveyResponse:
+    """One center's complete survey response."""
+
+    profile: CenterProfile
+    activities: Tuple[Activity, ...]
+    response_pages: int = 10  # the paper: responses ran 8-17 pages
+
+    def by_stage(self, stage: MaturityStage) -> List[Activity]:
+        """Activities of one maturity stage."""
+        return [a for a in self.activities if a.stage is stage]
+
+    def techniques(self) -> FrozenSet[Technique]:
+        """Union of all technique tags across stages."""
+        out: set = set()
+        for activity in self.activities:
+            out |= activity.techniques
+        return frozenset(out)
+
+    def production_techniques(self) -> FrozenSet[Technique]:
+        """Techniques deployed in production."""
+        out: set = set()
+        for activity in self.by_stage(MaturityStage.PRODUCTION):
+            out |= activity.techniques
+        return frozenset(out)
+
+    def partners(self) -> Tuple[str, ...]:
+        """All named partners, deduplicated, order-stable."""
+        seen: List[str] = []
+        for activity in self.activities:
+            for partner in activity.partners:
+                if partner not in seen:
+                    seen.append(partner)
+        return tuple(seen)

@@ -1,0 +1,163 @@
+"""The survey questionnaire (Section IV, verbatim structure).
+
+Eight questions, several with lettered sub-items, each carrying the
+rationale the paper gives for asking it.  Encoded as data so analyses
+can join responses to questions and so the questionnaire itself is a
+testable artifact (count, coverage of rationale categories, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Question:
+    """One questionnaire item."""
+
+    number: int
+    text: str
+    sub_items: Tuple[Tuple[str, str], ...] = ()
+    rationale: str = ""
+    theme: str = ""
+
+
+QUESTIONNAIRE: List[Question] = [
+    Question(
+        1,
+        "What motivated your site's development and implementation of "
+        "energy or power aware job scheduling or resource management "
+        "capabilities?",
+        rationale=(
+            "Determine each center's motivations in an attempt to identify "
+            "motives common among multiple centers."
+        ),
+        theme="motivation",
+    ),
+    Question(
+        2,
+        "Please describe your data center and major high-performance "
+        "computing system or systems where energy or power aware job "
+        "scheduling and resource management capabilities have been "
+        "deployed.",
+        sub_items=(
+            ("a", "Total site power budget or capacity in watts."),
+            ("b", "Total site cooling capacity."),
+            (
+                "c",
+                "Major HPC system(s): number of cabinets, nodes, and cores; "
+                "peak performance; node architecture, high-speed network "
+                "type, memory; peak, average, and idle power draw.",
+            ),
+        ),
+        rationale=(
+            "Determine each center's hardware environment; any EPA JSRM "
+            "approach needs to take the hardware characteristics into "
+            "consideration."
+        ),
+        theme="environment",
+    ),
+    Question(
+        3,
+        "Describe the general workload on your high-performance computing "
+        "system or systems.",
+        sub_items=(
+            ("a", "What is running right now / a typical snapshot: how many "
+                  "jobs, what sizes, how long do jobs run?"),
+            ("b", "The backlog of queued jobs: how many waiting, sizes, "
+                  "runtimes?"),
+            ("c", "Throughput: approximately how many jobs per month?"),
+            ("d", "Main scheduling goal (priority, turn-around time, "
+                  "fairness, efficiency, utilization); capability vs. "
+                  "capacity percentage."),
+            ("e", "Min, median, max, and 10th/25th/75th/90th percentile job "
+                  "size and wallclock time."),
+        ),
+        rationale=(
+            "Determine the typical workloads running on that hardware; "
+            "understanding workload characteristics is critical for "
+            "evaluating each center's approach."
+        ),
+        theme="workload",
+    ),
+    Question(
+        4,
+        "Describe the energy and power aware job scheduling and resource "
+        "management capabilities of your large-scale high-performance "
+        "computing system or systems.",
+        rationale="The specific point of the questionnaire.",
+        theme="capabilities",
+    ),
+    Question(
+        5,
+        "List and briefly describe all of the elements that comprise your "
+        "energy and power aware job scheduling and resource management "
+        "capabilities.",
+        sub_items=(
+            ("a", "Include an implementation time component (when was it "
+                  "implemented?)."),
+            ("b", "Are these elements commercially available supported "
+                  "products?"),
+            ("c", "Has there been much non-portable/non-product work done "
+                  "to implement your capabilities?"),
+        ),
+        rationale=(
+            "Identify (1) how involved vendors are in helping centers build "
+            "EPA JSRM solutions, and (2) how heavily centers are using "
+            "one-off homegrown control systems."
+        ),
+        theme="elements",
+    ),
+    Question(
+        6,
+        "Do you have application/task level joint optimization, such as "
+        "topology-aware task allocation, as a way of directly or "
+        "indirectly improving energy consumption?  Did you engage software "
+        "development communities to improve your solution for this "
+        "capability?",
+        rationale=(
+            "A positive response would indicate a very high level of "
+            "sophistication; such techniques likely require assistance from "
+            "application developers."
+        ),
+        theme="sophistication",
+    ),
+    Question(
+        7,
+        "How well does your solution work?  What are the advantages and "
+        "disadvantages of your implementation?  Describe any results, "
+        "benefits, or unintended consequences.",
+        rationale=(
+            "Each center is the subject matter expert for their unique "
+            "solution; allow an open assessment of efficacy."
+        ),
+        theme="assessment",
+    ),
+    Question(
+        8,
+        "What are the next steps for the energy or power aware job "
+        "scheduling and resource management capability you have developed?",
+        sub_items=(
+            ("a", "Do you intend to continue site development and/or "
+                  "product deployment?"),
+            ("b", "Will your planned next steps drive new requirements in "
+                  "procurement documents, NRE funding, etc.?"),
+        ),
+        rationale="Identify potential next steps and forward requirements.",
+        theme="next-steps",
+    ),
+]
+
+
+def question(number: int) -> Question:
+    """Look up a question by its number (1-8)."""
+    for q in QUESTIONNAIRE:
+        if q.number == number:
+            return q
+    raise KeyError(f"no question {number}")
+
+
+def themes() -> List[str]:
+    """The rationale themes, in question order."""
+    return [q.theme for q in QUESTIONNAIRE]

@@ -1,0 +1,159 @@
+"""Render the full survey analysis as one Markdown document.
+
+Section V: "The full analysis will be synthesised from the raw
+material of the interview and whitepaper in an upcoming document."
+This module generates that document's reproducible skeleton from the
+typed survey data: methodology, selection funnel, per-center profiles
+with their capability rows, the cross-center analysis, and (optionally)
+live quantitative results from executing each center's scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .analysis import SurveyAnalysis
+from .data import survey_responses
+from .geography import regional_distribution
+from .matrix import build_capability_matrix
+from .model import MaturityStage
+from .questionnaire import QUESTIONNAIRE
+from .selection import interview_timeline, selection_funnel
+
+
+def _h(level: int, text: str) -> str:
+    return f"{'#' * level} {text}"
+
+
+def render_survey_report(
+    center_metrics: Optional[Dict[str, Dict[str, float]]] = None,
+) -> str:
+    """Build the Markdown report; returns the document text.
+
+    Parameters
+    ----------
+    center_metrics:
+        Optional ``slug -> {metric: value}`` from executed center
+        scenarios, appended per center as the quantitative section the
+        original survey could not include.
+    """
+    lines: List[str] = []
+    out = lines.append
+
+    out(_h(1, "Energy and Power Aware Job Scheduling and Resource "
+            "Management — Survey Analysis Report"))
+    out("")
+    out("Reproducible synthesis of the EE HPC WG EPA JSRM survey "
+        "(IPDPSW 2018), generated from the typed survey data in "
+        "`repro.survey`.")
+    out("")
+
+    # ------------------------------------------------------------------
+    out(_h(2, "Methodology"))
+    out("")
+    timeline = interview_timeline()
+    funnel = selection_funnel()
+    out(f"- Interviews: {timeline['start']} to {timeline['end']} "
+        f"({timeline['duration_months']} months)")
+    out(f"- Centers identified: {funnel.identified}; participating: "
+        f"{funnel.participating} ({funnel.participation_rate:.0%})")
+    out(f"- Written responses: {timeline['response_pages']}")
+    out("")
+    out(_h(3, "Questionnaire"))
+    out("")
+    for question in QUESTIONNAIRE:
+        out(f"{question.number}. {question.text}")
+        for letter, text in question.sub_items:
+            out(f"   - ({letter}) {text}")
+    out("")
+
+    # ------------------------------------------------------------------
+    out(_h(2, "Participating centers"))
+    out("")
+    dist = regional_distribution()
+    out("Regional distribution: "
+        + ", ".join(f"{region} {count}" for region, count in sorted(dist.items())))
+    out("")
+    matrix = build_capability_matrix()
+    for response in survey_responses():
+        profile = response.profile
+        out(_h(3, f"{profile.name} ({profile.country})"))
+        out("")
+        out(f"- Flagship system: {profile.flagship_system}")
+        out(f"- Institution type: {profile.institution_type}; "
+            f"region: {profile.region}")
+        partners = response.partners()
+        if partners:
+            out(f"- Named partners: {', '.join(partners)}")
+        out("")
+        for stage in MaturityStage:
+            entries = matrix.cell(profile.slug, stage)
+            out(f"**{stage.value}**")
+            if entries:
+                for entry in entries:
+                    out(f"- {entry}")
+            else:
+                out("- (none reported)")
+            out("")
+        if center_metrics and profile.slug in center_metrics:
+            out("**Executed scenario (this framework)**")
+            for key, value in center_metrics[profile.slug].items():
+                out(f"- {key}: {value:g}")
+            out("")
+
+    # ------------------------------------------------------------------
+    out(_h(2, "Cross-center analysis"))
+    out("")
+    analysis = SurveyAnalysis()
+    out(_h(3, "Common themes (three or more centers)"))
+    out("")
+    out("| Technique | Centers | Production | Development | Research |")
+    out("|---|---|---|---|---|")
+    for record in analysis.common_themes(min_centers=3):
+        out(f"| {record.technique.value} | {record.total_centers} "
+            f"| {len(record.production)} | {len(record.tech_dev)} "
+            f"| {len(record.research)} |")
+    out("")
+    out(_h(3, "Noteworthy single-center approaches"))
+    out("")
+    for record in analysis.unique_approaches():
+        where = (record.production or record.tech_dev or record.research)[0]
+        out(f"- {record.technique.value} — {where}")
+    out("")
+    out(_h(3, "The research-to-production gap"))
+    out("")
+    gap = analysis.research_production_gap()
+    out("Techniques active in research or development but deployed in "
+        "production nowhere:")
+    out("")
+    for technique in gap["research_only"]:
+        out(f"- {technique.value}")
+    out("")
+    out(_h(3, "Vendor engagement"))
+    out("")
+    out("| Partner | Centers |")
+    out("|---|---|")
+    for partner, centers in analysis.vendor_engagement().items():
+        out(f"| {partner} | {', '.join(centers)} |")
+    out("")
+    out(_h(3, "Center similarity"))
+    out("")
+    a, b, score = analysis.most_similar_pair()
+    out(f"Most similar pair (Jaccard over technique sets): **{a}** and "
+        f"**{b}** ({score:.2f}).")
+    clusters = analysis.cluster_centers(num_clusters=3)
+    by_label: Dict[int, List[str]] = {}
+    for slug, label in clusters.items():
+        by_label.setdefault(label, []).append(slug)
+    for label, members in sorted(by_label.items()):
+        out(f"- Cluster {label}: {', '.join(sorted(members))}")
+    out("")
+
+    out(_h(2, "Conclusion"))
+    out("")
+    out("Every participating center operates some production EPA JSRM "
+        "capability; vendor co-development is near-universal; and a "
+        "measurable set of techniques remains research-only — the gap "
+        "the survey calls out as the opportunity for the community.")
+    out("")
+    return "\n".join(lines)

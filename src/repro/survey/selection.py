@@ -1,0 +1,96 @@
+"""Section III: center selection criteria and funnel.
+
+"A three-part test was utilized: (1) the center should be
+representative of a high performance computing center and have at
+least one system that is in the Top500 list; (2) the center should
+have either actively deployed or [be] engaged in technology
+development with the intention to deploy large-scale EPA JSRM
+technologies in a production environment; (3) the center's leadership
+was willing to participate. ... Ultimately, a list of eleven centers
+was identified ... of which nine elected to participate."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .data import (
+    IDENTIFIED_NOT_PARTICIPATING,
+    survey_responses,
+)
+from .model import CenterProfile, MaturityStage, SurveyResponse
+
+
+@dataclass(frozen=True)
+class SelectionCriteria:
+    """The three-part test of Section III."""
+
+    require_top500: bool = True
+    require_epa_deployment_path: bool = True
+    require_willingness: bool = True
+
+    def check_top500(self, profile: CenterProfile) -> bool:
+        """Part 1: a Top500-listed system."""
+        return profile.top500_listed or not self.require_top500
+
+    @staticmethod
+    def check_epa_path(response: SurveyResponse) -> bool:
+        """Part 2: production deployment or tech-dev with intent.
+
+        By the paper's construction, every participating center passes;
+        the test is meaningful for hypothetical candidates.
+        """
+        has_production = bool(response.by_stage(MaturityStage.PRODUCTION))
+        has_techdev = bool(response.by_stage(MaturityStage.TECH_DEV))
+        return has_production or has_techdev
+
+    def check_willingness(self, profile: CenterProfile) -> bool:
+        """Part 3: leadership willing to participate."""
+        return profile.participated or not self.require_willingness
+
+
+@dataclass(frozen=True)
+class SelectionFunnel:
+    """The 11 -> 9 funnel of Section III."""
+
+    identified: int
+    participating: int
+    declined: int
+    passes_three_part_test: Dict[str, bool]
+
+    @property
+    def participation_rate(self) -> float:
+        """Fraction of identified centers that participated."""
+        return self.participating / self.identified if self.identified else 0.0
+
+
+def selection_funnel(criteria: SelectionCriteria = SelectionCriteria()) -> SelectionFunnel:
+    """Apply the three-part test and reproduce the paper's funnel."""
+    responses = survey_responses()
+    passes: Dict[str, bool] = {}
+    for response in responses:
+        profile = response.profile
+        ok = (
+            criteria.check_top500(profile)
+            and criteria.check_epa_path(response)
+            and criteria.check_willingness(profile)
+        )
+        passes[profile.slug] = ok
+    identified = len(responses) + len(IDENTIFIED_NOT_PARTICIPATING)
+    return SelectionFunnel(
+        identified=identified,
+        participating=len(responses),
+        declined=len(IDENTIFIED_NOT_PARTICIPATING),
+        passes_three_part_test=passes,
+    )
+
+
+def interview_timeline() -> Dict[str, str]:
+    """The interview schedule facts from Section III."""
+    return {
+        "start": "September 2016",
+        "end": "August 2017",
+        "duration_months": "11",
+        "response_pages": "8-17 per center",
+    }

@@ -1,0 +1,104 @@
+"""Taxonomy of EPA JSRM techniques found in the survey.
+
+Every cell of Tables I and II names one or more concrete techniques.
+This enum is the controlled vocabulary the analysis operates on; each
+member maps to the :mod:`repro.policies` (or substrate) module that
+implements it, so the capability matrix is *executable*.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class Technique(enum.Enum):
+    """Controlled vocabulary of surveyed EPA techniques."""
+
+    # Capping family
+    STATIC_NODE_CAPPING = "static node power capping"
+    SYSTEM_CAPPING = "system-wide power capping"
+    GROUP_CAPPING = "group/partition power caps"
+    DYNAMIC_CAP_TRACKING = "dynamic cap tracking via provisioning"
+    INTER_SYSTEM_BUDGET = "inter-system power budget sharing"
+    DVFS_CONTROL = "DVFS-based power control"
+    POWER_SHARING = "dynamic per-node power sharing"
+    OVERPROVISIONING = "over-provisioned operation under budget"
+
+    # Node provisioning family
+    IDLE_SHUTDOWN = "idle node shutdown"
+    MANUAL_SHUTDOWN = "manual node shutdown / budget shifting"
+
+    # Emergency / enforcement
+    EMERGENCY_KILL = "automated emergency job killing"
+    MANUAL_EMERGENCY = "manual emergency response"
+
+    # Prediction / characterization
+    POWER_PREDICTION = "per-job power prediction"
+    TEMPERATURE_MODELING = "node power/temperature evolution models"
+    APP_CHARACTERIZATION = "application frequency/energy characterization"
+    RUNTIME_ESTIMATION = "pre-run estimates of job behaviour"
+
+    # Scheduling integration
+    ENERGY_AWARE_SCHEDULING = "energy-aware job scheduling"
+    POWER_AWARE_SCHEDULING = "power-aware job scheduling"
+    LAYOUT_AWARE_SCHEDULING = "facility-layout-aware scheduling"
+    TOPOLOGY_AWARE_ALLOCATION = "topology-aware task allocation"
+    RESERVED_LARGE_JOB_WINDOWS = "reserved large-job periods"
+    MOLDABLE_SHAPING = "moldable job configuration selection"
+
+    # Monitoring / reporting
+    CONTINUOUS_MONITORING = "continuous multi-level power monitoring"
+    LONG_TERM_ARCHIVE = "long-term power/energy data archival"
+    ENERGY_REPORTS = "post-job energy reports to users"
+    USER_EFFICIENCY_MARKS = "user power/energy efficiency marks"
+    SEGMENT_MEASUREMENT = "code-segment power measurement (Power API)"
+
+    # Facility / grid
+    GRID_INTEGRATION = "electrical grid / supply-source integration"
+    COOLING_AWARE = "cooling/infrastructure-efficiency awareness"
+
+    # Platform mechanisms
+    VIRTUALIZATION = "virtual machines splitting compute nodes"
+    VENDOR_COPRODUCT = "co-developed vendor product"
+
+
+#: Technique -> implementing module in this framework.
+TECHNIQUE_IMPLEMENTATIONS: Dict[Technique, str] = {
+    Technique.STATIC_NODE_CAPPING: "repro.policies.static_capping",
+    Technique.SYSTEM_CAPPING: "repro.power.capmc",
+    Technique.GROUP_CAPPING: "repro.policies.group_caps",
+    Technique.DYNAMIC_CAP_TRACKING: "repro.policies.dynamic_provisioning",
+    Technique.INTER_SYSTEM_BUDGET: "repro.power.budget",
+    Technique.DVFS_CONTROL: "repro.policies.dvfs_budget",
+    Technique.POWER_SHARING: "repro.policies.power_sharing",
+    Technique.OVERPROVISIONING: "repro.policies.overprovisioning",
+    Technique.IDLE_SHUTDOWN: "repro.policies.node_shutdown",
+    Technique.MANUAL_SHUTDOWN: "repro.policies.manual",
+    Technique.EMERGENCY_KILL: "repro.policies.emergency",
+    Technique.MANUAL_EMERGENCY: "repro.policies.manual",
+    Technique.POWER_PREDICTION: "repro.prediction.power_predictor",
+    Technique.TEMPERATURE_MODELING: "repro.prediction.thermal_model",
+    Technique.APP_CHARACTERIZATION: "repro.policies.energy_tags",
+    Technique.RUNTIME_ESTIMATION: "repro.prediction.runtime_predictor",
+    Technique.ENERGY_AWARE_SCHEDULING: "repro.policies.energy_tags",
+    Technique.POWER_AWARE_SCHEDULING: "repro.policies.power_aware_admission",
+    Technique.LAYOUT_AWARE_SCHEDULING: "repro.policies.layout_aware",
+    Technique.TOPOLOGY_AWARE_ALLOCATION: "repro.core.allocator",
+    Technique.RESERVED_LARGE_JOB_WINDOWS: "repro.core.queue",
+    Technique.MOLDABLE_SHAPING: "repro.policies.moldable",
+    Technique.CONTINUOUS_MONITORING: "repro.telemetry.sampler",
+    Technique.LONG_TERM_ARCHIVE: "repro.telemetry.archive",
+    Technique.ENERGY_REPORTS: "repro.policies.reporting",
+    Technique.USER_EFFICIENCY_MARKS: "repro.policies.reporting",
+    Technique.SEGMENT_MEASUREMENT: "repro.telemetry.powerapi",
+    Technique.GRID_INTEGRATION: "repro.grid.supply",
+    Technique.COOLING_AWARE: "repro.power.pue",
+    Technique.VIRTUALIZATION: "repro.cluster.node",
+    Technique.VENDOR_COPRODUCT: "repro.policies",
+}
+
+#: Human-oriented one-liners (used in rendered tables).
+TECHNIQUE_DESCRIPTIONS: Dict[Technique, str] = {
+    t: t.value for t in Technique
+}

@@ -1,0 +1,26 @@
+"""Telemetry substrate: sampling, aggregation and archival.
+
+STFC's production capability is "continuously collecting power and
+energy system monitoring info, data center, machine, and job levels",
+and its research item is a "programmable interface (PowerAPI-based)
+for application power measurements of code segments".  Tokyo Tech's
+research analyzes "collected power and energy info archived long
+term".  This package provides those three capabilities: multi-channel
+samplers, hierarchical aggregation, a downsampling long-term archive,
+and a PowerAPI-like segment-measurement interface.
+"""
+
+from .sampler import TelemetrySampler, Channel
+from .aggregate import HierarchicalAggregator, LevelSummary
+from .archive import LongTermArchive
+from .powerapi import PowerApi, SegmentMeasurement
+
+__all__ = [
+    "Channel",
+    "HierarchicalAggregator",
+    "LevelSummary",
+    "LongTermArchive",
+    "PowerApi",
+    "SegmentMeasurement",
+    "TelemetrySampler",
+]

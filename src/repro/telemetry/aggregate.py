@@ -1,0 +1,87 @@
+"""Hierarchical aggregation: node -> job -> machine -> center.
+
+Turns a flat power trace into the per-level summaries STFC reports
+("data center, machine, and job levels").  Works over the structured
+trace a simulation produces, so analyses never poke live objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..simulator.trace import TraceRecorder
+from ..workload.job import Job
+
+
+@dataclass(frozen=True)
+class LevelSummary:
+    """Aggregate statistics of one entity at one level."""
+
+    level: str
+    entity: str
+    samples: int
+    mean: float
+    peak: float
+    total_energy_joules: float
+
+
+class HierarchicalAggregator:
+    """Aggregate power/energy at job, machine and center levels."""
+
+    def __init__(self, trace: TraceRecorder) -> None:
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    def machine_summary(self, meter_name: str) -> LevelSummary:
+        """Summary of one machine's power.sample series."""
+        records = [
+            r for r in self.trace.records("power.sample")
+            if r.data.get("meter") == meter_name
+        ]
+        if not records:
+            return LevelSummary("machine", meter_name, 0, 0.0, 0.0, 0.0)
+        times = np.array([r.time for r in records])
+        watts = np.array([r.data["watts"] for r in records])
+        energy = float(np.trapezoid(watts, times)) if len(times) > 1 else 0.0
+        return LevelSummary(
+            "machine", meter_name, len(records),
+            float(watts.mean()), float(watts.max()), energy,
+        )
+
+    def job_summaries(self, jobs: Iterable[Job]) -> List[LevelSummary]:
+        """Per-job summaries from the jobs' accounted energy."""
+        out = []
+        for job in jobs:
+            run = job.run_time
+            if run is None or run <= 0:
+                continue
+            mean = job.energy_joules / run
+            out.append(
+                LevelSummary("job", job.job_id, 1, mean, mean, job.energy_joules)
+            )
+        return out
+
+    def center_summary(self, meter_names: Iterable[str]) -> LevelSummary:
+        """Center level: sum of all machine summaries."""
+        summaries = [self.machine_summary(name) for name in meter_names]
+        present = [s for s in summaries if s.samples > 0]
+        if not present:
+            return LevelSummary("center", "site", 0, 0.0, 0.0, 0.0)
+        return LevelSummary(
+            "center",
+            "site",
+            sum(s.samples for s in present),
+            sum(s.mean for s in present),
+            sum(s.peak for s in present),
+            sum(s.total_energy_joules for s in present),
+        )
+
+    def by_user(self, jobs: Iterable[Job]) -> Dict[str, float]:
+        """Total accounted energy per user (joules)."""
+        totals: Dict[str, float] = {}
+        for job in jobs:
+            totals[job.user] = totals.get(job.user, 0.0) + job.energy_joules
+        return totals

@@ -1,0 +1,129 @@
+"""Long-term telemetry archive with tiered downsampling.
+
+Tokyo Tech's research item: "Analyze collected power and energy info
+archived long term and use for EPA scheduling."  Archiving years of
+second-resolution samples is infeasible, so real archives downsample
+with age.  This archive keeps three tiers — raw, minute means, hour
+means — each with a retention horizon, and answers range queries from
+the finest tier that still covers the range.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import check_positive
+
+
+@dataclass
+class _Tier:
+    resolution: float
+    retention: float
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    # accumulation state for downsampling
+    bucket_start: Optional[float] = None
+    bucket_sum: float = 0.0
+    bucket_count: int = 0
+
+
+class LongTermArchive:
+    """Three-tier downsampling archive for one signal.
+
+    Parameters
+    ----------
+    raw_retention:
+        Seconds of raw samples kept (default 1 day).
+    minute_retention / hour_retention:
+        Retention of the 60 s and 3600 s mean tiers.
+    """
+
+    def __init__(
+        self,
+        raw_retention: float = 86400.0,
+        minute_retention: float = 30 * 86400.0,
+        hour_retention: float = 3 * 365 * 86400.0,
+    ) -> None:
+        check_positive("raw_retention", raw_retention)
+        if not (raw_retention <= minute_retention <= hour_retention):
+            raise ConfigurationError(
+                "retentions must be ordered raw <= minute <= hour"
+            )
+        self.raw = _Tier(resolution=0.0, retention=raw_retention)
+        self.minute = _Tier(resolution=60.0, retention=minute_retention)
+        self.hour = _Tier(resolution=3600.0, retention=hour_retention)
+        self._last_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record(self, time: float, value: float) -> None:
+        """Append one sample (times must be non-decreasing)."""
+        if self._last_time is not None and time < self._last_time:
+            raise ConfigurationError(
+                f"archive samples must be time-ordered ({time} < {self._last_time})"
+            )
+        self._last_time = time
+        self.raw.times.append(time)
+        self.raw.values.append(value)
+        for tier in (self.minute, self.hour):
+            self._feed_tier(tier, time, value)
+        self._expire(time)
+
+    def _feed_tier(self, tier: _Tier, time: float, value: float) -> None:
+        bucket = (time // tier.resolution) * tier.resolution
+        if tier.bucket_start is None:
+            tier.bucket_start = bucket
+        if bucket != tier.bucket_start:
+            if tier.bucket_count:
+                tier.times.append(tier.bucket_start)
+                tier.values.append(tier.bucket_sum / tier.bucket_count)
+            tier.bucket_start = bucket
+            tier.bucket_sum = 0.0
+            tier.bucket_count = 0
+        tier.bucket_sum += value
+        tier.bucket_count += 1
+
+    def _expire(self, now: float) -> None:
+        for tier in (self.raw, self.minute, self.hour):
+            horizon = now - tier.retention
+            cut = bisect.bisect_left(tier.times, horizon)
+            if cut:
+                del tier.times[:cut]
+                del tier.values[:cut]
+
+    def flush(self) -> None:
+        """Close any open downsampling buckets (end of simulation)."""
+        for tier in (self.minute, self.hour):
+            if tier.bucket_count:
+                tier.times.append(tier.bucket_start)
+                tier.values.append(tier.bucket_sum / tier.bucket_count)
+                tier.bucket_start = None
+                tier.bucket_sum = 0.0
+                tier.bucket_count = 0
+
+    # ------------------------------------------------------------------
+    def query(self, start: float, end: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Samples in [start, end) from the finest tier covering start."""
+        for tier in (self.raw, self.minute, self.hour):
+            if tier.times and tier.times[0] <= start:
+                return self._slice(tier, start, end)
+        # Nothing covers the start; fall back to the coarsest non-empty.
+        for tier in (self.hour, self.minute, self.raw):
+            if tier.times:
+                return self._slice(tier, start, end)
+        return np.array([]), np.array([])
+
+    @staticmethod
+    def _slice(tier: _Tier, start: float, end: float) -> Tuple[np.ndarray, np.ndarray]:
+        lo = bisect.bisect_left(tier.times, start)
+        hi = bisect.bisect_left(tier.times, end)
+        return np.asarray(tier.times[lo:hi]), np.asarray(tier.values[lo:hi])
+
+    def mean_over(self, start: float, end: float) -> float:
+        """Mean of the archived signal over [start, end)."""
+        _, values = self.query(start, end)
+        return float(values.mean()) if values.size else 0.0

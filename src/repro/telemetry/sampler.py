@@ -1,0 +1,82 @@
+"""Multi-channel telemetry sampling.
+
+A :class:`TelemetrySampler` polls any number of named channels (each a
+zero-argument callable) on one period and keeps per-channel series.
+It is the generalization of :class:`~repro.power.meter.PowerMeter`
+to arbitrary signals: node temperatures, queue depth, facility PUE —
+whatever a policy or analysis wants to watch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..simulator.engine import Simulator
+from ..simulator.events import EventPriority
+from ..units import check_positive
+
+
+@dataclass
+class Channel:
+    """One named telemetry signal."""
+
+    name: str
+    source: Callable[[], float]
+    unit: str = ""
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) as numpy arrays."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def latest(self) -> Optional[float]:
+        """Most recent value, or None before the first sample."""
+        return self.values[-1] if self.values else None
+
+    def mean(self) -> float:
+        """Arithmetic mean of samples (0 with no samples)."""
+        return float(np.mean(self.values)) if self.values else 0.0
+
+
+class TelemetrySampler:
+    """Poll registered channels on a fixed period."""
+
+    def __init__(self, sim: Simulator, interval: float = 60.0) -> None:
+        self.sim = sim
+        self.interval = check_positive("interval", interval)
+        self.channels: Dict[str, Channel] = {}
+        self._handle = None
+
+    def add_channel(self, name: str, source: Callable[[], float], unit: str = "") -> Channel:
+        """Register a channel; returns it for direct series access."""
+        if name in self.channels:
+            raise ConfigurationError(f"duplicate telemetry channel {name!r}")
+        channel = Channel(name, source, unit)
+        self.channels[name] = channel
+        return channel
+
+    def sample(self) -> None:
+        """Poll every channel once."""
+        now = self.sim.now
+        for channel in self.channels.values():
+            channel.times.append(now)
+            channel.values.append(float(channel.source()))
+
+    def start(self) -> None:
+        """Begin periodic sampling (immediate first sample)."""
+        self.sample()
+        self._handle = self.sim.every(
+            self.interval, self.sample, priority=EventPriority.MONITOR,
+            name="telemetry",
+        )
+
+    def stop(self) -> None:
+        """Stop sampling; series remain queryable."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

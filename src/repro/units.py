@@ -1,0 +1,109 @@
+"""Unit conventions and validation helpers.
+
+The library uses SI base conventions throughout:
+
+========  ==========================  =================
+Quantity  Unit                        Python type
+========  ==========================  =================
+time      seconds of simulated time   ``float``
+power     watts                       ``float``
+energy    joules                      ``float``
+frequency hertz                       ``float``
+========  ==========================  =================
+
+These helpers exist so that configuration code can be written in the
+units people actually think in (megawatts, hours, gigahertz) while the
+core stays unit-uniform, and so that invalid physical quantities are
+rejected at the boundary rather than deep inside the simulator.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+#: Seconds per minute/hour/day, for readable configuration code.
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86400.0
+
+#: Watts per kilowatt/megawatt.
+KILOWATT: float = 1e3
+MEGAWATT: float = 1e6
+
+#: Joules per kilowatt-hour / megawatt-hour.
+KILOWATT_HOUR: float = 3.6e6
+MEGAWATT_HOUR: float = 3.6e9
+
+#: Hertz per megahertz/gigahertz.
+MEGAHERTZ: float = 1e6
+GIGAHERTZ: float = 1e9
+
+
+def minutes(value: float) -> float:
+    """Return *value* minutes expressed in seconds."""
+    return value * MINUTE
+
+
+def hours(value: float) -> float:
+    """Return *value* hours expressed in seconds."""
+    return value * HOUR
+
+
+def days(value: float) -> float:
+    """Return *value* days expressed in seconds."""
+    return value * DAY
+
+
+def kilowatts(value: float) -> float:
+    """Return *value* kilowatts expressed in watts."""
+    return value * KILOWATT
+
+
+def megawatts(value: float) -> float:
+    """Return *value* megawatts expressed in watts."""
+    return value * MEGAWATT
+
+
+def gigahertz(value: float) -> float:
+    """Return *value* gigahertz expressed in hertz."""
+    return value * GIGAHERTZ
+
+
+def joules_to_kwh(value: float) -> float:
+    """Convert joules to kilowatt-hours (for report rendering)."""
+    return value / KILOWATT_HOUR
+
+
+def joules_to_mwh(value: float) -> float:
+    """Convert joules to megawatt-hours (for report rendering)."""
+    return value / MEGAWATT_HOUR
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that *value* is a finite, strictly positive number.
+
+    Returns the value so the helper can be used inline in constructors.
+    Raises :class:`~repro.errors.ConfigurationError` otherwise.
+    """
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not (value > 0) or value != value or value in (float("inf"),):
+        raise ConfigurationError(f"{name} must be finite and > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that *value* is a finite number >= 0 and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not (value >= 0) or value != value or value == float("inf"):
+        raise ConfigurationError(f"{name} must be finite and >= 0, got {value!r}")
+    return float(value)
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    v = check_non_negative(name, value)
+    if v > 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return v

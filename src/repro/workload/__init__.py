@@ -1,0 +1,39 @@
+"""Workload substrate: jobs, applications and trace generation.
+
+Survey question 3 defines exactly the statistical envelope we model —
+job counts, sizes, runtimes, queue backlog, throughput, the
+capability-vs-capacity split, and the size/walltime percentile tables
+of Q3(e).  This package provides the job model (including moldable
+configurations and compute/memory/communication phases), a synthetic
+application catalog with per-application frequency sensitivity (the
+LRZ characterization target), configurable workload generators with
+per-center presets, and Standard Workload Format (SWF) trace I/O.
+"""
+
+from .job import Job, JobState, MoldableConfig
+from .phases import Phase, PhaseProfile, COMPUTE_BOUND, MEMORY_BOUND, COMM_BOUND, BALANCED
+from .apps import Application, ApplicationCatalog, default_catalog
+from .generator import WorkloadGenerator, WorkloadSpec
+from .presets import center_workload_spec, CENTER_WORKLOADS
+from .swf import read_swf, write_swf
+
+__all__ = [
+    "Application",
+    "ApplicationCatalog",
+    "BALANCED",
+    "CENTER_WORKLOADS",
+    "COMM_BOUND",
+    "COMPUTE_BOUND",
+    "Job",
+    "JobState",
+    "MEMORY_BOUND",
+    "MoldableConfig",
+    "Phase",
+    "PhaseProfile",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "center_workload_spec",
+    "default_catalog",
+    "read_swf",
+    "write_swf",
+]

@@ -1,0 +1,233 @@
+"""Batch job model and life-cycle.
+
+A job carries what the user declares (requested nodes, requested
+walltime, tag), what is actually true (the hidden work amount and
+phase structure the simulator executes), and the bookkeeping every
+surveyed reporting capability needs (start/end, consumed energy —
+Tokyo Tech and JCAHPC both deliver post-job energy reports to users).
+
+Moldable jobs — "jobs which can run with different configurations
+(number of nodes, cores or threads)" — are first-class: a job may list
+:class:`MoldableConfig` alternatives, and a policy (Patki-style) picks
+one before start.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import JobStateError, WorkloadError
+from .phases import BALANCED, PhaseProfile
+
+
+class JobState(enum.Enum):
+    """Life-cycle states of a batch job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    #: Killed by the system (e.g. RIKEN emergency power kill).
+    KILLED = "killed"
+    #: Exceeded its requested walltime and was terminated.
+    TIMEOUT = "timeout"
+    #: Removed from the queue before starting.
+    CANCELLED = "cancelled"
+
+
+_TRANSITIONS = {
+    JobState.PENDING: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.RUNNING: {JobState.COMPLETED, JobState.KILLED, JobState.TIMEOUT},
+    JobState.COMPLETED: set(),
+    JobState.KILLED: set(),
+    JobState.TIMEOUT: set(),
+    JobState.CANCELLED: set(),
+}
+
+TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.KILLED, JobState.TIMEOUT, JobState.CANCELLED}
+)
+
+
+@dataclass(frozen=True)
+class MoldableConfig:
+    """One admissible (nodes, work) configuration of a moldable job.
+
+    ``work_seconds`` is the full-speed runtime in that configuration;
+    a config with more nodes normally has less work per the job's
+    parallel efficiency.
+    """
+
+    nodes: int
+    work_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise WorkloadError(f"moldable config needs >= 1 node, got {self.nodes}")
+        if self.work_seconds <= 0:
+            raise WorkloadError("moldable config needs positive work")
+
+
+@dataclass
+class Job:
+    """A batch job.
+
+    Parameters
+    ----------
+    job_id:
+        Unique string id.
+    nodes:
+        Number of whole nodes requested (allocation granularity in all
+        surveyed systems).
+    work_seconds:
+        True runtime at full frequency ("work"); hidden from the
+        scheduler, which only sees ``walltime_request``.
+    walltime_request:
+        The user's (over-)estimate; schedulers plan with this.
+    submit_time:
+        Simulated submission time, seconds.
+    profile:
+        Phase structure; defaults to a balanced mix.
+    app_name / tag:
+        Application identity and the user-supplied similarity tag used
+        by history-based prediction ([4], [40]).
+    moldable:
+        Optional alternative configurations.
+    """
+
+    job_id: str
+    nodes: int
+    work_seconds: float
+    walltime_request: float
+    submit_time: float = 0.0
+    user: str = "user0"
+    profile: PhaseProfile = field(default_factory=lambda: BALANCED)
+    app_name: str = "generic"
+    tag: str = ""
+    memory_gb_per_node: float = 1.0
+    priority: int = 0
+    queue: str = "default"
+    moldable: Tuple[MoldableConfig, ...] = ()
+
+    # --- life-cycle bookkeeping (filled in by the simulation) ---------
+    state: JobState = JobState.PENDING
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    assigned_nodes: List[int] = field(default_factory=list)
+    assigned_frequency: Optional[float] = None
+    energy_joules: float = 0.0
+    kill_reason: str = ""
+    power_estimate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise WorkloadError(f"job {self.job_id}: nodes must be >= 1")
+        if self.work_seconds <= 0:
+            raise WorkloadError(f"job {self.job_id}: work must be positive")
+        if self.walltime_request <= 0:
+            raise WorkloadError(f"job {self.job_id}: walltime must be positive")
+
+    # ------------------------------------------------------------------
+    # Life-cycle
+    # ------------------------------------------------------------------
+    def _move(self, target: JobState) -> None:
+        if target not in _TRANSITIONS[self.state]:
+            raise JobStateError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {target.value}"
+            )
+        self.state = target
+
+    def start(self, time: float, node_ids: List[int]) -> None:
+        """Mark the job running on *node_ids* at *time*."""
+        if len(node_ids) != self.nodes:
+            raise JobStateError(
+                f"job {self.job_id}: assigned {len(node_ids)} nodes, needs {self.nodes}"
+            )
+        self._move(JobState.RUNNING)
+        self.start_time = time
+        self.assigned_nodes = list(node_ids)
+
+    def complete(self, time: float) -> None:
+        """Mark normal completion at *time*."""
+        self._move(JobState.COMPLETED)
+        self.end_time = time
+
+    def kill(self, time: float, reason: str = "") -> None:
+        """Mark a system kill (power emergency etc.) at *time*."""
+        self._move(JobState.KILLED)
+        self.end_time = time
+        self.kill_reason = reason
+
+    def timeout(self, time: float) -> None:
+        """Mark walltime-limit termination at *time*."""
+        self._move(JobState.TIMEOUT)
+        self.end_time = time
+
+    def cancel(self) -> None:
+        """Remove from queue before start."""
+        self._move(JobState.CANCELLED)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def is_terminal(self) -> bool:
+        """True once the job can never run again."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queue wait (start - submit), None if never started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> Optional[float]:
+        """Wall time actually spent running, None if not finished."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        """End-to-end time (end - submit), None if not finished."""
+        if self.end_time is None:
+            return None
+        return self.end_time - self.submit_time
+
+    def bounded_slowdown(self, threshold: float = 10.0) -> Optional[float]:
+        """Bounded slowdown (Feitelson): (wait+run)/max(run, threshold).
+
+        The standard responsiveness metric of the backfilling
+        literature ([35]).
+        """
+        if self.start_time is None or self.end_time is None:
+            return None
+        run = max(self.end_time - self.start_time, threshold)
+        return max(1.0, (self.wait_time + (self.end_time - self.start_time)) / run)
+
+    @property
+    def node_seconds(self) -> Optional[float]:
+        """Nodes × runtime, the utilization contribution."""
+        run = self.run_time
+        return None if run is None else run * self.nodes
+
+    @property
+    def mean_power_intensity(self) -> float:
+        """Work-weighted dynamic-power intensity of the job's phases."""
+        return self.profile.mean_intensity
+
+    @property
+    def mean_sensitivity(self) -> float:
+        """Work-weighted frequency sensitivity of the job's phases."""
+        return self.profile.mean_sensitivity
+
+    def config_for(self, nodes: int) -> Optional[MoldableConfig]:
+        """The moldable configuration with exactly *nodes*, if any."""
+        for cfg in self.moldable:
+            if cfg.nodes == nodes:
+                return cfg
+        return None

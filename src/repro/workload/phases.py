@@ -1,0 +1,98 @@
+"""Application execution phases.
+
+Freeh et al. (cited as [21]) showed the energy-time trade-off of DVFS
+depends on whether code is compute-, memory- or communication-bound;
+approaches that "take advantage of compute, memory, communication
+phases" are explicitly called out in the survey's related work.  A
+:class:`Phase` carries the two coefficients the power model needs:
+
+* ``sensitivity`` — how much slowdown a frequency reduction causes
+  (1.0: perfectly compute-bound; ~0.1: stalls dominate);
+* ``intensity`` — how much of the node's dynamic power range the phase
+  actually exercises (vectorized compute burns more than pointer
+  chasing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of an application's execution.
+
+    Attributes
+    ----------
+    fraction:
+        Share of the job's total work done in this phase, in (0, 1].
+    sensitivity:
+        Frequency sensitivity in [0, 1].
+    intensity:
+        Dynamic-power intensity (utilization) in [0, 1].
+    kind:
+        Label ("compute", "memory", "comm", "io", ...).
+    """
+
+    fraction: float
+    sensitivity: float = 1.0
+    intensity: float = 1.0
+    kind: str = "compute"
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.fraction <= 1.0):
+            raise WorkloadError(f"phase fraction must be in (0,1], got {self.fraction}")
+        if not (0.0 <= self.sensitivity <= 1.0):
+            raise WorkloadError(f"sensitivity must be in [0,1], got {self.sensitivity}")
+        if not (0.0 <= self.intensity <= 1.0):
+            raise WorkloadError(f"intensity must be in [0,1], got {self.intensity}")
+
+
+class PhaseProfile:
+    """An ordered sequence of phases summing to the whole job.
+
+    Profiles are immutable after construction, so the work-weighted
+    means are precomputed (they sit on the simulation's hottest path:
+    every power evaluation of every busy node reads them).
+    """
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        phases = list(phases)
+        if not phases:
+            raise WorkloadError("a phase profile needs at least one phase")
+        total = sum(p.fraction for p in phases)
+        if abs(total - 1.0) > 1e-6:
+            raise WorkloadError(f"phase fractions must sum to 1, got {total}")
+        self.phases: List[Phase] = phases
+        self.mean_sensitivity: float = sum(
+            p.fraction * p.sensitivity for p in phases
+        )
+        self.mean_intensity: float = sum(
+            p.fraction * p.intensity for p in phases
+        )
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    def segments(self, total_work: float) -> List[Tuple[float, Phase]]:
+        """Split *total_work* into per-phase (work, phase) segments."""
+        return [(p.fraction * total_work, p) for p in self.phases]
+
+
+#: Canonical profiles used across examples and presets.
+COMPUTE_BOUND = PhaseProfile([Phase(1.0, sensitivity=0.95, intensity=1.0, kind="compute")])
+MEMORY_BOUND = PhaseProfile([Phase(1.0, sensitivity=0.25, intensity=0.7, kind="memory")])
+COMM_BOUND = PhaseProfile([Phase(1.0, sensitivity=0.15, intensity=0.5, kind="comm")])
+BALANCED = PhaseProfile(
+    [
+        Phase(0.5, sensitivity=0.95, intensity=1.0, kind="compute"),
+        Phase(0.3, sensitivity=0.3, intensity=0.7, kind="memory"),
+        Phase(0.2, sensitivity=0.15, intensity=0.5, kind="comm"),
+    ]
+)

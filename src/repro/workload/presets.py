@@ -1,0 +1,132 @@
+"""Per-center workload presets.
+
+Survey Q3 asked each center for its workload envelope: typical job
+counts and sizes, backlog, throughput, and the capability/capacity
+split of the scheduling goal (Q3d).  These presets encode a plausible
+envelope per center, scaled so that the preset is usable on a
+simulated machine of a few hundred to a few thousand nodes.  They are
+*calibrated shapes*, not measured traces — production traces are not
+public, which is exactly the substitution DESIGN.md documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import SurveyError
+from ..units import DAY, HOUR
+from .generator import WorkloadSpec
+
+#: Q3-style envelopes.  Keys are survey center slugs.
+CENTER_WORKLOADS: Dict[str, dict] = {
+    # RIKEN (K computer): capability machine; monthly large-job days.
+    "riken": dict(
+        arrival_rate=30.0 / HOUR,
+        capability_fraction=0.35,
+        min_nodes=1,
+        max_nodes=512,
+        mean_work=4.0 * HOUR,
+        work_sigma=1.1,
+        diurnal=False,
+    ),
+    # Tokyo Tech (TSUBAME): university capacity machine, many small jobs,
+    # strong diurnal pattern, virtualized node splitting.
+    "tokyotech": dict(
+        arrival_rate=120.0 / HOUR,
+        capability_fraction=0.03,
+        min_nodes=1,
+        max_nodes=128,
+        mean_work=1.0 * HOUR,
+        work_sigma=1.3,
+        diurnal=True,
+    ),
+    # CEA (Curie): mixed defence/research workload.
+    "cea": dict(
+        arrival_rate=60.0 / HOUR,
+        capability_fraction=0.15,
+        min_nodes=1,
+        max_nodes=256,
+        mean_work=3.0 * HOUR,
+        work_sigma=1.0,
+        diurnal=False,
+    ),
+    # KAUST (Shaheen XC40): large capability share.
+    "kaust": dict(
+        arrival_rate=40.0 / HOUR,
+        capability_fraction=0.25,
+        min_nodes=1,
+        max_nodes=512,
+        mean_work=4.0 * HOUR,
+        work_sigma=1.0,
+        diurnal=False,
+    ),
+    # LRZ (SuperMUC): broad academic mix; the energy-tag system needs
+    # repeated runs of the same applications.
+    "lrz": dict(
+        arrival_rate=80.0 / HOUR,
+        capability_fraction=0.10,
+        min_nodes=1,
+        max_nodes=256,
+        mean_work=2.0 * HOUR,
+        work_sigma=1.2,
+        diurnal=True,
+    ),
+    # STFC (small 360-node experimental system + production clusters).
+    "stfc": dict(
+        arrival_rate=50.0 / HOUR,
+        capability_fraction=0.05,
+        min_nodes=1,
+        max_nodes=64,
+        mean_work=1.5 * HOUR,
+        work_sigma=1.2,
+        diurnal=True,
+    ),
+    # Trinity (LANL+Sandia): capability-class weapons science, very
+    # large jobs, long runtimes.
+    "trinity": dict(
+        arrival_rate=20.0 / HOUR,
+        capability_fraction=0.45,
+        min_nodes=4,
+        max_nodes=1024,
+        mean_work=8.0 * HOUR,
+        work_sigma=0.9,
+        diurnal=False,
+    ),
+    # CINECA (Eurora/Marconi): academic capacity with accelerator mix.
+    "cineca": dict(
+        arrival_rate=90.0 / HOUR,
+        capability_fraction=0.08,
+        min_nodes=1,
+        max_nodes=128,
+        mean_work=1.5 * HOUR,
+        work_sigma=1.2,
+        diurnal=True,
+    ),
+    # JCAHPC (Oakforest-PACS): shared U.Tsukuba/U.Tokyo machine.
+    "jcahpc": dict(
+        arrival_rate=70.0 / HOUR,
+        capability_fraction=0.20,
+        min_nodes=1,
+        max_nodes=512,
+        mean_work=2.5 * HOUR,
+        work_sigma=1.0,
+        diurnal=True,
+    ),
+}
+
+
+def center_workload_spec(center: str, duration: float = 2.0 * DAY, **overrides) -> WorkloadSpec:
+    """Build the :class:`WorkloadSpec` for a surveyed center.
+
+    *overrides* replace any preset field (e.g. ``max_nodes`` to match a
+    smaller simulated machine).
+    """
+    try:
+        params = dict(CENTER_WORKLOADS[center])
+    except KeyError:
+        raise SurveyError(
+            f"unknown center {center!r}; known: {sorted(CENTER_WORKLOADS)}"
+        ) from None
+    params["duration"] = duration
+    params.update(overrides)
+    return WorkloadSpec(**params)

@@ -1,0 +1,143 @@
+"""Tests for the analysis harness: stats, runner, compare, report."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentRunner,
+    Variant,
+    compare_metrics,
+    format_quantity,
+    percentile_table,
+    relative_change,
+    render_columns,
+    render_dict_table,
+    workload_summary,
+)
+from repro.cluster import Machine, MachineSpec
+from repro.core import ClusterSimulation, EasyBackfillScheduler, FcfsScheduler
+from repro.core.metrics import MetricsReport
+from repro.units import DAY
+from tests.conftest import make_job
+
+
+class TestPercentileTable:
+    def test_q3e_quantities(self):
+        jobs = [make_job(job_id=f"j{i}", nodes=i + 1, work=(i + 1) * 100.0)
+                for i in range(10)]
+        tables = percentile_table(jobs)
+        sizes = tables["job_size_nodes"]
+        assert sizes.minimum == 1.0
+        assert sizes.maximum == 10.0
+        assert sizes.median == pytest.approx(5.5)
+        assert sizes.p10 < sizes.p25 < sizes.p75 < sizes.p90
+        row = sizes.as_row()
+        assert set(row) == {"min", "p10", "p25", "median", "p75", "p90", "max"}
+
+    def test_uses_actual_runtime_when_known(self):
+        job = make_job(work=500.0)
+        job.start(0.0, [0])
+        job.complete(250.0)  # ran faster than its work estimate
+        tables = percentile_table([job])
+        assert tables["wallclock_seconds"].median == pytest.approx(250.0)
+
+    def test_empty(self):
+        tables = percentile_table([])
+        assert tables["job_size_nodes"].maximum == 0.0
+
+
+class TestWorkloadSummary:
+    def test_counts_and_throughput(self):
+        jobs = []
+        for i in range(30):
+            job = make_job(job_id=f"j{i}")
+            job.start(0.0, [0])
+            job.complete(100.0)
+            jobs.append(job)
+        summary = workload_summary(jobs, span=30 * DAY)
+        assert summary["jobs_total"] == 30
+        assert summary["jobs_per_month"] == pytest.approx(30.0)
+
+
+class TestExperimentRunner:
+    def _variant(self, name, scheduler):
+        def build():
+            machine = Machine(MachineSpec(name="m", nodes=8))
+            jobs = [make_job(job_id=f"j{i}", nodes=4, work=100.0,
+                             walltime=400.0, submit=float(i))
+                    for i in range(6)]
+            return ClusterSimulation(machine, scheduler(), jobs)
+
+        return Variant(name, build)
+
+    def test_runs_all_variants(self):
+        runner = ExperimentRunner([
+            self._variant("fcfs", FcfsScheduler),
+            self._variant("easy", EasyBackfillScheduler),
+        ])
+        results = runner.run_all()
+        assert [r.name for r in results] == ["fcfs", "easy"]
+        assert all(r.metrics.jobs_completed == 6 for r in results)
+
+    def test_metric_table(self):
+        runner = ExperimentRunner([self._variant("fcfs", FcfsScheduler)])
+        runner.run_all()
+        table = runner.metric_table(["jobs_completed", "mean_wait"])
+        assert table["fcfs"]["jobs_completed"] == 6
+
+    def test_best_by(self):
+        runner = ExperimentRunner([
+            self._variant("fcfs", FcfsScheduler),
+            self._variant("easy", EasyBackfillScheduler),
+        ])
+        runner.run_all()
+        best = runner.best_by("mean_wait", minimize=True)
+        assert best.name in ("fcfs", "easy")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner([
+                self._variant("x", FcfsScheduler),
+                self._variant("x", FcfsScheduler),
+            ])
+
+    def test_best_before_run_raises(self):
+        runner = ExperimentRunner([self._variant("x", FcfsScheduler)])
+        with pytest.raises(ValueError):
+            runner.best_by("mean_wait")
+
+
+class TestCompare:
+    def test_relative_change(self):
+        assert relative_change(100.0, 150.0) == pytest.approx(0.5)
+        assert relative_change(100.0, 50.0) == pytest.approx(-0.5)
+        assert relative_change(0.0, 0.0) == 0.0
+        assert relative_change(0.0, 5.0) == float("inf")
+
+    def test_compare_metrics(self):
+        a = MetricsReport(mean_wait=100.0, jobs_completed=10)
+        b = MetricsReport(mean_wait=50.0, jobs_completed=10)
+        diff = compare_metrics(a, b)
+        assert diff["mean_wait"] == pytest.approx(-0.5)
+        assert diff["jobs_completed"] == 0.0
+
+
+class TestReport:
+    def test_format_quantity_scales(self):
+        assert format_quantity(1234.0) == "1.23k"
+        assert format_quantity(2.5e6, "W") == "2.50MW"
+        assert format_quantity(3.2) == "3.200"
+        assert format_quantity(float("nan")) == "n/a"
+
+    def test_render_columns_aligns(self):
+        text = render_columns(["a", "b"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_dict_table(self):
+        table = {"v1": {"m": 1.0, "n": 2.0}, "v2": {"m": 3.0, "n": 4.0}}
+        text = render_dict_table(table)
+        assert "v1" in text and "v2" in text and "m" in text
+
+    def test_render_empty(self):
+        assert render_dict_table({}) == "(empty table)"

@@ -1,0 +1,42 @@
+"""Tests for the sparkline renderer."""
+
+import pytest
+
+from repro.analysis import render_sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_flat_series_mid_height(self):
+        out = render_sparkline([5.0, 5.0, 5.0])
+        assert out == "▄▄▄"
+
+    def test_monotone_ramp(self):
+        out = render_sparkline(list(range(9)))
+        assert out[0] == " "
+        assert out[-1] == "█"
+        # Levels never decrease along a ramp.
+        levels = " ▁▂▃▄▅▆▇█"
+        indices = [levels.index(ch) for ch in out]
+        assert indices == sorted(indices)
+
+    def test_resampling_to_width(self):
+        out = render_sparkline(list(range(1000)), width=50)
+        assert len(out) == 50
+
+    def test_short_series_not_padded(self):
+        assert len(render_sparkline([1, 2, 3], width=60)) == 3
+
+    def test_peak_visible_after_pooling(self):
+        values = [0.0] * 100
+        values[50] = 100.0
+        out = render_sparkline(values, width=20)
+        assert "█" in out
+
+    def test_accepts_numpy(self):
+        import numpy as np
+
+        out = render_sparkline(np.linspace(0, 1, 30))
+        assert len(out) == 30

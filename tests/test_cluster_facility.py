@@ -1,0 +1,88 @@
+"""Tests for the PDU/chiller facility model (CEA layout logic)."""
+
+import pytest
+
+from repro.cluster.facility import (
+    Chiller,
+    Facility,
+    MaintenanceWindow,
+    PowerDistributionUnit,
+)
+from repro.errors import ClusterError
+
+
+@pytest.fixture
+def facility():
+    pdus = [
+        PowerDistributionUnit("pdu0", 10_000, [0, 1, 2, 3]),
+        PowerDistributionUnit("pdu1", 10_000, [4, 5, 6, 7]),
+    ]
+    chillers = [Chiller("chiller0", 30_000, ["pdu0", "pdu1"])]
+    return Facility(50_000, pdus=pdus, chillers=chillers)
+
+
+class TestDependencyMap:
+    def test_pdu_of(self, facility):
+        assert facility.pdu_of(0) == "pdu0"
+        assert facility.pdu_of(5) == "pdu1"
+        assert facility.pdu_of(99) is None
+
+    def test_chiller_of(self, facility):
+        assert facility.chiller_of(0) == "chiller0"
+        assert facility.chiller_of(7) == "chiller0"
+
+    def test_dependencies_of(self, facility):
+        assert facility.dependencies_of(0) == {"pdu0", "chiller0"}
+        assert facility.dependencies_of(99) == set()
+
+    def test_nodes_of_component(self, facility):
+        assert facility.nodes_of_component("pdu0") == {0, 1, 2, 3}
+        assert facility.nodes_of_component("chiller0") == set(range(8))
+        with pytest.raises(ClusterError):
+            facility.nodes_of_component("nothing")
+
+    def test_node_in_two_pdus_rejected(self):
+        pdus = [
+            PowerDistributionUnit("a", 1000, [0, 1]),
+            PowerDistributionUnit("b", 1000, [1, 2]),
+        ]
+        with pytest.raises(ClusterError):
+            Facility(5000, pdus=pdus)
+
+    def test_chiller_unknown_pdu_rejected(self):
+        with pytest.raises(ClusterError):
+            Facility(
+                5000,
+                pdus=[PowerDistributionUnit("a", 1000, [0])],
+                chillers=[Chiller("c", 1000, ["nope"])],
+            )
+
+
+class TestMaintenance:
+    def test_window_activity(self):
+        window = MaintenanceWindow("pdu0", 100.0, 200.0)
+        assert not window.active_at(99.0)
+        assert window.active_at(100.0)
+        assert window.active_at(199.9)
+        assert not window.active_at(200.0)
+
+    def test_nodes_under_maintenance_now(self, facility):
+        facility.add_maintenance(MaintenanceWindow("pdu0", 100.0, 200.0))
+        assert facility.nodes_under_maintenance(50.0) == set()
+        assert facility.nodes_under_maintenance(150.0) == {0, 1, 2, 3}
+        assert facility.nodes_under_maintenance(250.0) == set()
+
+    def test_horizon_sees_upcoming_window(self, facility):
+        facility.add_maintenance(MaintenanceWindow("chiller0", 100.0, 200.0))
+        # At t=50 with a 100 s horizon the window is visible.
+        assert facility.nodes_under_maintenance(50.0, horizon=100.0) == set(range(8))
+        # With no horizon it is not.
+        assert facility.nodes_under_maintenance(50.0) == set()
+
+    def test_unknown_component_rejected(self, facility):
+        with pytest.raises(ClusterError):
+            facility.add_maintenance(MaintenanceWindow("nope", 0.0, 1.0))
+
+    def test_inverted_window_rejected(self, facility):
+        with pytest.raises(ClusterError):
+            facility.add_maintenance(MaintenanceWindow("pdu0", 10.0, 5.0))

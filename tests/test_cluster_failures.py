@@ -1,0 +1,100 @@
+"""Tests for node failure injection."""
+
+import pytest
+
+from repro.cluster import FailureInjector, Machine, MachineSpec, NodeState
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.units import HOUR
+from repro.workload import JobState
+from tests.conftest import make_job
+
+
+def sim_with_failures(jobs, mtbf, repair=HOUR, nodes=16, seed=5):
+    machine = Machine(MachineSpec(name="m", nodes=nodes))
+    simulation = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                   seed=seed)
+    injector = FailureInjector(simulation, node_mtbf=mtbf,
+                               repair_time=repair)
+    injector.arm()
+    return simulation, injector
+
+
+class TestFailureInjector:
+    def test_failures_occur_and_repair(self):
+        simulation, injector = sim_with_failures([], mtbf=16 * 600.0)
+        simulation.run(until=6 * HOUR)
+        assert injector.failures > 0
+        trace = simulation.trace
+        assert trace.count("node.failure") == injector.failures
+        # Every failure older than one repair time has been repaired.
+        now = simulation.sim.now
+        due = sum(1 for r in trace.records("node.failure")
+                  if r.time <= now - HOUR)
+        assert trace.count("node.repair") >= due
+
+    def test_running_job_killed_by_failure(self):
+        # Saturate the machine so a failure must hit a busy node.
+        jobs = [make_job(job_id=f"j{i}", nodes=4, work=5 * HOUR,
+                         walltime=10 * HOUR) for i in range(4)]
+        simulation, injector = sim_with_failures(jobs, mtbf=16 * 1200.0)
+        simulation.run(until=4 * HOUR)
+        assert injector.jobs_lost > 0
+        killed = [j for j in jobs if j.state is JobState.KILLED]
+        assert killed
+        assert all(j.kill_reason == "node failure" for j in killed)
+
+    def test_failed_node_down_then_back(self):
+        simulation, injector = sim_with_failures([], mtbf=16 * 600.0,
+                                                 repair=1800.0)
+        machine = simulation.machine
+        simulation.run(until=2000.0)
+        # Run long enough for at least one repair cycle, then check
+        # the fleet is whole again after a quiet period.
+        simulation.sim.run(until=simulation.sim.now + 4 * HOUR)
+        down = machine.nodes_in_state(NodeState.DOWN)
+        # All failures that happened > repair_time ago are repaired.
+        recent = [
+            r for r in simulation.trace.records("node.failure")
+            if r.time > simulation.sim.now - 1800.0
+        ]
+        assert len(down) <= len(recent)
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            simulation, injector = sim_with_failures([], mtbf=16 * 900.0,
+                                                     seed=seed)
+            simulation.run(until=4 * HOUR)
+            return injector.failures
+
+        assert run(7) == run(7)
+
+    def test_scheduler_routes_around_down_nodes(self):
+        # Failure rate high enough that some nodes are DOWN while
+        # work keeps flowing; everything still finishes.
+        jobs = [make_job(job_id=f"j{i}", nodes=2, work=600.0,
+                         walltime=3000.0, submit=i * 300.0)
+                for i in range(10)]
+        simulation, injector = sim_with_failures(jobs, mtbf=16 * 3600.0,
+                                                 repair=1800.0)
+        result = simulation.run()
+        finished = result.metrics.jobs_completed + result.metrics.jobs_killed
+        assert finished == 10
+        # Most jobs survive at this rate.
+        assert result.metrics.jobs_completed >= 7
+
+    def test_validation(self):
+        machine = Machine(MachineSpec(name="m", nodes=4))
+        simulation = ClusterSimulation(machine, EasyBackfillScheduler(), [])
+        with pytest.raises(Exception):
+            FailureInjector(simulation, node_mtbf=0.0)
+
+    def test_arm_idempotent(self):
+        simulation, injector = sim_with_failures([], mtbf=16 * 600.0)
+        injector.arm()
+        injector.arm()
+        simulation.run(until=100.0)
+        # Only one failure chain exists: events named node-failure
+        # pending is exactly 1.
+        pending = [e for e in simulation.sim._heap
+                   if not e.cancelled and e.name == "node-failure"]
+        assert len(pending) == 1

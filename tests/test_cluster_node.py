@@ -1,0 +1,106 @@
+"""Tests for the node state machine and power control surface."""
+
+import pytest
+
+from repro.cluster import Node, NodeState
+from repro.errors import NodeStateError, PowerCapError
+
+
+@pytest.fixture
+def node():
+    return Node(node_id=0, idle_power=100.0, max_power=300.0)
+
+
+class TestStateMachine:
+    def test_starts_idle(self, node):
+        assert node.state is NodeState.IDLE
+        assert node.is_available
+        assert node.is_on
+
+    def test_assign_release_cycle(self, node):
+        node.assign("j1", time=10.0)
+        assert node.state is NodeState.BUSY
+        assert node.running_job == "j1"
+        assert not node.is_available
+        node.release(time=20.0)
+        assert node.state is NodeState.IDLE
+        assert node.running_job is None
+        assert node.idle_since == 20.0
+
+    def test_assign_busy_node_raises(self, node):
+        node.assign("j1", 0.0)
+        with pytest.raises(NodeStateError):
+            node.assign("j2", 1.0)
+
+    def test_release_idle_node_raises(self, node):
+        with pytest.raises(NodeStateError):
+            node.release(0.0)
+
+    def test_shutdown_boot_cycle(self, node):
+        node.transition(NodeState.SHUTTING_DOWN, 0.0)
+        node.transition(NodeState.OFF, 10.0)
+        assert not node.is_on
+        node.transition(NodeState.BOOTING, 20.0)
+        assert node.is_on
+        assert not node.is_available
+        node.transition(NodeState.IDLE, 30.0)
+        assert node.is_available
+
+    def test_illegal_transition_raises(self, node):
+        with pytest.raises(NodeStateError):
+            node.transition(NodeState.OFF, 0.0)  # must shut down first
+
+    def test_busy_cannot_shut_down(self, node):
+        node.assign("j1", 0.0)
+        with pytest.raises(NodeStateError):
+            node.transition(NodeState.SHUTTING_DOWN, 1.0)
+
+    def test_down_and_back(self, node):
+        node.transition(NodeState.DOWN, 0.0)
+        assert not node.is_on
+        node.transition(NodeState.IDLE, 1.0)
+        assert node.is_available
+
+    def test_idle_since_cleared_when_busy(self, node):
+        node.assign("j1", 5.0)
+        assert node.idle_since is None
+
+
+class TestPowerControl:
+    def test_set_and_clear_cap(self, node):
+        node.set_power_cap(200.0)
+        assert node.power_cap == 200.0
+        node.set_power_cap(None)
+        assert node.power_cap is None
+
+    def test_cap_below_floor_rejected(self, node):
+        with pytest.raises(PowerCapError):
+            node.set_power_cap(50.0)  # below 100 W idle
+
+    def test_cap_floor_is_idle_power(self, node):
+        assert node.cap_floor == 100.0
+        node.set_power_cap(100.0)  # exactly at floor is allowed
+
+    def test_frequency_clamped_to_range(self, node):
+        node.set_frequency(10e9)
+        assert node.frequency == node.max_frequency
+        node.set_frequency(0.1e9)
+        assert node.frequency == node.min_frequency
+
+    def test_effective_max_power_uses_variability(self, node):
+        node.variability = 1.1
+        assert node.effective_max_power == pytest.approx(330.0)
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(NodeStateError):
+            Node(0, cores=0)
+
+    def test_rejects_max_below_idle(self):
+        with pytest.raises(NodeStateError):
+            Node(0, idle_power=300.0, max_power=100.0)
+
+    def test_rejects_inverted_frequencies(self):
+        with pytest.raises(NodeStateError):
+            Node(0, max_frequency=1e9, min_frequency=2e9)

@@ -1,0 +1,106 @@
+"""Tests for the ambient and cooling models."""
+
+import pytest
+
+from repro.cluster.thermal import AmbientModel, CoolingModel
+from repro.cluster.variability import VariabilityModel
+from repro.cluster import Node
+from repro.simulator import RngStreams
+from repro.units import DAY
+
+
+class TestAmbientModel:
+    def test_seasonal_swing(self):
+        model = AmbientModel(mean=10.0, seasonal_amplitude=10.0,
+                             diurnal_amplitude=0.0)
+        # Mid-July (day ~196) should be warmer than mid-January (day ~15).
+        summer = model.temperature(196 * DAY)
+        winter = model.temperature(15 * DAY)
+        assert summer > winter
+        assert summer <= 20.0 + 1e-6
+        assert winter >= 0.0 - 1e-6
+
+    def test_diurnal_peak_afternoon(self):
+        model = AmbientModel(mean=10.0, seasonal_amplitude=0.0,
+                             diurnal_amplitude=5.0)
+        afternoon = model.temperature(14 * 3600.0)
+        night = model.temperature(2 * 3600.0)
+        assert afternoon > night
+
+    def test_is_summer_window(self):
+        model = AmbientModel()
+        assert model.is_summer(180 * DAY)  # late June
+        assert not model.is_summer(15 * DAY)  # January
+        assert not model.is_summer(300 * DAY)  # late October
+
+    def test_noise_requires_rng(self):
+        rng = RngStreams(1).stream("t")
+        noisy = AmbientModel(noise_std=1.0, rng=rng)
+        values = {noisy.temperature(0.0) for _ in range(5)}
+        assert len(values) > 1  # noise varies draw to draw
+
+    def test_deterministic_without_noise(self):
+        model = AmbientModel()
+        assert model.temperature(12345.0) == model.temperature(12345.0)
+
+
+class TestCoolingModel:
+    def test_cop_bounds(self):
+        model = CoolingModel(cop_max=8.0, cop_min=2.0,
+                             free_cooling_below=5.0, design_ambient=35.0)
+        assert model.cop(0.0) == 8.0
+        assert model.cop(40.0) == 2.0
+        mid = model.cop(20.0)
+        assert 2.0 < mid < 8.0
+
+    def test_cop_monotone_decreasing(self):
+        model = CoolingModel()
+        temps = [0, 10, 20, 30, 40]
+        cops = [model.cop(t) for t in temps]
+        assert cops == sorted(cops, reverse=True)
+
+    def test_overhead_and_pue(self):
+        model = CoolingModel(cop_max=4.0, cop_min=4.0,
+                             free_cooling_below=0.0, design_ambient=50.0)
+        assert model.overhead_watts(1000.0, 20.0) == pytest.approx(250.0)
+        assert model.pue(20.0) == pytest.approx(1.25)
+
+    def test_zero_load_zero_overhead(self):
+        assert CoolingModel().overhead_watts(0.0, 30.0) == 0.0
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            CoolingModel(cop_max=2.0, cop_min=4.0)
+        with pytest.raises(ValueError):
+            CoolingModel(free_cooling_below=30.0, design_ambient=20.0)
+
+
+class TestVariability:
+    def test_apply_sets_factors(self):
+        nodes = [Node(i) for i in range(100)]
+        VariabilityModel(std=0.05).apply(nodes, RngStreams(3).stream("v"))
+        factors = [n.variability for n in nodes]
+        assert min(factors) < 1.0 < max(factors)
+        assert all(0.75 <= f <= 1.25 for f in factors)
+
+    def test_clip_respected(self):
+        nodes = [Node(i) for i in range(200)]
+        VariabilityModel(std=0.5, clip=0.1).apply(nodes, RngStreams(3).stream("v"))
+        assert all(0.9 <= n.variability <= 1.1 for n in nodes)
+
+    def test_spread(self):
+        nodes = [Node(i) for i in range(10)]
+        assert VariabilityModel.spread(nodes) == pytest.approx(1.0)
+        nodes[0].variability = 1.2
+        assert VariabilityModel.spread(nodes) == pytest.approx(1.2)
+
+    def test_deterministic(self):
+        a = [Node(i) for i in range(10)]
+        b = [Node(i) for i in range(10)]
+        VariabilityModel().apply(a, RngStreams(1).stream("v"))
+        VariabilityModel().apply(b, RngStreams(1).stream("v"))
+        assert [n.variability for n in a] == [n.variability for n in b]
+
+    def test_empty_ok(self):
+        VariabilityModel().apply([], RngStreams(1).stream("v"))
+        assert VariabilityModel.spread([]) == 1.0

@@ -1,0 +1,92 @@
+"""Tests for interconnect topologies."""
+
+import pytest
+
+from repro.cluster.topology import (
+    build_dragonfly,
+    build_fat_tree,
+    build_for,
+    build_torus3d,
+)
+from repro.errors import TopologyError
+
+
+class TestFatTree:
+    def test_node_count(self):
+        topo = build_fat_tree(20, arity=8)
+        assert topo.num_compute_nodes == 20
+
+    def test_intra_switch_distance(self):
+        topo = build_fat_tree(16, arity=8)
+        # Nodes 0 and 1 share a leaf switch: 2 hops.
+        assert topo.distance(0, 1) == 2
+
+    def test_inter_switch_distance(self):
+        topo = build_fat_tree(16, arity=8)
+        # Nodes 0 and 8 are on different leaves: up to core and down.
+        assert topo.distance(0, 8) == 4
+
+    def test_self_distance_zero(self):
+        topo = build_fat_tree(8)
+        assert topo.distance(3, 3) == 0
+
+    def test_placement_cost_prefers_compact(self):
+        topo = build_fat_tree(32, arity=8)
+        compact = topo.placement_cost([0, 1, 2, 3])
+        spread = topo.placement_cost([0, 8, 16, 24])
+        assert compact < spread
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            build_fat_tree(0)
+        with pytest.raises(TopologyError):
+            build_fat_tree(4, arity=0)
+
+
+class TestTorus:
+    def test_node_count(self):
+        topo = build_torus3d((3, 3, 3))
+        assert topo.num_compute_nodes == 27
+
+    def test_wraparound_distance(self):
+        topo = build_torus3d((4, 1, 1))
+        # In a ring of 4, opposite nodes are 2 apart, neighbours 1.
+        ids = topo.compute_ids()
+        dists = sorted(topo.distance(ids[0], other) for other in ids[1:])
+        assert dists == [1, 1, 2]
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(TopologyError):
+            build_torus3d((0, 2, 2))
+
+
+class TestDragonfly:
+    def test_node_count(self):
+        topo = build_dragonfly(groups=3, routers_per_group=4, nodes_per_router=2)
+        assert topo.num_compute_nodes == 24
+
+    def test_intra_group_shorter_than_inter(self):
+        topo = build_dragonfly(groups=3, routers_per_group=4, nodes_per_router=2)
+        # Nodes 0..7 are group 0.
+        intra = topo.distance(0, 7)
+        inter = topo.distance(0, 8)
+        assert intra <= inter
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            build_dragonfly(0)
+
+
+class TestBuildFor:
+    @pytest.mark.parametrize("family", ["fat-tree", "torus3d", "dragonfly"])
+    def test_builds_at_least_requested(self, family):
+        topo = build_for(family, 30)
+        assert topo.num_compute_nodes >= 30
+
+    def test_unknown_family(self):
+        with pytest.raises(TopologyError):
+            build_for("hypercube", 8)
+
+    def test_distance_cache_consistency(self):
+        topo = build_fat_tree(16)
+        assert topo.distance(0, 9) == topo.distance(9, 0)

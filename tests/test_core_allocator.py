@@ -1,0 +1,86 @@
+"""Tests for node allocators."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.cluster.topology import build_fat_tree
+from repro.core import FirstFitAllocator, LowPowerAllocator, TopologyAwareAllocator
+from repro.errors import AllocationError
+
+
+@pytest.fixture
+def topo_machine():
+    spec = MachineSpec(name="m", nodes=32, nodes_per_cabinet=8)
+    return Machine(spec, topology=build_fat_tree(32, arity=8))
+
+
+class TestFirstFit:
+    def test_picks_lowest_ids(self, small_machine):
+        nodes = FirstFitAllocator().select(
+            small_machine, small_machine.available_nodes, 4
+        )
+        assert [n.node_id for n in nodes] == [0, 1, 2, 3]
+
+    def test_insufficient_raises(self, small_machine):
+        with pytest.raises(AllocationError):
+            FirstFitAllocator().select(small_machine, small_machine.nodes[:2], 4)
+
+    def test_zero_count_raises(self, small_machine):
+        with pytest.raises(AllocationError):
+            FirstFitAllocator().select(small_machine, small_machine.nodes, 0)
+
+
+class TestLowPower:
+    def test_prefers_efficient_nodes(self, small_machine):
+        small_machine.node(5).variability = 0.8
+        small_machine.node(9).variability = 0.85
+        nodes = LowPowerAllocator().select(
+            small_machine, small_machine.available_nodes, 2
+        )
+        assert {n.node_id for n in nodes} == {5, 9}
+
+    def test_tie_breaks_on_id(self, small_machine):
+        nodes = LowPowerAllocator().select(
+            small_machine, small_machine.available_nodes, 3
+        )
+        assert [n.node_id for n in nodes] == [0, 1, 2]
+
+
+class TestTopologyAware:
+    def test_compact_placement(self, topo_machine):
+        allocator = TopologyAwareAllocator()
+        nodes = allocator.select(topo_machine, topo_machine.available_nodes, 4)
+        cost = topo_machine.topology.placement_cost([n.node_id for n in nodes])
+        # 4 nodes fit inside one leaf switch: cost 2 (all pairs 2 hops).
+        assert cost == pytest.approx(2.0)
+
+    def test_beats_random_scatter(self, topo_machine):
+        allocator = TopologyAwareAllocator()
+        chosen = allocator.select(topo_machine, topo_machine.available_nodes, 8)
+        compact_cost = topo_machine.topology.placement_cost(
+            [n.node_id for n in chosen]
+        )
+        scattered = [topo_machine.node(i) for i in (0, 5, 10, 15, 20, 25, 30, 31)]
+        scattered_cost = topo_machine.topology.placement_cost(
+            [n.node_id for n in scattered]
+        )
+        assert compact_cost <= scattered_cost
+
+    def test_fragmented_pool_greedy_fallback(self, topo_machine):
+        # Only every other node is free: no contiguous window exists.
+        pool = [n for n in topo_machine.nodes if n.node_id % 2 == 0]
+        allocator = TopologyAwareAllocator()
+        nodes = allocator.select(topo_machine, pool, 4)
+        assert len(nodes) == 4
+        assert len({n.node_id for n in nodes}) == 4
+
+    def test_machine_without_topology_falls_back(self, small_machine):
+        allocator = TopologyAwareAllocator()
+        nodes = allocator.select(small_machine, small_machine.available_nodes, 4)
+        assert [n.node_id for n in nodes] == [0, 1, 2, 3]
+
+    def test_single_node(self, topo_machine):
+        nodes = TopologyAwareAllocator().select(
+            topo_machine, topo_machine.available_nodes, 1
+        )
+        assert len(nodes) == 1

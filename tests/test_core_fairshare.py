@@ -1,0 +1,156 @@
+"""Tests for fair-share scheduling and predictive backfilling."""
+
+import copy
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.core import (
+    ClusterSimulation,
+    EasyBackfillScheduler,
+    FairShareAccountingPolicy,
+    FairShareScheduler,
+    PredictiveEasyScheduler,
+    RuntimeLearningPolicy,
+)
+from repro.prediction import UserRuntimePredictor
+from repro.units import DAY, HOUR
+from tests.conftest import make_job
+
+
+def machine8():
+    return Machine(MachineSpec(name="m", nodes=8))
+
+
+class TestFairShareScheduler:
+    def test_decay(self):
+        scheduler = FairShareScheduler(half_life=100.0)
+        scheduler.record_usage("alice", 1000.0, now=0.0)
+        assert scheduler.decayed_usage("alice", 0.0) == pytest.approx(1000.0)
+        assert scheduler.decayed_usage("alice", 100.0) == pytest.approx(500.0)
+        assert scheduler.decayed_usage("alice", 200.0) == pytest.approx(250.0)
+        assert scheduler.decayed_usage("ghost", 0.0) == 0.0
+
+    def test_light_user_jumps_queue(self):
+        machine = machine8()
+        scheduler = FairShareScheduler(half_life=7 * DAY)
+        # heavy submitted earlier, but has massive accumulated usage.
+        scheduler.record_usage("heavy", 1e6, now=0.0)
+        blocker = make_job(job_id="blocker", nodes=8, work=600.0,
+                           walltime=1200.0, user="other")
+        heavy_job = make_job(job_id="h", nodes=8, work=100.0,
+                             walltime=500.0, user="heavy", submit=1.0)
+        light_job = make_job(job_id="l", nodes=8, work=100.0,
+                             walltime=500.0, user="light", submit=2.0)
+        sim = ClusterSimulation(
+            machine, scheduler, [blocker, heavy_job, light_job],
+            policies=[FairShareAccountingPolicy(scheduler)],
+        )
+        sim.run()
+        # Light user's job ran before the heavy user's.
+        assert light_job.start_time < heavy_job.start_time
+
+    def test_accounting_policy_feeds_usage(self):
+        machine = machine8()
+        scheduler = FairShareScheduler()
+        job = make_job(nodes=4, work=100.0, walltime=500.0, user="alice")
+        sim = ClusterSimulation(
+            machine, scheduler, [job],
+            policies=[FairShareAccountingPolicy(scheduler)],
+        )
+        sim.run()
+        assert scheduler.decayed_usage("alice", sim.sim.now) > 0.0
+
+    def test_fairness_converges_usage(self):
+        # Two users with identical demand end with comparable usage.
+        machine = machine8()
+        scheduler = FairShareScheduler(half_life=1 * DAY)
+        jobs = []
+        for i in range(12):
+            jobs.append(make_job(job_id=f"j{i}", nodes=4, work=600.0,
+                                 walltime=2000.0, submit=i * 10.0,
+                                 user="u0" if i % 2 == 0 else "u1"))
+        sim = ClusterSimulation(
+            machine, scheduler, jobs,
+            policies=[FairShareAccountingPolicy(scheduler)],
+        )
+        sim.run()
+        now = sim.sim.now
+        a = scheduler.decayed_usage("u0", now)
+        b = scheduler.decayed_usage("u1", now)
+        assert a == pytest.approx(b, rel=0.2)
+
+
+class TestPredictiveEasy:
+    def _workload(self):
+        # A blocked head plus backfill candidates whose requests are
+        # 10x over their true runtime: plain EASY sees no room, the
+        # predictive variant (given a learned 0.1 ratio) does.
+        blocker = make_job(job_id="blocker", nodes=6, work=950.0,
+                           walltime=1000.0, user="bob")
+        head = make_job(job_id="head", nodes=8, work=500.0,
+                        walltime=1000.0, user="bob", submit=1.0)
+        fillers = [
+            make_job(job_id=f"fill{i}", nodes=2, work=100.0,
+                     walltime=1050.0, user="alice", submit=2.0 + i)
+            for i in range(2)
+        ]
+        return [blocker, head] + fillers
+
+    def test_predictions_unlock_backfill(self):
+        predictor = UserRuntimePredictor(ewma=1.0)
+        # Teach it: alice uses ~10% of her requests.
+        trained = make_job(job_id="t", walltime=1000.0, user="alice")
+        trained.start(0.0, [0])
+        trained.complete(100.0)
+        predictor.observe(trained)
+
+        def run(scheduler):
+            machine = machine8()
+            jobs = copy.deepcopy(self._workload())
+            sim = ClusterSimulation(machine, scheduler, jobs)
+            sim.run()
+            return {j.job_id: j for j in jobs}
+
+        plain = run(EasyBackfillScheduler())
+        predictive = run(PredictiveEasyScheduler(predictor=predictor))
+        # Plain EASY: fillers' 1050 s requests exceed the shadow
+        # (blocker ends at 1000); they wait behind the head.
+        assert plain["fill0"].start_time >= plain["head"].start_time
+        # Predictive EASY: alice's ~105 s predicted runtimes fit before
+        # the shadow; the fillers start immediately.
+        assert predictive["fill0"].start_time < predictive["head"].start_time
+        assert predictive["fill0"].start_time == pytest.approx(2.0 + 0.0, abs=5.0)
+
+    def test_learning_policy_updates_predictor(self):
+        predictor = UserRuntimePredictor()
+        machine = machine8()
+        job = make_job(work=100.0, walltime=1000.0, user="alice")
+        sim = ClusterSimulation(
+            machine, PredictiveEasyScheduler(predictor=predictor), [job],
+            policies=[RuntimeLearningPolicy(predictor)],
+        )
+        sim.run()
+        assert predictor.ratio_for("alice") == pytest.approx(0.1, abs=0.02)
+
+    def test_hard_walltime_still_enforced(self):
+        # Predictions do not change the kill limit.
+        predictor = UserRuntimePredictor()
+        machine = machine8()
+        job = make_job(work=1000.0, walltime=100.0)
+        sim = ClusterSimulation(
+            machine, PredictiveEasyScheduler(predictor=predictor), [job],
+        )
+        sim.run()
+        assert job.end_time == pytest.approx(100.0)
+
+    def test_all_jobs_complete_under_predictive(self, small_workload):
+        machine = Machine(MachineSpec(name="m", nodes=16))
+        predictor = UserRuntimePredictor()
+        sim = ClusterSimulation(
+            machine, PredictiveEasyScheduler(predictor=predictor),
+            copy.deepcopy(small_workload),
+            policies=[RuntimeLearningPolicy(predictor)],
+        )
+        result = sim.run()
+        assert result.metrics.jobs_completed == result.metrics.jobs_submitted

@@ -1,0 +1,106 @@
+"""Tests for metrics computation and the EPA coordinator."""
+
+import pytest
+
+from repro.core import MetricsReport, compute_metrics
+from repro.core.epa import EpaCoordinator, FunctionalCategory
+from repro.power import PowerMeter
+from repro.simulator import Simulator
+from repro.units import DAY
+from tests.conftest import make_job
+
+
+def finished_job(job_id, nodes, submit, start, end, energy=0.0):
+    job = make_job(job_id=job_id, nodes=nodes, work=end - start,
+                   walltime=(end - start) * 2, submit=submit)
+    job.start(start, list(range(nodes)))
+    job.complete(end)
+    job.energy_joules = energy
+    return job
+
+
+class TestComputeMetrics:
+    def test_empty(self):
+        report = compute_metrics([], total_nodes=10)
+        assert report.jobs_submitted == 0
+        assert report.utilization == 0.0
+
+    def test_basic_counts(self):
+        jobs = [finished_job("a", 2, 0, 10, 110),
+                finished_job("b", 4, 5, 10, 60)]
+        killed = make_job(job_id="k", nodes=1)
+        killed.start(0.0, [0])
+        killed.kill(50.0, "x")
+        report = compute_metrics(jobs + [killed], total_nodes=8)
+        assert report.jobs_submitted == 3
+        assert report.jobs_completed == 2
+        assert report.jobs_killed == 1
+
+    def test_utilization(self):
+        # One job using all nodes for the whole span.
+        job = finished_job("a", 4, 0, 0, 100)
+        report = compute_metrics([job], total_nodes=4, span=100.0)
+        assert report.utilization == pytest.approx(1.0)
+
+    def test_wait_statistics(self):
+        jobs = [finished_job(f"j{i}", 1, 0, wait, wait + 10)
+                for i, wait in enumerate([0, 10, 20, 30, 40])]
+        report = compute_metrics(jobs, total_nodes=4)
+        assert report.mean_wait == pytest.approx(20.0)
+        assert report.median_wait == pytest.approx(20.0)
+
+    def test_throughput_per_day(self):
+        jobs = [finished_job("a", 1, 0, 0, 100)]
+        report = compute_metrics(jobs, total_nodes=1, span=DAY)
+        assert report.throughput_per_day == pytest.approx(1.0)
+
+    def test_meter_integration(self):
+        sim = Simulator()
+        meter = PowerMeter(sim, lambda: 100.0, interval=10.0)
+        meter.start()
+        sim.run(until=100.0)
+        meter.stop()
+        meter.sample()
+        job = finished_job("a", 1, 0, 0, 100)
+        report = compute_metrics([job], total_nodes=1, meter=meter,
+                                 cap_watts=50.0)
+        assert report.total_energy_joules == pytest.approx(10_000.0)
+        assert report.cap_exceedance_fraction == 1.0
+        assert report.energy_per_job_joules == pytest.approx(10_000.0)
+
+    def test_energy_fallback_to_job_accounting(self):
+        job = finished_job("a", 1, 0, 0, 100, energy=500.0)
+        report = compute_metrics([job], total_nodes=1)
+        assert report.total_energy_joules == 500.0
+
+    def test_as_dict_roundtrip(self):
+        report = MetricsReport(jobs_completed=5)
+        report.extra["custom"] = 1.0
+        flat = report.as_dict()
+        assert flat["jobs_completed"] == 5
+        assert flat["custom"] == 1.0
+
+    def test_mwh_property(self):
+        report = MetricsReport(total_energy_joules=3.6e9)
+        assert report.total_energy_mwh == pytest.approx(1.0)
+
+
+class TestEpaCoordinator:
+    def test_empty_not_complete(self):
+        epa = EpaCoordinator()
+        assert not epa.is_complete
+        assert all(not v for v in epa.coverage().values())
+
+    def test_full_coverage(self):
+        epa = EpaCoordinator()
+        for i, category in enumerate(FunctionalCategory):
+            epa.register(f"c{i}", category)
+        assert epa.is_complete
+
+    def test_by_category_grouping(self):
+        epa = EpaCoordinator()
+        epa.register("meter", FunctionalCategory.POWER_MONITORING, "machine power")
+        epa.register("capper", FunctionalCategory.POWER_CONTROL)
+        groups = epa.by_category()
+        assert [c.name for c in groups[FunctionalCategory.POWER_MONITORING]] == ["meter"]
+        assert groups[FunctionalCategory.RESOURCE_CONTROL] == []

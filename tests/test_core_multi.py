@@ -1,0 +1,155 @@
+"""Tests for multi-machine site simulation and budget coordination."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.core import (
+    ClusterSimulation,
+    EasyBackfillScheduler,
+    SiteSimulation,
+)
+from repro.errors import ConfigurationError
+from repro.policies import PowerAwareAdmissionPolicy
+from repro.simulator import Simulator, TraceRecorder
+from repro.units import HOUR
+from repro.workload.phases import COMPUTE_BOUND
+from tests.conftest import make_job
+
+
+def two_machine_site(budget_factor=0.7, coordinate=600.0, jobs_a=None,
+                     jobs_b=None):
+    sim = Simulator()
+    trace = TraceRecorder()
+    sims = []
+    machines = []
+    for name, jobs in (("alpha", jobs_a or []), ("beta", jobs_b or [])):
+        machine = Machine(MachineSpec(name=name, nodes=8,
+                                      idle_power=100.0, max_power=400.0))
+        machines.append(machine)
+        per_machine_budget = machine.peak_power  # steered later
+        sims.append(
+            ClusterSimulation(
+                machine, EasyBackfillScheduler(), jobs,
+                policies=[PowerAwareAdmissionPolicy(
+                    budget_watts=per_machine_budget)],
+                sim=sim, trace=trace,
+            )
+        )
+    total_peak = sum(m.peak_power for m in machines)
+    site = SiteSimulation(sims, site_budget_watts=total_peak * budget_factor,
+                          coordinator_interval=coordinate)
+    return site, sims, machines
+
+
+class TestConstruction:
+    def test_requires_shared_engine(self):
+        a = ClusterSimulation(
+            Machine(MachineSpec(name="a", nodes=4)),
+            EasyBackfillScheduler(), [],
+        )
+        b = ClusterSimulation(
+            Machine(MachineSpec(name="b", nodes=4)),
+            EasyBackfillScheduler(), [],
+        )
+        with pytest.raises(ConfigurationError):
+            SiteSimulation([a, b], site_budget_watts=10_000.0)
+
+    def test_rejects_duplicate_names(self):
+        sim = Simulator()
+        a = ClusterSimulation(Machine(MachineSpec(name="x", nodes=4)),
+                              EasyBackfillScheduler(), [], sim=sim)
+        b = ClusterSimulation(Machine(MachineSpec(name="x", nodes=4)),
+                              EasyBackfillScheduler(), [], sim=sim)
+        with pytest.raises(ConfigurationError):
+            SiteSimulation([a, b], site_budget_watts=10_000.0)
+
+    def test_rejects_budget_below_floor(self):
+        sim = Simulator()
+        a = ClusterSimulation(Machine(MachineSpec(name="x", nodes=4)),
+                              EasyBackfillScheduler(), [], sim=sim)
+        with pytest.raises(ConfigurationError):
+            SiteSimulation([a], site_budget_watts=100.0)
+
+    def test_budget_tree_built(self):
+        site, sims, machines = two_machine_site()
+        assert set(site.site_budget.children) == {"alpha", "beta"}
+        site.site_budget.validate()
+
+
+class TestExecution:
+    def _jobs(self, prefix, count, submit_offset=0.0):
+        return [
+            make_job(job_id=f"{prefix}{i}", nodes=2, work=600.0,
+                     walltime=3000.0, submit=submit_offset + i * 60.0,
+                     profile=COMPUTE_BOUND)
+            for i in range(count)
+        ]
+
+    def test_both_machines_complete_work(self):
+        site, sims, _ = two_machine_site(
+            jobs_a=self._jobs("a", 6), jobs_b=self._jobs("b", 6),
+        )
+        results = site.run()
+        assert len(results) == 2
+        for result in results:
+            assert result.metrics.jobs_completed == 6
+
+    def test_shared_clock(self):
+        site, sims, _ = two_machine_site(
+            jobs_a=self._jobs("a", 3), jobs_b=self._jobs("b", 3),
+        )
+        site.run()
+        assert sims[0].sim is sims[1].sim
+
+    def test_coordinator_shifts_budget_to_loaded_machine(self):
+        # alpha gets a heavy queue, beta idles: alpha's slice must grow.
+        site, sims, _ = two_machine_site(
+            budget_factor=0.6,
+            jobs_a=self._jobs("a", 16),
+            jobs_b=[],
+        )
+        site.run()
+        alpha = site.site_budget.find("alpha").limit_watts
+        beta = site.site_budget.find("beta").limit_watts
+        assert alpha > beta
+        # beta keeps at least its floor.
+        assert beta >= site.slices[1].floor_watts - 1e-6
+        assert site.coordinator.reallocations >= 2
+
+    def test_policies_steered(self):
+        site, sims, _ = two_machine_site(
+            budget_factor=0.6, jobs_a=self._jobs("a", 16), jobs_b=[],
+        )
+        site.run()
+        for sl in site.slices:
+            policy = sl.simulation.policies[0]
+            assert policy.budget_watts == pytest.approx(sl.budget.limit_watts)
+
+    def test_coordinated_beats_static_split_makespan(self):
+        # With demand-following budgets, the loaded machine finishes
+        # sooner than under a frozen equal split.
+        def run(coordinate):
+            site, sims, _ = two_machine_site(
+                budget_factor=0.55,
+                coordinate=coordinate,
+                jobs_a=self._jobs("a", 16),
+                jobs_b=[],
+            )
+            results = site.run()
+            return results[0].metrics.makespan
+
+        coordinated = run(600.0)
+        static = run(None)
+        assert coordinated < static
+
+    def test_site_power_sums_machines(self):
+        site, sims, _ = two_machine_site()
+        expected = sum(s.machine_power() for s in sims)
+        assert site.site_power() == pytest.approx(expected)
+
+    def test_run_until(self):
+        site, sims, _ = two_machine_site(
+            jobs_a=self._jobs("a", 4, submit_offset=10_000.0),
+        )
+        site.run(until=5000.0)
+        assert sims[0].sim.now == 5000.0

@@ -1,0 +1,114 @@
+"""Tests for batch queues."""
+
+import pytest
+
+from repro.core import JobQueue, QueueConfig
+from repro.errors import QueueError
+
+
+class TestQueueConfig:
+    def test_admits_within_limits(self, job_factory):
+        cfg = QueueConfig("q", max_nodes=8, max_walltime=1000.0)
+        assert cfg.admits(job_factory(nodes=8, walltime=1000.0))
+        assert not cfg.admits(job_factory(nodes=9))
+        assert not cfg.admits(job_factory(walltime=2000.0))
+
+    def test_user_restriction(self, job_factory):
+        cfg = QueueConfig("q", allowed_users=frozenset({"alice"}))
+        assert cfg.admits(job_factory(user="alice"))
+        assert not cfg.admits(job_factory(user="bob"))
+
+
+class TestJobQueue:
+    def test_default_queue_exists(self, job_factory):
+        queue = JobQueue()
+        queue.submit(job_factory())
+        assert len(queue) == 1
+
+    def test_duplicate_submit_rejected(self, job_factory):
+        queue = JobQueue()
+        job = job_factory()
+        queue.submit(job)
+        with pytest.raises(QueueError):
+            queue.submit(job)
+
+    def test_non_pending_rejected(self, job_factory):
+        queue = JobQueue()
+        job = job_factory()
+        job.start(0.0, [0])
+        with pytest.raises(QueueError):
+            queue.submit(job)
+
+    def test_unknown_queue_falls_back_to_default(self, job_factory):
+        queue = JobQueue([QueueConfig("default")])
+        job = job_factory(queue="mystery")
+        queue.submit(job)
+        assert len(queue) == 1
+
+    def test_no_default_and_unknown_raises(self, job_factory):
+        queue = JobQueue([QueueConfig("batch")])
+        with pytest.raises(QueueError):
+            queue.submit(job_factory(queue="mystery"))
+
+    def test_limit_violation_raises(self, job_factory):
+        queue = JobQueue([QueueConfig("default", max_nodes=4)])
+        with pytest.raises(QueueError):
+            queue.submit(job_factory(nodes=8))
+
+    def test_remove(self, job_factory):
+        queue = JobQueue()
+        job = job_factory()
+        queue.submit(job)
+        assert queue.remove(job.job_id) is job
+        assert len(queue) == 0
+        with pytest.raises(QueueError):
+            queue.remove(job.job_id)
+
+    def test_pending_order_submit_time(self, job_factory):
+        queue = JobQueue()
+        late = job_factory(job_id="late", submit=10.0)
+        early = job_factory(job_id="early", submit=1.0)
+        queue.submit(late)
+        queue.submit(early)
+        assert [j.job_id for j in queue.pending()] == ["early", "late"]
+
+    def test_pending_order_queue_priority(self, job_factory):
+        queue = JobQueue([QueueConfig("default"), QueueConfig("vip", priority=5)])
+        normal = job_factory(job_id="n", submit=0.0)
+        vip = job_factory(job_id="v", submit=10.0, queue="vip")
+        queue.submit(normal)
+        queue.submit(vip)
+        assert [j.job_id for j in queue.pending()] == ["v", "n"]
+
+    def test_pending_order_job_priority(self, job_factory):
+        queue = JobQueue()
+        low = job_factory(job_id="low", submit=0.0, priority=0)
+        high = job_factory(job_id="high", submit=5.0, priority=9)
+        queue.submit(low)
+        queue.submit(high)
+        assert [j.job_id for j in queue.pending()] == ["high", "low"]
+
+    def test_backlog_nodes(self, job_factory):
+        queue = JobQueue()
+        queue.submit(job_factory(job_id="a", nodes=3))
+        queue.submit(job_factory(job_id="b", nodes=5))
+        assert queue.backlog_nodes() == 8
+
+    def test_by_queue_grouping(self, job_factory):
+        queue = JobQueue([QueueConfig("default"), QueueConfig("vip", priority=1)])
+        queue.submit(job_factory(job_id="a"))
+        queue.submit(job_factory(job_id="b", queue="vip"))
+        groups = queue.by_queue()
+        assert [j.job_id for j in groups["vip"]] == ["b"]
+        assert [j.job_id for j in groups["default"]] == ["a"]
+
+    def test_duplicate_queue_names_rejected(self):
+        with pytest.raises(QueueError):
+            JobQueue([QueueConfig("q"), QueueConfig("q")])
+
+    def test_contains(self, job_factory):
+        queue = JobQueue()
+        job = job_factory()
+        queue.submit(job)
+        assert job.job_id in queue
+        assert "nope" not in queue

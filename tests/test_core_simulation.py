@@ -1,0 +1,238 @@
+"""Integration tests for ClusterSimulation: execution semantics."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec, NodeState
+from repro.core import ClusterSimulation, EasyBackfillScheduler, FcfsScheduler
+from repro.policies.base import Policy
+from repro.workload import JobState
+from tests.conftest import make_job
+
+
+def run_sim(machine, jobs, scheduler=None, policies=(), **kwargs):
+    sim = ClusterSimulation(
+        machine, scheduler or FcfsScheduler(), jobs, policies=policies, **kwargs
+    )
+    return sim, sim.run()
+
+
+class TestBasicExecution:
+    def test_single_job_runs_to_completion(self, small_machine):
+        job = make_job(work=100.0, walltime=200.0)
+        _, result = run_sim(small_machine, [job])
+        assert job.state is JobState.COMPLETED
+        assert job.start_time == 0.0
+        assert job.end_time == pytest.approx(100.0)
+
+    def test_jobs_wait_for_nodes(self, small_machine):
+        a = make_job(job_id="a", nodes=16, work=100.0, walltime=150.0)
+        b = make_job(job_id="b", nodes=16, work=100.0, walltime=150.0)
+        _, result = run_sim(small_machine, [a, b])
+        assert a.end_time == pytest.approx(100.0)
+        assert b.start_time == pytest.approx(100.0)
+        assert b.wait_time == pytest.approx(100.0)
+
+    def test_submit_times_honoured(self, small_machine):
+        job = make_job(submit=500.0, work=50.0)
+        _, result = run_sim(small_machine, [job])
+        assert job.start_time == pytest.approx(500.0)
+
+    def test_walltime_timeout(self, small_machine):
+        # Work exceeds walltime: the job is cut off.
+        job = make_job(work=1000.0, walltime=100.0)
+        _, result = run_sim(small_machine, [job])
+        assert job.state is JobState.TIMEOUT
+        assert job.end_time == pytest.approx(100.0)
+
+    def test_nodes_released_after_job(self, small_machine):
+        job = make_job(nodes=4, work=10.0)
+        _, result = run_sim(small_machine, [job])
+        assert all(n.state is NodeState.IDLE for n in small_machine.nodes)
+
+    def test_energy_accounted_per_job(self, small_machine):
+        job = make_job(nodes=2, work=100.0, walltime=200.0)
+        _, result = run_sim(small_machine, [job])
+        # 2 nodes at 350 W (balanced profile intensity < 1 lowers this)
+        assert job.energy_joules > 0.0
+        spec = small_machine.spec
+        upper = 2 * spec.max_power * 100.0
+        assert job.energy_joules <= upper * 1.01
+
+    def test_metrics_populated(self, small_machine, small_workload):
+        _, result = run_sim(small_machine, small_workload,
+                            scheduler=EasyBackfillScheduler())
+        m = result.metrics
+        assert m.jobs_submitted == len(small_workload)
+        assert m.jobs_completed + m.jobs_timed_out + m.jobs_killed == m.jobs_submitted
+        assert m.total_energy_joules > 0
+        assert 0.0 <= m.utilization <= 1.0
+
+    def test_deterministic_given_seed(self, small_workload):
+        import copy
+
+        def once():
+            machine = Machine(MachineSpec(name="m", nodes=16))
+            jobs = copy.deepcopy(small_workload)
+            _, result = run_sim(machine, jobs, scheduler=EasyBackfillScheduler(),
+                                seed=5)
+            return (
+                result.metrics.total_energy_joules,
+                result.metrics.mean_wait,
+                result.final_time,
+            )
+
+        assert once() == once()
+
+    def test_run_until_leaves_unfinished(self, small_machine):
+        job = make_job(work=1000.0, walltime=2000.0)
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [job])
+        result = sim.run(until=500.0)
+        assert job.state is JobState.RUNNING
+        assert result.metrics.jobs_unfinished == 1
+
+    def test_stall_detection_stops_unstartable(self, small_machine):
+        job = make_job(nodes=999, work=10.0)  # can never run
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [job])
+        result = sim.run(stall_timeout=3600.0)
+        assert job.state is JobState.PENDING
+        assert result.metrics.jobs_unfinished == 1
+
+
+class TestSpeedChanges:
+    def test_frequency_drop_extends_runtime(self, small_machine):
+        from repro.workload.phases import COMPUTE_BOUND
+
+        job = make_job(work=100.0, walltime=10_000.0, profile=COMPUTE_BOUND)
+
+        class HalveAtFifty(Policy):
+            name = "halver"
+
+            def on_attach(self):
+                self.sim.at(50.0, self._halve)
+
+            def _halve(self):
+                nodes = [
+                    self.simulation.machine.node(nid)
+                    for nid in job.assigned_nodes
+                ]
+                node = nodes[0]
+                self.simulation.rm.set_frequency(nodes, node.max_frequency / 2)
+
+        _, result = run_sim(small_machine, [job], policies=[HalveAtFifty()])
+        assert job.state is JobState.COMPLETED
+        # 50 s at full speed + 50 work left at speed (1-0.95*0.5)=0.525.
+        expected = 50.0 + 50.0 / 0.525
+        assert job.end_time == pytest.approx(expected, rel=1e-6)
+
+    def test_cap_violation_traced(self, small_machine):
+        from repro.workload.phases import COMPUTE_BOUND
+
+        job = make_job(work=50.0, walltime=10_000.0, profile=COMPUTE_BOUND)
+
+        class TightCap(Policy):
+            name = "tight"
+
+            def configure_start(self, job, nodes, now):
+                # Cap at the floor: unreachable under load.
+                self.simulation.rm.set_power_cap(nodes, nodes[0].cap_floor)
+
+        sim, result = run_sim(small_machine, [job], policies=[TightCap()])
+        assert result.trace.count("power.cap_violation") >= 1
+
+
+class TestKill:
+    def test_kill_running_job(self, small_machine):
+        job = make_job(work=1000.0, walltime=2000.0)
+
+        class KillAt100(Policy):
+            name = "killer"
+
+            def on_attach(self):
+                self.sim.at(100.0, lambda: self.simulation.kill_job(
+                    job.job_id, "test"))
+
+        _, result = run_sim(small_machine, [job], policies=[KillAt100()])
+        assert job.state is JobState.KILLED
+        assert job.end_time == pytest.approx(100.0)
+        assert all(n.state is NodeState.IDLE for n in small_machine.nodes)
+
+    def test_kill_unknown_job_returns_false(self, small_machine):
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [])
+        assert sim.kill_job("nope", "reason") is False
+
+
+class TestPolicyHooks:
+    def test_hook_order_and_calls(self, small_machine):
+        calls = []
+
+        class Recorder(Policy):
+            name = "recorder"
+            control_interval = 50.0
+
+            def filter_nodes(self, nodes, now):
+                calls.append("filter")
+                return nodes
+
+            def admit(self, job, now):
+                calls.append("admit")
+                return True
+
+            def configure_start(self, job, nodes, now):
+                calls.append("configure")
+
+            def on_job_start(self, job, now):
+                calls.append("start")
+
+            def on_job_end(self, job, now):
+                calls.append("end")
+
+            def on_tick(self, now):
+                calls.append("tick")
+
+        job = make_job(work=100.0, walltime=200.0)
+        run_sim(small_machine, [job], policies=[Recorder()])
+        assert "filter" in calls
+        assert "admit" in calls
+        assert calls.index("configure") < calls.index("start")
+        assert "end" in calls
+        assert "tick" in calls
+
+    def test_filter_restricts_allocation(self, small_machine):
+        class OnlyHighIds(Policy):
+            name = "high-only"
+
+            def filter_nodes(self, nodes, now):
+                return [n for n in nodes if n.node_id >= 8]
+
+        job = make_job(nodes=4, work=10.0)
+        run_sim(small_machine, [job], policies=[OnlyHighIds()])
+        assert all(nid >= 8 for nid in job.assigned_nodes)
+
+    def test_admission_veto_delays(self, small_machine):
+        class VetoUntil100(Policy):
+            name = "veto"
+            control_interval = 10.0
+
+            def admit(self, job, now):
+                return now >= 100.0
+
+            def on_tick(self, now):
+                self.simulation.request_schedule_pass()
+
+        job = make_job(work=10.0, walltime=100.0)
+        run_sim(small_machine, [job], policies=[VetoUntil100()])
+        assert job.start_time >= 100.0
+
+    def test_epa_registry_populated(self, small_machine):
+        from repro.policies import StaticCappingPolicy
+
+        sim = ClusterSimulation(
+            small_machine,
+            FcfsScheduler(),
+            [],
+            policies=[StaticCappingPolicy(cap_watts=250.0)],
+        )
+        assert sim.epa.is_complete
+        names = [c.name for c in sim.epa.components]
+        assert "static-capping" in names
+        assert "power-meter" in names

@@ -1,0 +1,127 @@
+"""Edge-branch coverage across the core and substrates."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec, NodeState
+from repro.core import (
+    ClusterSimulation,
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    FcfsScheduler,
+)
+from repro.errors import SchedulingError
+from repro.power import Capmc
+from repro.units import HOUR
+from repro.workload import JobState
+from tests.conftest import make_job
+
+
+class TestRunLoopEdges:
+    def test_max_events_in_terminal_mode(self, small_machine):
+        jobs = [make_job(job_id=f"j{i}", work=100.0, submit=float(i))
+                for i in range(5)]
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), jobs)
+        with pytest.raises(SchedulingError):
+            sim.run(max_events=3)
+
+    def test_empty_workload_run(self, small_machine):
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [])
+        result = sim.run()
+        assert result.metrics.jobs_submitted == 0
+        assert result.final_time == 0.0
+
+    def test_prepare_idempotent(self, small_machine):
+        job = make_job(work=50.0)
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [job])
+        sim.prepare()
+        sim.prepare()  # second call must not duplicate submissions
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        # Only one submit event fired for the job.
+        assert sim.trace.count("job.submit") == 1
+
+    def test_job_power_unknown_job(self, small_machine):
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [])
+        assert sim.job_power("ghost") == 0.0
+
+    def test_simultaneous_submits_single_pass(self, small_machine):
+        # Many submits at t=0 coalesce into few passes (smoke for the
+        # pass-pending flag).
+        jobs = [make_job(job_id=f"j{i}", nodes=1, work=50.0)
+                for i in range(16)]
+        sim = ClusterSimulation(small_machine, EasyBackfillScheduler(), jobs)
+        result = sim.run()
+        assert result.metrics.jobs_completed == 16
+        # All 16 started at t=0: one scheduling instant.
+        starts = {j.start_time for j in jobs}
+        assert starts == {0.0}
+
+
+class TestSchedulerEdges:
+    def test_conservative_with_empty_machine_profile(self, small_machine):
+        # No running jobs: every fitting job starts immediately.
+        jobs = [make_job(job_id=f"j{i}", nodes=16, work=100.0,
+                         walltime=500.0, submit=0.0) for i in range(2)]
+        sim = ClusterSimulation(small_machine,
+                                ConservativeBackfillScheduler(), jobs)
+        sim.run()
+        assert jobs[0].start_time == 0.0
+        # The reservation was for t=500 (walltime bound), but the pass
+        # triggered by the real completion starts it at t=100.
+        assert jobs[1].start_time == pytest.approx(100.0)
+
+    def test_easy_all_jobs_oversized(self, small_machine):
+        jobs = [make_job(job_id=f"j{i}", nodes=99, work=10.0)
+                for i in range(2)]
+        sim = ClusterSimulation(small_machine, EasyBackfillScheduler(), jobs)
+        result = sim.run(stall_timeout=HOUR)
+        assert result.metrics.jobs_unfinished == 2
+
+
+class TestCapmcEdges:
+    def test_per_node_counters(self, small_machine):
+        capmc = Capmc(small_machine)
+        counters = capmc.get_node_energy_counters()
+        assert set(counters) == {n.node_id for n in small_machine.nodes}
+        assert all(w > 0 for w in counters.values())
+
+    def test_system_cap_skips_off_nodes(self, small_machine):
+        node = small_machine.node(0)
+        node.transition(NodeState.SHUTTING_DOWN, 0.0)
+        node.transition(NodeState.OFF, 1.0)
+        capmc = Capmc(small_machine)
+        capmc.set_system_cap(15 * 300.0)
+        assert node.power_cap is None
+        assert small_machine.node(1).power_cap == pytest.approx(300.0)
+
+
+class TestMetricsEdges:
+    def test_unfinished_only_workload(self, small_machine):
+        from repro.core.metrics import compute_metrics
+
+        pending = make_job()
+        report = compute_metrics([pending], total_nodes=4)
+        assert report.jobs_unfinished == 1
+        assert report.mean_wait == 0.0
+        assert report.throughput_per_day == 0.0
+
+    def test_span_override(self, small_machine):
+        from repro.core.metrics import compute_metrics
+
+        job = make_job(nodes=4)
+        job.start(0.0, [0, 1, 2, 3])
+        job.complete(100.0)
+        half = compute_metrics([job], total_nodes=4, span=200.0)
+        full = compute_metrics([job], total_nodes=4, span=100.0)
+        assert half.utilization == pytest.approx(full.utilization / 2)
+
+
+class TestQueueEdges:
+    def test_by_queue_includes_fallback_jobs(self):
+        from repro.core import JobQueue, QueueConfig
+
+        queue = JobQueue([QueueConfig("default")])
+        job = make_job(queue="undeclared")
+        queue.submit(job)
+        groups = queue.by_queue()
+        assert job in groups["default"]

@@ -1,0 +1,145 @@
+"""Tests for the ESP/grid substrate."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid import (
+    DemandResponseEvent,
+    DualSourceSupply,
+    ElectricityPriceSchedule,
+    ElectricityServiceProvider,
+    GridEventSchedule,
+)
+from repro.units import HOUR
+
+
+class TestPriceSchedule:
+    def test_flat(self):
+        schedule = ElectricityPriceSchedule.flat(0.10)
+        assert schedule.price_at(0.0) == 0.10
+        assert schedule.price_at(13 * HOUR) == 0.10
+
+    def test_day_night(self):
+        schedule = ElectricityPriceSchedule.day_night(0.20, 0.08)
+        assert schedule.price_at(3 * HOUR) == 0.08
+        assert schedule.price_at(12 * HOUR) == 0.20
+        assert schedule.price_at(23 * HOUR) == 0.08
+
+    def test_wraps_across_days(self):
+        schedule = ElectricityPriceSchedule.day_night(0.20, 0.08)
+        assert schedule.price_at(26 * HOUR) == schedule.price_at(2 * HOUR)
+
+    def test_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElectricityPriceSchedule(((0.0, 10.0, 0.1), (11.0, 24.0, 0.1)))
+
+    def test_partial_coverage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElectricityPriceSchedule(((0.0, 20.0, 0.1),))
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElectricityPriceSchedule(((0.0, 24.0, -0.1),))
+
+
+class TestEsp:
+    def test_cost_of_series(self):
+        esp = ElectricityServiceProvider(ElectricityPriceSchedule.flat(0.10))
+        # 1000 W for 2 hours = 2 kWh at 0.10 = 0.20.
+        cost = esp.cost_of([0.0, HOUR, 2 * HOUR], [1000.0, 1000.0, 1000.0])
+        assert cost == pytest.approx(0.20)
+
+    def test_demand_penalty(self):
+        esp = ElectricityServiceProvider(
+            ElectricityPriceSchedule.flat(0.10),
+            demand_limit_watts=500.0,
+            penalty_per_kwh=1.0,
+        )
+        cost = esp.cost_of([0.0, HOUR], [1000.0, 1000.0])
+        # 1 kWh at 0.10 + 0.5 kWh excess at 1.0.
+        assert cost == pytest.approx(0.10 + 0.50)
+
+    def test_mismatched_lengths_rejected(self):
+        esp = ElectricityServiceProvider(ElectricityPriceSchedule.flat(0.1))
+        with pytest.raises(ConfigurationError):
+            esp.cost_of([0.0], [1.0, 2.0])
+
+
+class TestGridEvents:
+    def test_active_and_next(self):
+        events = GridEventSchedule([
+            DemandResponseEvent(100.0, 200.0, 1000.0),
+            DemandResponseEvent(300.0, 400.0, 2000.0),
+        ])
+        assert events.active_event(150.0).limit_watts == 1000.0
+        assert events.active_event(250.0) is None
+        assert events.next_event(250.0).start == 300.0
+        assert events.next_event(500.0) is None
+
+    def test_limit_at(self):
+        events = GridEventSchedule([DemandResponseEvent(0.0, 10.0, 500.0)])
+        assert events.limit_at(5.0) == 500.0
+        assert events.limit_at(20.0) == float("inf")
+        assert events.limit_at(20.0, default=9.0) == 9.0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridEventSchedule([
+                DemandResponseEvent(0.0, 100.0, 1.0),
+                DemandResponseEvent(50.0, 150.0, 1.0),
+            ])
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            DemandResponseEvent(10.0, 5.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            DemandResponseEvent(0.0, 10.0, 0.0)
+
+
+class TestDualSourceSupply:
+    def _supply(self, turbine_cost):
+        return DualSourceSupply(
+            ElectricityPriceSchedule.day_night(0.30, 0.05),
+            turbine_capacity_watts=5000.0,
+            turbine_cost_per_kwh=turbine_cost,
+        )
+
+    def test_turbine_wins_at_peak(self):
+        supply = self._supply(turbine_cost=0.15)
+        decision = supply.decide(12 * HOUR, 4000.0)  # daytime: grid 0.30
+        assert decision.turbine_watts == 4000.0
+        assert decision.grid_watts == 0.0
+
+    def test_grid_wins_at_night(self):
+        supply = self._supply(turbine_cost=0.15)
+        decision = supply.decide(2 * HOUR, 4000.0)  # night: grid 0.05
+        assert decision.grid_watts == 4000.0
+        assert decision.turbine_watts == 0.0
+
+    def test_turbine_capacity_limits(self):
+        supply = self._supply(turbine_cost=0.01)
+        decision = supply.decide(12 * HOUR, 8000.0)
+        assert decision.turbine_watts == 5000.0
+        assert decision.grid_watts == 3000.0
+        assert decision.total_watts == 8000.0
+
+    def test_cost_accounting(self):
+        supply = self._supply(turbine_cost=0.15)
+        decision = supply.decide(12 * HOUR, 2000.0)
+        assert decision.cost_per_hour == pytest.approx(2.0 * 0.15)
+
+    def test_daily_cost_integrates_tariff(self):
+        cheap_turbine = self._supply(turbine_cost=0.01).daily_cost(1000.0)
+        no_turbine = DualSourceSupply(
+            ElectricityPriceSchedule.day_night(0.30, 0.05),
+            turbine_capacity_watts=0.0,
+            turbine_cost_per_kwh=0.01,
+        ).daily_cost(1000.0)
+        assert cheap_turbine < no_turbine
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DualSourceSupply(ElectricityPriceSchedule.flat(0.1), -1.0, 0.1)
+        supply = self._supply(0.1)
+        with pytest.raises(ConfigurationError):
+            supply.decide(0.0, -5.0)

@@ -1,0 +1,186 @@
+"""Tests for cooling-aware, thermal-aware and RAPL-enforcement policies."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.cluster.site import Site
+from repro.cluster.thermal import AmbientModel, CoolingModel
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.errors import PolicyError
+from repro.policies import (
+    CoolingAwarePolicy,
+    RaplEnforcementPolicy,
+    ThermalAwarePolicy,
+)
+from repro.units import DAY, HOUR
+from repro.workload import JobState
+from repro.workload.phases import COMPUTE_BOUND
+from tests.conftest import make_job
+
+
+def machine16(**kw):
+    defaults = dict(name="m", nodes=16, idle_power=100.0, max_power=400.0)
+    defaults.update(kw)
+    return Machine(MachineSpec(**defaults))
+
+
+def diurnal_site(machine, mean=18.0, diurnal=12.0):
+    return Site(
+        "s", [machine],
+        ambient=AmbientModel(mean=mean, seasonal_amplitude=0.0,
+                             diurnal_amplitude=diurnal),
+        cooling=CoolingModel(cop_max=8.0, cop_min=2.0,
+                             free_cooling_below=10.0, design_ambient=30.0),
+    )
+
+
+class TestCoolingAware:
+    def test_requires_site(self):
+        with pytest.raises(PolicyError):
+            ClusterSimulation(machine16(), EasyBackfillScheduler(), [],
+                              policies=[CoolingAwarePolicy()])
+
+    def test_delays_job_to_efficient_hours(self):
+        machine = machine16()
+        site = diurnal_site(machine)
+        # Submit at 13:00 — hottest part of the day, PUE poor.
+        job = make_job(work=600.0, walltime=3000.0, submit=13 * HOUR)
+        policy = CoolingAwarePolicy(pue_threshold=1.2, max_delay=DAY)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy], site=site)
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        # Started in the cool hours, hours after submission.
+        assert job.wait_time > 2 * HOUR
+        assert policy.delayed_passes > 0
+        assert policy.current_pue(job.start_time) <= 1.2 + 1e-9
+
+    def test_max_delay_prevents_starvation(self):
+        machine = machine16()
+        # Permanently hot site: threshold never met.
+        site = diurnal_site(machine, mean=40.0, diurnal=0.0)
+        job = make_job(work=600.0, walltime=3000.0)
+        policy = CoolingAwarePolicy(pue_threshold=1.1, max_delay=2 * HOUR)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy], site=site)
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        assert 2 * HOUR <= job.wait_time <= 2 * HOUR + 600.0
+
+    def test_efficient_hours_admit_immediately(self):
+        machine = machine16()
+        site = diurnal_site(machine, mean=5.0, diurnal=0.0)  # always cold
+        job = make_job(work=600.0, walltime=3000.0)
+        policy = CoolingAwarePolicy(pue_threshold=1.25)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy], site=site)
+        sim.run()
+        assert job.wait_time == 0.0
+
+
+class TestThermalAware:
+    def test_requires_site(self):
+        with pytest.raises(PolicyError):
+            ClusterSimulation(machine16(), EasyBackfillScheduler(), [],
+                              policies=[ThermalAwarePolicy()])
+
+    def test_throttles_overheating_node(self):
+        machine = machine16()
+        site = diurnal_site(machine, mean=30.0, diurnal=0.0)
+        # r_thermal 0.2: full 400 W -> steady 30 + 80 = 110 C > 85 C.
+        policy = ThermalAwarePolicy(r_thermal=0.2, tau=300.0, t_max=85.0,
+                                    throttle_frequency=1.2e9,
+                                    check_interval=60.0)
+        job = make_job(work=4000.0, walltime=30_000.0,
+                       profile=COMPUTE_BOUND)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy], site=site)
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        assert policy.throttle_events > 0
+        # Temperatures never materially exceeded the threshold.
+        _, hottest = policy.hottest()
+        assert hottest <= 85.0 + 2.0
+
+    def test_cool_machine_untouched(self):
+        machine = machine16()
+        site = diurnal_site(machine, mean=10.0, diurnal=0.0)
+        # r_thermal 0.05: steady 10 + 20 = 30 C, far below threshold.
+        policy = ThermalAwarePolicy(r_thermal=0.05, tau=300.0, t_max=85.0)
+        job = make_job(work=2000.0, walltime=10_000.0,
+                       profile=COMPUTE_BOUND)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy], site=site)
+        sim.run()
+        assert policy.throttle_events == 0
+        assert job.run_time == pytest.approx(2000.0)
+
+    def test_release_after_cooldown(self):
+        machine = machine16()
+        site = diurnal_site(machine, mean=30.0, diurnal=0.0)
+        policy = ThermalAwarePolicy(r_thermal=0.2, tau=200.0, t_max=85.0,
+                                    throttle_frequency=1.2e9,
+                                    check_interval=60.0)
+        # Short hot job, then idle time: node throttles, then releases.
+        job = make_job(work=2000.0, walltime=30_000.0,
+                       profile=COMPUTE_BOUND)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy], site=site)
+        sim.run(until=30_000.0)
+        assert job.state is JobState.COMPLETED
+        # After the job ends and the node cools, the throttle lifts.
+        assert len(policy.throttled) == 0
+
+    def test_models_map_validated(self):
+        machine = machine16()
+        site = diurnal_site(machine)
+        with pytest.raises(PolicyError):
+            ClusterSimulation(
+                machine, EasyBackfillScheduler(), [],
+                policies=[ThermalAwarePolicy(models={0: None})],
+                site=site,
+            )
+
+
+class TestRaplEnforcement:
+    def test_steps_down_until_compliant(self):
+        machine = machine16()
+        policy = RaplEnforcementPolicy(node_limit_watts=250.0,
+                                       window=600.0, check_interval=60.0)
+        job = make_job(nodes=4, work=4000.0, walltime=30_000.0,
+                       profile=COMPUTE_BOUND)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run(until=2000.0)
+        assert policy.steps_down > 0
+        # After the window fills, every busy node's average complies.
+        assert policy.compliant_fraction(sim.sim.now) >= 0.9
+
+    def test_short_bursts_keep_full_frequency(self):
+        machine = machine16()
+        policy = RaplEnforcementPolicy(node_limit_watts=250.0,
+                                       window=1200.0, check_interval=60.0)
+        # A job shorter than half the window: its burst fits the
+        # running-average credit, so no throttle should trigger.
+        job = make_job(nodes=2, work=240.0, walltime=1000.0,
+                       profile=COMPUTE_BOUND)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        assert job.run_time == pytest.approx(240.0)
+
+    def test_recovers_frequency_when_idle(self):
+        machine = machine16()
+        policy = RaplEnforcementPolicy(node_limit_watts=250.0,
+                                       window=600.0, check_interval=60.0)
+        job = make_job(nodes=2, work=2000.0, walltime=30_000.0,
+                       profile=COMPUTE_BOUND)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run(until=20_000.0)
+        assert job.state is JobState.COMPLETED
+        assert policy.steps_up > 0
+        # Long after the job, nodes are back at (or near) full frequency.
+        for nid in job.assigned_nodes:
+            node = machine.node(nid)
+            assert node.frequency >= 0.8 * node.max_frequency

@@ -1,0 +1,252 @@
+"""Tests for energy tags, DVFS budgeting and dynamic power sharing."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.errors import PolicyError
+from repro.policies import (
+    DvfsBudgetPolicy,
+    DynamicPowerSharingPolicy,
+    EnergyTagPolicy,
+    SchedulingGoal,
+)
+from repro.units import HOUR
+from repro.workload import JobState
+from repro.workload.phases import COMPUTE_BOUND, MEMORY_BOUND
+from tests.conftest import make_job
+
+
+def machine16():
+    return Machine(MachineSpec(name="m", nodes=16,
+                               idle_power=100.0, max_power=400.0))
+
+
+class TestEnergyTags:
+    def _run(self, jobs, goal):
+        machine = machine16()
+        policy = EnergyTagPolicy(goal=goal)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                policies=[policy])
+        result = sim.run()
+        return policy, result
+
+    def test_first_run_characterizes(self):
+        job = make_job(tag="app:4", work=100.0, walltime=500.0,
+                       profile=COMPUTE_BOUND)
+        policy, _ = self._run([job], SchedulingGoal.ENERGY_TO_SOLUTION)
+        assert "app:4" in policy.characterized_tags
+        # Characterization run executes at max frequency.
+        assert job.assigned_frequency == pytest.approx(2.4e9)
+
+    def test_second_run_uses_chosen_frequency(self):
+        a = make_job(job_id="a", tag="t", work=100.0, walltime=500.0,
+                     profile=MEMORY_BOUND)
+        b = make_job(job_id="b", tag="t", work=100.0, walltime=500.0,
+                     profile=MEMORY_BOUND, submit=200.0)
+        policy, _ = self._run([a, b], SchedulingGoal.ENERGY_TO_SOLUTION)
+        # Memory-bound: energy optimum is below max frequency.
+        assert b.assigned_frequency < a.assigned_frequency
+
+    def test_best_performance_goal_keeps_max(self):
+        a = make_job(job_id="a", tag="t", work=100.0, walltime=500.0,
+                     profile=MEMORY_BOUND)
+        b = make_job(job_id="b", tag="t", work=100.0, walltime=500.0,
+                     profile=MEMORY_BOUND, submit=200.0)
+        policy, _ = self._run([a, b], SchedulingGoal.BEST_PERFORMANCE)
+        assert b.assigned_frequency == pytest.approx(2.4e9)
+
+    def test_energy_goal_saves_energy_on_memory_bound(self):
+        def total_energy(goal):
+            jobs = [
+                make_job(job_id=f"j{i}", tag="t", work=600.0, walltime=3000.0,
+                         profile=MEMORY_BOUND, submit=i * 700.0)
+                for i in range(6)
+            ]
+            _, result = self._run(jobs, goal)
+            assert all(j.state is JobState.COMPLETED for j in jobs)
+            return sum(j.energy_joules for j in jobs)
+
+        saving = total_energy(SchedulingGoal.ENERGY_TO_SOLUTION)
+        base = total_energy(SchedulingGoal.BEST_PERFORMANCE)
+        assert saving < base
+
+    def test_energy_optimum_matches_analytic_form(self):
+        policy = EnergyTagPolicy(goal=SchedulingGoal.ENERGY_TO_SOLUTION)
+        machine = machine16()
+        ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                          policies=[policy])
+        # For s=1, alpha=2: E(r) ~ (idle + dyn·r^2)/r, minimized at
+        # r* = sqrt(idle/dyn) = sqrt(100/300) ~ 0.577.
+        best = policy.best_frequency(sensitivity=1.0, intensity=1.0)
+        analytic = (100.0 / 300.0) ** 0.5 * 2.4e9
+        ladder_step = (2.4e9 - 1.2e9) / 5
+        assert abs(best - analytic) <= ladder_step
+
+    def test_compute_bound_optimum_above_memory_bound(self):
+        policy = EnergyTagPolicy(goal=SchedulingGoal.ENERGY_TO_SOLUTION)
+        machine = machine16()
+        ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                          policies=[policy])
+        compute = policy.best_frequency(sensitivity=1.0, intensity=1.0)
+        memory = policy.best_frequency(sensitivity=0.25, intensity=0.7)
+        # Slowing memory-bound code is nearly free: its optimum sits at
+        # the ladder floor, below the compute-bound optimum.
+        assert memory < compute
+
+    def test_edp_goal_between_extremes(self):
+        policy = EnergyTagPolicy(goal=SchedulingGoal.ENERGY_DELAY_PRODUCT)
+        machine = machine16()
+        ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                          policies=[policy])
+        edp = policy.best_frequency(sensitivity=0.3, intensity=0.7)
+        policy.goal = SchedulingGoal.ENERGY_TO_SOLUTION
+        energy = policy.best_frequency(sensitivity=0.3, intensity=0.7)
+        assert edp >= energy
+
+    def test_walltime_extended_for_slow_frequency(self):
+        a = make_job(job_id="a", tag="t", work=100.0, walltime=150.0,
+                     profile=MEMORY_BOUND)
+        b = make_job(job_id="b", tag="t", work=100.0, walltime=150.0,
+                     profile=MEMORY_BOUND, submit=200.0)
+        policy, _ = self._run([a, b], SchedulingGoal.ENERGY_TO_SOLUTION)
+        # Despite the tight walltime, b completes (limit extended).
+        assert b.state is JobState.COMPLETED
+
+
+class TestDvfsBudget:
+    def test_starts_at_reduced_frequency_under_pressure(self):
+        machine = machine16()
+        budget = machine.idle_floor_power + 8 * 250.0
+        jobs = [make_job(job_id=f"j{i}", nodes=8, work=500.0,
+                         walltime=2000.0, profile=COMPUTE_BOUND)
+                for i in range(2)]
+        policy = DvfsBudgetPolicy(budget_watts=budget)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                policies=[policy],
+                                cap_watts_for_metrics=budget)
+        result = sim.run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        assert policy.slowed_starts >= 1
+        # Budget held at sampling resolution.
+        assert result.metrics.peak_power_watts <= budget * 1.05
+
+    def test_veto_when_even_fmin_does_not_fit(self):
+        machine = machine16()
+        budget = machine.idle_floor_power + 10.0
+        job = make_job(nodes=8, work=100.0, walltime=1000.0,
+                       profile=COMPUTE_BOUND)
+        policy = DvfsBudgetPolicy(budget_watts=budget)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run(until=1 * HOUR)
+        assert job.state is JobState.PENDING
+        assert policy.vetoes > 0
+
+    def test_full_frequency_when_budget_ample(self):
+        machine = machine16()
+        policy = DvfsBudgetPolicy(budget_watts=machine.peak_power * 2)
+        job = make_job(nodes=4, work=100.0, walltime=1000.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        assert job.assigned_frequency == pytest.approx(2.4e9)
+        assert policy.slowed_starts == 0
+
+    def test_min_speed_guard(self):
+        machine = machine16()
+        budget = machine.idle_floor_power + 8 * 120.0  # forces deep slowdown
+        job = make_job(nodes=8, work=100.0, walltime=1000.0,
+                       profile=COMPUTE_BOUND)
+        policy = DvfsBudgetPolicy(budget_watts=budget, min_speed=0.9)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run(until=1 * HOUR)
+        # The guard refuses the deep-slowdown start.
+        assert job.state is JobState.PENDING
+
+
+class TestDynamicPowerSharing:
+    def test_budget_below_floor_rejected(self):
+        machine = machine16()
+        policy = DynamicPowerSharingPolicy(budget_watts=100.0)
+        with pytest.raises(PolicyError):
+            ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                              policies=[policy])
+
+    def test_demand_proportional_distribution(self):
+        machine = machine16()
+        budget = machine.idle_floor_power + 8 * 150.0
+        compute = make_job(job_id="c", nodes=4, work=2000.0, walltime=8000.0,
+                           profile=COMPUTE_BOUND)
+        memory = make_job(job_id="m", nodes=4, work=2000.0, walltime=8000.0,
+                          profile=MEMORY_BOUND)
+        policy = DynamicPowerSharingPolicy(budget_watts=budget,
+                                           check_interval=300.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                                [compute, memory], policies=[policy])
+        sim.run(until=1000.0)
+        compute_caps = [machine.node(n).power_cap for n in compute.assigned_nodes]
+        memory_caps = [machine.node(n).power_cap for n in memory.assigned_nodes]
+        # The compute-bound job demands more and receives higher caps.
+        assert min(compute_caps) > max(memory_caps)
+
+    def test_total_caps_within_budget(self):
+        machine = machine16()
+        budget = machine.idle_floor_power + 8 * 150.0
+        jobs = [make_job(job_id=f"j{i}", nodes=2, work=2000.0,
+                         walltime=8000.0, profile=COMPUTE_BOUND)
+                for i in range(4)]
+        policy = DynamicPowerSharingPolicy(budget_watts=budget,
+                                           check_interval=300.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                policies=[policy])
+        sim.run(until=1000.0)
+        total = sum(n.power_cap or n.effective_max_power
+                    for n in machine.nodes if n.is_on)
+        assert total <= budget * 1.01
+
+    def test_sharing_beats_uniform_caps_on_mixed_load(self):
+        # Ellsworth's headline: redistribute unused budget from
+        # memory-bound nodes to compute-bound ones -> faster completion.
+        budget_dynamic = 8 * 150.0
+
+        def makespan(policies):
+            machine = machine16()
+            budget = machine.idle_floor_power + budget_dynamic
+            jobs = [
+                make_job(job_id=f"c{i}", nodes=2, work=1200.0,
+                         walltime=30_000.0, profile=COMPUTE_BOUND)
+                for i in range(4)
+            ] + [
+                make_job(job_id=f"m{i}", nodes=2, work=1200.0,
+                         walltime=30_000.0, profile=MEMORY_BOUND)
+                for i in range(4)
+            ]
+            if policies == "sharing":
+                pols = [DynamicPowerSharingPolicy(budget_watts=budget,
+                                                  check_interval=120.0)]
+            else:
+                # Uniform static split of the same budget.
+                from repro.policies import StaticCappingPolicy
+
+                per_node = budget / 16
+                pols = [StaticCappingPolicy(cap_watts=per_node,
+                                            capped_fraction=1.0)]
+            sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                    policies=pols)
+            result = sim.run()
+            assert result.metrics.jobs_completed == 8
+            return result.metrics.makespan
+
+        assert makespan("sharing") < makespan("uniform")
+
+    def test_redistribution_counter(self):
+        machine = machine16()
+        policy = DynamicPowerSharingPolicy(
+            budget_watts=machine.peak_power, check_interval=100.0
+        )
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                                policies=[policy])
+        sim.run(until=1000.0)
+        assert policy.redistributions >= 10

@@ -1,0 +1,163 @@
+"""Tests for the emergency power policy and power-aware admission."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.cluster.site import Site
+from repro.cluster.thermal import AmbientModel
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.policies import EmergencyPowerPolicy, PowerAwareAdmissionPolicy
+from repro.units import HOUR
+from repro.workload import JobState
+from repro.workload.phases import COMPUTE_BOUND
+from tests.conftest import make_job
+
+
+def machine16():
+    return Machine(MachineSpec(name="m", nodes=16,
+                               idle_power=100.0, max_power=400.0))
+
+
+class TestEmergencyPolicy:
+    def test_gate_vetoes_hungry_job(self):
+        machine = machine16()
+        limit = machine.idle_floor_power + 200.0  # near-zero headroom
+        policy = EmergencyPowerPolicy(limit_watts=limit)
+        job = make_job(nodes=8, work=100.0, walltime=1000.0,
+                       profile=COMPUTE_BOUND)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run(until=1 * HOUR)
+        assert job.state is JobState.PENDING
+        assert policy.vetoes > 0
+        assert job.power_estimate is not None
+
+    def test_kills_on_sustained_excess(self):
+        machine = machine16()
+        job = make_job(nodes=16, work=5000.0, walltime=10_000.0,
+                       profile=COMPUTE_BOUND)
+        # Gate disabled: the job starts, then the limit is violated.
+        policy = EmergencyPowerPolicy(
+            limit_watts=machine.peak_power * 0.5,
+            grace_period=300.0,
+            check_interval=60.0,
+            gate_enabled=False,
+        )
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        assert job.state is JobState.KILLED
+        assert "power" in job.kill_reason
+        assert policy.kills == 1
+        # The kill happened only after the grace period.
+        assert job.end_time >= 300.0
+
+    def test_grace_period_tolerates_short_spikes(self):
+        machine = machine16()
+        # Short job ends before the grace period expires: no kill.
+        job = make_job(nodes=16, work=100.0, walltime=200.0,
+                       profile=COMPUTE_BOUND)
+        policy = EmergencyPowerPolicy(
+            limit_watts=machine.peak_power * 0.5,
+            grace_period=300.0,
+            check_interval=30.0,
+            gate_enabled=False,
+        )
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        assert policy.kills == 0
+
+    def test_kills_hungriest_first(self):
+        machine = machine16()
+        big = make_job(job_id="big", nodes=8, work=5000.0, walltime=10_000.0,
+                       profile=COMPUTE_BOUND)
+        small = make_job(job_id="small", nodes=1, work=5000.0,
+                         walltime=10_000.0, profile=COMPUTE_BOUND)
+        limit = machine.idle_floor_power + 1.5 * 300.0  # fits small only
+        policy = EmergencyPowerPolicy(limit_watts=limit, grace_period=60.0,
+                                      check_interval=30.0, gate_enabled=False)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                                [big, small], policies=[policy])
+        sim.run()
+        assert big.state is JobState.KILLED
+        assert small.state is JobState.COMPLETED
+
+    def test_temperature_raises_estimates(self):
+        machine = machine16()
+        hot = Site("hot", [machine],
+                   ambient=AmbientModel(mean=35.0, seasonal_amplitude=0.0,
+                                        diurnal_amplitude=0.0))
+        policy = EmergencyPowerPolicy(limit_watts=machine.peak_power)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                                policies=[policy], site=hot)
+        job = make_job(nodes=4, profile=COMPUTE_BOUND)
+        hot_estimate = policy.estimate_job_power(job, now=0.0)
+
+        machine2 = machine16()
+        cold = Site("cold", [machine2],
+                    ambient=AmbientModel(mean=5.0, seasonal_amplitude=0.0,
+                                         diurnal_amplitude=0.0))
+        policy2 = EmergencyPowerPolicy(limit_watts=machine2.peak_power)
+        ClusterSimulation(machine2, EasyBackfillScheduler(), [],
+                          policies=[policy2], site=cold)
+        cold_estimate = policy2.estimate_job_power(job, now=0.0)
+        assert hot_estimate > cold_estimate
+
+
+class TestPowerAwareAdmission:
+    def test_limits_concurrency_under_budget(self):
+        machine = machine16()
+        # Budget fits ~4 busy nodes' dynamic power above the idle floor.
+        budget = machine.idle_floor_power + 4 * 300.0
+        jobs = [make_job(job_id=f"j{i}", nodes=2, work=500.0,
+                         walltime=2000.0, profile=COMPUTE_BOUND)
+                for i in range(8)]
+        policy = PowerAwareAdmissionPolicy(budget_watts=budget)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                policies=[policy],
+                                cap_watts_for_metrics=budget)
+        result = sim.run()
+        assert result.metrics.jobs_completed == 8
+        assert policy.vetoes > 0
+        # Sampled power never exceeded the budget materially.
+        assert result.metrics.peak_power_watts <= budget * 1.02
+
+    def test_custom_estimator_used(self):
+        machine = machine16()
+        calls = []
+
+        def estimator(job):
+            calls.append(job.job_id)
+            return 100.0  # wildly optimistic
+
+        policy = PowerAwareAdmissionPolicy(
+            budget_watts=machine.idle_floor_power + 10.0,
+            estimator=estimator,
+        )
+        job = make_job(nodes=2, work=50.0, walltime=500.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        # Optimistic estimate admits the job despite the tiny budget.
+        assert job.state is JobState.COMPLETED
+        assert calls
+
+    def test_safety_margin_tightens(self):
+        machine = machine16()
+        budget = machine.idle_floor_power + 4 * 300.0
+
+        def count_vetoes(margin):
+            jobs = [make_job(job_id=f"j{i}", nodes=2, work=500.0,
+                             walltime=2000.0, profile=COMPUTE_BOUND)
+                    for i in range(8)]
+            policy = PowerAwareAdmissionPolicy(budget_watts=budget,
+                                               safety_margin=margin)
+            machine_fresh = machine16()
+            sim = ClusterSimulation(machine_fresh, EasyBackfillScheduler(),
+                                    jobs, policies=[policy])
+            sim.run()
+            return policy.vetoes
+
+        assert count_vetoes(1.5) >= count_vetoes(1.0)

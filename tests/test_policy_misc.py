@@ -1,0 +1,315 @@
+"""Tests for moldable, layout-aware, demand-response, reporting and
+manual-action policies."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec, NodeState
+from repro.cluster.facility import (
+    Chiller,
+    Facility,
+    MaintenanceWindow,
+    PowerDistributionUnit,
+)
+from repro.cluster.site import Site
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.errors import PolicyError
+from repro.grid import DemandResponseEvent, GridEventSchedule
+from repro.policies import (
+    DemandResponsePolicy,
+    EnergyReportingPolicy,
+    LayoutAwarePolicy,
+    ManualActionPolicy,
+    MoldablePolicy,
+)
+from repro.policies.manual import AdminAction
+from repro.units import HOUR
+from repro.workload import JobState, MoldableConfig
+from repro.workload.phases import COMPUTE_BOUND
+from tests.conftest import make_job
+
+
+def machine16():
+    return Machine(MachineSpec(name="m", nodes=16,
+                               idle_power=100.0, max_power=400.0))
+
+
+class TestMoldable:
+    def _moldable_job(self, **kw):
+        return make_job(
+            nodes=4,
+            work=400.0,
+            walltime=1000.0,
+            moldable=(
+                MoldableConfig(2, 760.0),
+                MoldableConfig(4, 400.0),
+                MoldableConfig(8, 220.0),
+            ),
+            **kw,
+        )
+
+    def test_grows_job_when_nodes_free(self):
+        machine = machine16()
+        job = self._moldable_job()
+        policy = MoldablePolicy(prefer_speed=True)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        # 16 nodes free: the 8-node config is fastest.
+        assert job.nodes == 8
+        assert job.state is JobState.COMPLETED
+        assert policy.reshaped == 1
+
+    def test_shrinks_under_crowding(self):
+        machine = machine16()
+        blocker = make_job(job_id="blocker", nodes=14, work=2000.0,
+                           walltime=4000.0)
+        job = self._moldable_job(job_id="mold", submit=10.0)
+        policy = MoldablePolicy(prefer_speed=True)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                                [blocker, job], policies=[policy])
+        sim.run()
+        # Only 2 nodes free while the blocker runs.
+        assert job.nodes == 2
+        assert job.state is JobState.COMPLETED
+
+    def test_efficiency_preference(self):
+        machine = machine16()
+        job = self._moldable_job()
+        policy = MoldablePolicy(prefer_speed=False)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        # Node-seconds: 2x760=1520, 4x400=1600, 8x220=1760 -> pick 2.
+        assert job.nodes == 2
+
+    def test_power_budget_limits_choice(self):
+        machine = machine16()
+        job = self._moldable_job(profile=COMPUTE_BOUND)
+        budget = machine.idle_floor_power + 2.5 * 300.0  # fits 2-node delta
+        policy = MoldablePolicy(budget_watts=budget, prefer_speed=True)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        assert job.nodes == 2
+
+    def test_non_moldable_untouched(self):
+        machine = machine16()
+        job = make_job(nodes=4, work=100.0, walltime=500.0)
+        policy = MoldablePolicy()
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        assert job.nodes == 4
+        assert policy.reshaped == 0
+
+
+class TestLayoutAware:
+    def _site_with_facility(self, machine):
+        pdus = [
+            PowerDistributionUnit("pdu0", 1e6, list(range(0, 8))),
+            PowerDistributionUnit("pdu1", 1e6, list(range(8, 16))),
+        ]
+        chillers = [Chiller("ch0", 1e6, ["pdu0"]), Chiller("ch1", 1e6, ["pdu1"])]
+        facility = Facility(1e6, pdus=pdus, chillers=chillers)
+        return Site("s", [machine], facility=facility)
+
+    def test_requires_site(self):
+        machine = machine16()
+        with pytest.raises(PolicyError):
+            ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                              policies=[LayoutAwarePolicy()])
+
+    def test_avoids_maintenance_dependent_nodes(self):
+        machine = machine16()
+        site = self._site_with_facility(machine)
+        site.facility.add_maintenance(MaintenanceWindow("pdu0", 0.0, 10 * HOUR))
+        job = make_job(nodes=8, work=100.0, walltime=500.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[LayoutAwarePolicy(horizon=HOUR)],
+                                site=site)
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        assert all(nid >= 8 for nid in job.assigned_nodes)
+
+    def test_horizon_sees_future_windows(self):
+        machine = machine16()
+        site = self._site_with_facility(machine)
+        # Window opens at t=2h; policy horizon 4h keeps nodes clear now.
+        site.facility.add_maintenance(
+            MaintenanceWindow("ch0", 2 * HOUR, 6 * HOUR)
+        )
+        job = make_job(nodes=4, work=100.0, walltime=500.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[LayoutAwarePolicy(horizon=4 * HOUR)],
+                                site=site)
+        sim.run()
+        assert all(nid >= 8 for nid in job.assigned_nodes)
+
+    def test_no_maintenance_no_filtering(self):
+        machine = machine16()
+        site = self._site_with_facility(machine)
+        job = make_job(nodes=16, work=100.0, walltime=500.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[LayoutAwarePolicy()],
+                                site=site)
+        sim.run()
+        assert job.state is JobState.COMPLETED
+
+
+class TestDemandResponse:
+    def test_vetoes_during_event(self):
+        machine = machine16()
+        event = DemandResponseEvent(
+            start=0.0, end=2 * HOUR,
+            limit_watts=machine.idle_floor_power + 100.0,
+        )
+        policy = DemandResponsePolicy(GridEventSchedule([event]))
+        job = make_job(nodes=8, work=100.0, walltime=1000.0,
+                       profile=COMPUTE_BOUND)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        result = sim.run()
+        # Vetoed during the event, started after it.
+        assert job.start_time >= 2 * HOUR
+        assert policy.vetoes > 0
+        assert job.state is JobState.COMPLETED
+
+    def test_sheds_idle_nodes_during_event(self):
+        machine = machine16()
+        event = DemandResponseEvent(
+            start=0.0, end=4 * HOUR,
+            limit_watts=machine.idle_floor_power * 0.5,
+        )
+        policy = DemandResponsePolicy(GridEventSchedule([event]),
+                                      check_interval=300.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                                policies=[policy])
+        sim.run(until=1 * HOUR)
+        assert policy.sheds > 0
+        off = machine.nodes_in_state(NodeState.OFF)
+        assert len(off) >= 8
+
+    def test_straddling_start_blocked(self):
+        machine = machine16()
+        # Event at t=1h; a big job submitted now would straddle it.
+        event = DemandResponseEvent(
+            start=1 * HOUR, end=2 * HOUR, limit_watts=1000.0
+        )
+        policy = DemandResponsePolicy(GridEventSchedule([event]))
+        job = make_job(nodes=16, work=3 * HOUR, walltime=4 * HOUR,
+                       profile=COMPUTE_BOUND)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run(until=0.5 * HOUR)
+        assert job.state is JobState.PENDING
+
+    def test_normal_operation_outside_events(self):
+        machine = machine16()
+        policy = DemandResponsePolicy(GridEventSchedule([]))
+        job = make_job(nodes=8, work=100.0, walltime=500.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        assert policy.vetoes == 0
+
+
+class TestEnergyReporting:
+    def test_report_per_finished_job(self):
+        machine = machine16()
+        policy = EnergyReportingPolicy()
+        jobs = [make_job(job_id=f"j{i}", nodes=2, work=100.0,
+                         walltime=500.0, user=f"u{i % 2}")
+                for i in range(4)]
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                policies=[policy])
+        sim.run()
+        assert len(policy.reports) == 4
+        report = policy.report_for("j0")
+        assert report is not None
+        assert report.energy_joules > 0
+        assert report.grade in "ABCDE"
+        assert 0.0 <= report.efficiency_score <= 1.0
+
+    def test_grades_reflect_intensity(self):
+        machine = machine16()
+        policy = EnergyReportingPolicy()
+        hot = make_job(job_id="hot", work=100.0, walltime=500.0,
+                       profile=COMPUTE_BOUND)
+        from repro.workload.phases import COMM_BOUND
+
+        cold = make_job(job_id="cold", work=100.0, walltime=500.0,
+                        profile=COMM_BOUND, submit=1.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                                [hot, cold], policies=[policy])
+        sim.run()
+        hot_report = policy.report_for("hot")
+        cold_report = policy.report_for("cold")
+        assert hot_report.efficiency_score > cold_report.efficiency_score
+
+    def test_user_summary(self):
+        machine = machine16()
+        policy = EnergyReportingPolicy()
+        jobs = [make_job(job_id=f"j{i}", work=100.0, walltime=500.0,
+                         user="alice")
+                for i in range(3)]
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                policies=[policy])
+        sim.run()
+        summary = policy.user_summary()
+        assert summary["alice"]["jobs"] == 3
+        assert summary["alice"]["energy_joules"] > 0
+        assert 0.0 <= summary["alice"]["mean_score"] <= 1.0
+
+    def test_missing_job_returns_none(self):
+        machine = machine16()
+        policy = EnergyReportingPolicy()
+        ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                          policies=[policy])
+        assert policy.report_for("ghost") is None
+
+
+class TestManualActions:
+    def test_scripted_shutdown_and_boot(self):
+        machine = machine16()
+        policy = ManualActionPolicy([
+            AdminAction(100.0, "shutdown", count=4),
+            AdminAction(5000.0, "boot", count=2),
+        ])
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                                policies=[policy])
+        sim.run(until=500.0)
+        assert len(machine.nodes_in_state(NodeState.OFF)) == 4
+        sim.sim.run(until=10_000.0)
+        assert len(machine.nodes_in_state(NodeState.OFF)) == 2
+        assert len(policy.executed) == 2
+
+    def test_scripted_cap(self):
+        machine = machine16()
+        policy = ManualActionPolicy([
+            AdminAction(100.0, "set_cap", cap_watts=300.0),
+            AdminAction(200.0, "clear_cap"),
+        ])
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                                policies=[policy])
+        sim.run(until=150.0)
+        assert machine.node(0).power_cap == 300.0
+        sim.sim.run(until=250.0)
+        assert machine.node(0).power_cap is None
+
+    def test_custom_callback(self):
+        machine = machine16()
+        fired = []
+        policy = ManualActionPolicy([
+            AdminAction(50.0, "custom", callback=lambda: fired.append(1)),
+        ])
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                                policies=[policy])
+        sim.run(until=100.0)
+        assert fired == [1]
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            AdminAction(0.0, "explode")
+        with pytest.raises(PolicyError):
+            AdminAction(0.0, "custom")

@@ -1,0 +1,264 @@
+"""Tests for requeue-after-kill and reserved job windows."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.core import ClusterSimulation, EasyBackfillScheduler
+from repro.errors import PolicyError, SchedulingError
+from repro.policies import (
+    EmergencyPowerPolicy,
+    RequeuePolicy,
+    ReservedWindow,
+    ReservedWindowPolicy,
+)
+from repro.units import DAY, HOUR
+from repro.workload import JobState
+from repro.workload.phases import COMPUTE_BOUND
+from tests.conftest import make_job
+
+
+def machine16():
+    return Machine(MachineSpec(name="m", nodes=16,
+                               idle_power=100.0, max_power=400.0))
+
+
+class KillAt(object):
+    """Helper policy-free killer via direct scheduling."""
+
+    @staticmethod
+    def arm(sim, job_id, at, reason="power emergency"):
+        sim.sim.at(at, lambda: sim.kill_job(job_id, reason))
+
+
+class TestRequeue:
+    def test_killed_job_requeued_and_completes(self):
+        machine = machine16()
+        job = make_job(work=1000.0, walltime=3000.0)
+        policy = RequeuePolicy(max_retries=2, delay=30.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        KillAt.arm(sim, job.job_id, at=200.0)
+        result = sim.run()
+        assert job.state is JobState.KILLED
+        assert policy.requeued == 1
+        copies = [j for j in result.jobs if j.job_id == "j1-r1"]
+        assert len(copies) == 1
+        assert copies[0].state is JobState.COMPLETED
+        # Without checkpoints the copy redoes all the work.
+        assert copies[0].work_seconds == pytest.approx(1000.0)
+        assert copies[0].submit_time == pytest.approx(230.0)
+
+    def test_checkpointing_salvages_progress(self):
+        machine = machine16()
+        job = make_job(work=1000.0, walltime=3000.0)
+        policy = RequeuePolicy(max_retries=1, checkpoint_interval=100.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        KillAt.arm(sim, job.job_id, at=450.0)
+        result = sim.run()
+        copy = next(j for j in result.jobs if j.job_id == "j1-r1")
+        # 450 s done at full speed -> checkpoint at 400 s.
+        assert copy.work_seconds == pytest.approx(600.0)
+        assert policy.work_salvaged == pytest.approx(400.0)
+
+    def test_retry_limit_respected(self):
+        machine = machine16()
+        job = make_job(work=5000.0, walltime=20_000.0)
+        policy = RequeuePolicy(max_retries=1, delay=10.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        # Kill the original AND the first retry.
+        KillAt.arm(sim, "j1", at=100.0)
+        KillAt.arm(sim, "j1-r1", at=300.0)
+        result = sim.run()
+        ids = sorted(j.job_id for j in result.jobs)
+        assert ids == ["j1", "j1-r1"]  # no -r2
+        assert policy.requeued == 1
+
+    def test_reason_filter(self):
+        machine = machine16()
+        job = make_job(work=1000.0, walltime=3000.0)
+        policy = RequeuePolicy(reasons=("power",))
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        KillAt.arm(sim, job.job_id, at=100.0, reason="node failure")
+        result = sim.run()
+        assert policy.requeued == 0
+        assert len(result.jobs) == 1
+
+    def test_completed_jobs_not_requeued(self):
+        machine = machine16()
+        job = make_job(work=100.0, walltime=500.0)
+        policy = RequeuePolicy()
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        result = sim.run()
+        assert policy.requeued == 0
+        assert len(result.jobs) == 1
+
+    def test_duplicate_resubmit_rejected(self):
+        machine = machine16()
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                                [make_job()])
+        with pytest.raises(SchedulingError):
+            sim.resubmit_job(make_job())
+
+    def test_metrics_count_requeued_copies(self):
+        machine = machine16()
+        job = make_job(work=1000.0, walltime=3000.0)
+        policy = RequeuePolicy(max_retries=1)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
+                                policies=[policy])
+        KillAt.arm(sim, job.job_id, at=100.0)
+        result = sim.run()
+        assert result.metrics.jobs_submitted == 2
+        assert result.metrics.jobs_completed == 1
+        assert result.metrics.jobs_killed == 1
+
+    def test_integration_with_emergency_policy(self):
+        # The RIKEN loop with the gate disabled: two jobs that do not
+        # fit together produce a kill/requeue storm.  The retry limit
+        # bounds the storm, one lineage wins, and the run terminates —
+        # a faithful rendition of why the pre-run gate matters.
+        machine = machine16()
+        jobs = [make_job(job_id=f"j{i}", nodes=8, work=2000.0,
+                         walltime=20_000.0, profile=COMPUTE_BOUND,
+                         submit=float(i))
+                for i in range(2)]
+        # One 8-node job draws 8x400 + 8x100 idle = 4000 W; two draw
+        # 6400 W.  A 4800 W limit admits one but not both.
+        emergency = EmergencyPowerPolicy(
+            limit_watts=machine.peak_power * 0.75,
+            grace_period=120.0, check_interval=60.0, gate_enabled=False,
+        )
+        requeue = RequeuePolicy(max_retries=2, reasons=("power",),
+                                delay=120.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                policies=[emergency, requeue])
+        result = sim.run()
+        assert emergency.kills >= 1
+        assert requeue.requeued >= 1
+        # The retry limit bounds the storm: at most 3 instances per base.
+        assert len(result.jobs) <= 6
+        # At least one lineage completes its work.
+        completed_bases = {
+            j.job_id.split("-r")[0]
+            for j in result.jobs if j.state is JobState.COMPLETED
+        }
+        assert completed_bases
+        # Every instance is terminal (the run did not hang).
+        assert all(j.is_terminal for j in result.jobs)
+
+    def test_gate_prevents_the_requeue_storm(self):
+        # Same scenario with the prediction gate ON: the second job is
+        # vetoed instead of killed; both lineages finish with zero
+        # kills — the quantitative argument for RIKEN's pre-run
+        # estimates.
+        machine = machine16()
+        jobs = [make_job(job_id=f"j{i}", nodes=8, work=2000.0,
+                         walltime=20_000.0, profile=COMPUTE_BOUND,
+                         submit=float(i))
+                for i in range(2)]
+        emergency = EmergencyPowerPolicy(
+            limit_watts=machine.peak_power * 0.75,
+            grace_period=120.0, check_interval=60.0, gate_enabled=True,
+        )
+        requeue = RequeuePolicy(max_retries=2, reasons=("power",))
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), jobs,
+                                policies=[emergency, requeue])
+        result = sim.run()
+        assert emergency.kills == 0
+        assert requeue.requeued == 0
+        assert result.metrics.jobs_completed == 2
+
+
+class TestReservedWindows:
+    def test_window_activity_recurrence(self):
+        window = ReservedWindow(start=2 * DAY, duration=3 * DAY,
+                                period=30 * DAY)
+        assert not window.active_at(1 * DAY)
+        assert window.active_at(2 * DAY)
+        assert window.active_at(4.9 * DAY)
+        assert not window.active_at(5.1 * DAY)
+        # Next month.
+        assert window.active_at(32.5 * DAY)
+        assert not window.active_at(36 * DAY)
+
+    def test_large_jobs_wait_for_window(self):
+        machine = machine16()
+        window = ReservedWindow(start=6 * HOUR, duration=6 * HOUR,
+                                period=2 * DAY)
+        policy = ReservedWindowPolicy(window, min_nodes=8)
+        large = make_job(job_id="large", nodes=8, work=600.0,
+                         walltime=3000.0)
+        small = make_job(job_id="small", nodes=2, work=600.0,
+                         walltime=3000.0, submit=1.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(),
+                                [large, small], policies=[policy])
+        sim.run()
+        assert small.start_time < 6 * HOUR
+        assert large.start_time >= 6 * HOUR
+        assert policy.held_large > 0
+
+    def test_exclusive_window_holds_small_jobs(self):
+        machine = machine16()
+        window = ReservedWindow(start=0.0, duration=6 * HOUR,
+                                period=2 * DAY)
+        policy = ReservedWindowPolicy(window, min_nodes=8, exclusive=True)
+        small = make_job(job_id="small", nodes=2, work=600.0,
+                         walltime=3000.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [small],
+                                policies=[policy])
+        sim.run()
+        assert small.start_time >= 6 * HOUR
+        assert policy.held_small > 0
+
+    def test_non_exclusive_window_allows_small(self):
+        machine = machine16()
+        window = ReservedWindow(start=0.0, duration=6 * HOUR,
+                                period=2 * DAY)
+        policy = ReservedWindowPolicy(window, min_nodes=8, exclusive=False)
+        small = make_job(job_id="small", nodes=2, work=600.0,
+                         walltime=3000.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [small],
+                                policies=[policy])
+        sim.run()
+        assert small.start_time == 0.0
+
+    def test_queue_based_class(self):
+        machine = machine16()
+        from repro.core import QueueConfig
+
+        window = ReservedWindow(start=6 * HOUR, duration=6 * HOUR,
+                                period=2 * DAY)
+        policy = ReservedWindowPolicy(window, reserved_queue="capability",
+                                      exclusive=False)
+        job = make_job(nodes=2, work=600.0, walltime=3000.0,
+                       queue="capability")
+        sim = ClusterSimulation(
+            machine, EasyBackfillScheduler(), [job], policies=[policy],
+            queue_configs=[QueueConfig("default"),
+                           QueueConfig("capability", priority=5)],
+        )
+        sim.run()
+        assert job.start_time >= 6 * HOUR
+
+    def test_validation(self):
+        window = ReservedWindow(start=0.0, duration=DAY)
+        with pytest.raises(PolicyError):
+            ReservedWindowPolicy(window)
+
+    def test_riken_scenario_with_window(self):
+        from repro.centers import build_center_simulation
+
+        window = ReservedWindow(start=6 * HOUR, duration=12 * HOUR,
+                                period=2 * DAY)
+        build = build_center_simulation(
+            "riken", seed=3, duration=18 * HOUR, nodes=48,
+            reserved_window=window,
+        )
+        result = build.simulation.run()
+        large = [j for j in result.jobs if j.queue == "large"
+                 and j.start_time is not None]
+        assert large, "scenario should start some large jobs"
+        assert all(j.start_time >= 6 * HOUR for j in large)

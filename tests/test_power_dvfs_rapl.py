@@ -1,0 +1,120 @@
+"""Tests for DVFS ladders and RAPL windowed limiting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PowerCapError
+from repro.power import FrequencyLadder, RaplDomain
+
+
+class TestFrequencyLadder:
+    def test_sorted_and_validated(self):
+        ladder = FrequencyLadder([2.0e9, 1.0e9, 1.5e9])
+        assert ladder.frequencies == [1.0e9, 1.5e9, 2.0e9]
+        assert ladder.f_min == 1.0e9
+        assert ladder.f_max == 2.0e9
+        assert len(ladder) == 3
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder([])
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder([1e9, 1e9])
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder([-1e9, 1e9])
+
+    def test_linear_builder(self):
+        ladder = FrequencyLadder.linear(1e9, 2e9, 5)
+        assert len(ladder) == 5
+        assert ladder.f_min == 1e9
+        assert ladder.f_max == 2e9
+        gaps = [b - a for a, b in zip(ladder.frequencies, ladder.frequencies[1:])]
+        assert all(g == pytest.approx(gaps[0]) for g in gaps)
+
+    def test_linear_single_step(self):
+        assert FrequencyLadder.linear(1e9, 2e9, 1).frequencies == [2e9]
+
+    def test_clamp_rounds_down(self):
+        ladder = FrequencyLadder([1e9, 1.5e9, 2e9])
+        assert ladder.clamp(1.7e9) == 1.5e9
+        assert ladder.clamp(2.5e9) == 2e9
+        assert ladder.clamp(0.5e9) == 1e9  # floor
+
+    def test_step_down_up(self):
+        ladder = FrequencyLadder([1e9, 1.5e9, 2e9])
+        assert ladder.step_down(2e9) == 1.5e9
+        assert ladder.step_down(1e9) == 1e9
+        assert ladder.step_up(1e9) == 1.5e9
+        assert ladder.step_up(2e9) == 2e9
+
+
+class TestRaplDomain:
+    def test_unlimited_domain(self):
+        domain = RaplDomain(window_seconds=10.0)
+        domain.record(0.0, 500.0)
+        assert domain.allowance(5.0) == float("inf")
+        assert domain.compliant(5.0)
+
+    def test_window_average_flat_signal(self):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=10.0)
+        for t in range(11):
+            domain.record(float(t), 80.0)
+        assert domain.window_average(10.0) == pytest.approx(80.0)
+        assert domain.compliant(10.0)
+
+    def test_window_average_expires_old_samples(self):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=5.0)
+        domain.record(0.0, 1000.0)
+        for t in range(1, 11):
+            domain.record(float(t), 50.0)
+        # The 1000 W sample is far outside the 5 s window.
+        assert domain.window_average(10.0) == pytest.approx(50.0)
+
+    def test_over_limit_not_compliant(self):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=10.0)
+        for t in range(11):
+            domain.record(float(t), 150.0)
+        assert not domain.compliant(10.0)
+
+    def test_allowance_gives_credit_after_low_draw(self):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=10.0)
+        for t in range(6):
+            domain.record(float(t), 50.0)  # half the limit for 5 s
+        # Budget 1000 J, spent 250 J, 5 s remain: 150 W sustainable.
+        assert domain.allowance(5.0) == pytest.approx(150.0)
+
+    def test_allowance_tightens_after_high_draw(self):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=10.0)
+        low = RaplDomain(limit_watts=100.0, window_seconds=10.0)
+        for t in range(6):
+            domain.record(float(t), 140.0)
+            low.record(float(t), 50.0)
+        assert domain.allowance(5.0) < low.allowance(5.0)
+        # Budget 1000 J, spent 700 J, 5 s remain: 60 W sustainable.
+        assert domain.allowance(5.0) == pytest.approx(60.0)
+
+    def test_short_burst_is_compliant(self):
+        # The defining RAPL behaviour: a burst much shorter than the
+        # window never breaks the running average.
+        domain = RaplDomain(limit_watts=100.0, window_seconds=10.0)
+        domain.record(0.0, 400.0)
+        domain.record(2.0, 0.0)  # burst ends after 2 s
+        assert domain.window_average(10.0) == pytest.approx(80.0)
+        assert domain.compliant(10.0)
+
+    def test_steady_state_allowance(self):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=10.0)
+        for t in range(0, 11):
+            domain.record(float(t), 80.0)
+        # Fully covered window at 80 W: steady allowance = 2L - avg.
+        assert domain.allowance(10.0) == pytest.approx(120.0)
+
+    def test_limit_validation(self):
+        with pytest.raises(PowerCapError):
+            RaplDomain(limit_watts=0.0)
+        domain = RaplDomain(limit_watts=50.0)
+        domain.set_limit(None)
+        assert domain.limit_watts is None
+
+    def test_cold_start_allows_limit(self):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=10.0)
+        assert domain.allowance(0.0) == pytest.approx(100.0)

@@ -1,0 +1,212 @@
+"""Tests for the prediction substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction import (
+    FEATURE_NAMES,
+    LinearPowerPredictor,
+    NodeThermalModel,
+    TagHistoryPredictor,
+    UserRuntimePredictor,
+    evaluate_predictor,
+    job_features,
+)
+from tests.conftest import make_job
+
+
+class TestFeatures:
+    def test_vector_shape_and_names(self):
+        job = make_job(nodes=8, walltime=3600.0)
+        vec = job_features(job)
+        assert vec.shape == (len(FEATURE_NAMES),)
+        assert vec[0] == 1.0  # intercept
+        assert vec[1] == pytest.approx(3.0)  # log2(8)
+
+    def test_hashes_stable_and_bounded(self):
+        a = job_features(make_job(user="alice", tag="t1"))
+        b = job_features(make_job(user="alice", tag="t1"))
+        assert np.array_equal(a, b)
+        assert all(0.0 <= v < 1.0 for v in a[3:])
+
+    def test_different_users_differ(self):
+        a = job_features(make_job(user="alice"))
+        b = job_features(make_job(user="bob"))
+        assert a[3] != b[3]
+
+
+class TestTagHistoryPredictor:
+    def test_cold_start_default(self):
+        predictor = TagHistoryPredictor(default_per_node_watts=300.0)
+        job = make_job(nodes=4)
+        assert predictor.predict(job) == pytest.approx(1200.0)
+
+    def test_learns_tag_average(self):
+        predictor = TagHistoryPredictor(default_per_node_watts=300.0, ewma=1.0)
+        job = make_job(nodes=4, tag="app:4")
+        predictor.observe(job, measured_total_watts=800.0)  # 200 W/node
+        assert predictor.predict(make_job(nodes=2, tag="app:4")) == pytest.approx(400.0)
+
+    def test_fallback_chain_tag_app_global(self):
+        predictor = TagHistoryPredictor(default_per_node_watts=300.0, ewma=1.0)
+        predictor.observe(make_job(nodes=1, tag="x:1", app_name="x"), 150.0)
+        # Unknown tag, known app.
+        assert predictor.predict_per_node(
+            make_job(tag="x:99", app_name="x")
+        ) == pytest.approx(150.0)
+        # Unknown tag and app: global mean.
+        assert predictor.predict_per_node(
+            make_job(tag="z:1", app_name="z")
+        ) == pytest.approx(150.0)
+
+    def test_ewma_blends(self):
+        predictor = TagHistoryPredictor(default_per_node_watts=300.0, ewma=0.5)
+        job = make_job(nodes=1, tag="t")
+        predictor.observe(job, 100.0)
+        predictor.observe(job, 200.0)
+        assert predictor.predict_per_node(job) == pytest.approx(150.0)
+
+    def test_ewma_validation(self):
+        with pytest.raises(PredictionError):
+            TagHistoryPredictor(100.0, ewma=0.0)
+
+
+class TestLinearPowerPredictor:
+    def test_cold_start_default(self):
+        predictor = LinearPowerPredictor(default_per_node_watts=250.0)
+        assert predictor.predict(make_job(nodes=2)) == pytest.approx(500.0)
+
+    def test_learns_linear_relationship(self, rng):
+        predictor = LinearPowerPredictor(default_per_node_watts=250.0,
+                                         refit_every=10, ridge=1e-6)
+        stream = rng.stream("pred")
+        # True model: per-node watts = 100 + 40*log2(nodes).
+        for i in range(100):
+            nodes = int(2 ** stream.integers(0, 6))
+            job = make_job(job_id=f"j{i}", nodes=nodes)
+            true = nodes * (100.0 + 40.0 * np.log2(max(nodes, 1)))
+            predictor.observe(job, true)
+        test_job = make_job(nodes=16)
+        predicted = predictor.predict(test_job)
+        expected = 16 * (100.0 + 40.0 * 4.0)
+        assert predicted == pytest.approx(expected, rel=0.15)
+
+    def test_prediction_clipped_positive(self):
+        predictor = LinearPowerPredictor(default_per_node_watts=100.0,
+                                         refit_every=1)
+        job = make_job(nodes=1)
+        predictor.observe(job, 0.5)
+        assert predictor.predict(job) >= 1.0
+
+    def test_history_bounded(self):
+        predictor = LinearPowerPredictor(default_per_node_watts=100.0,
+                                         max_history=10, refit_every=100)
+        for i in range(50):
+            predictor.observe(make_job(job_id=f"j{i}"), 100.0)
+        assert len(predictor._y) == 10
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            LinearPowerPredictor(100.0, ridge=-1.0)
+        with pytest.raises(PredictionError):
+            LinearPowerPredictor(100.0, refit_every=0)
+
+
+class TestEvaluate:
+    def test_metrics_computed(self):
+        predictor = TagHistoryPredictor(default_per_node_watts=100.0)
+        labelled = [(make_job(nodes=1), 120.0), (make_job(nodes=2), 180.0)]
+        metrics = evaluate_predictor(predictor, labelled)
+        assert metrics.count == 2
+        assert metrics.mape > 0.0
+        assert metrics.rmse_watts > 0.0
+
+    def test_perfect_predictor(self):
+        predictor = TagHistoryPredictor(default_per_node_watts=100.0)
+        labelled = [(make_job(nodes=2), 200.0)]
+        metrics = evaluate_predictor(predictor, labelled)
+        assert metrics.mape == 0.0
+        assert metrics.mean_bias_watts == 0.0
+
+    def test_empty(self):
+        metrics = evaluate_predictor(
+            TagHistoryPredictor(default_per_node_watts=100.0), []
+        )
+        assert metrics.count == 0
+
+
+class TestUserRuntimePredictor:
+    def test_default_is_request(self):
+        predictor = UserRuntimePredictor()
+        job = make_job(walltime=1000.0)
+        assert predictor.predict(job) == 1000.0
+
+    def test_learns_user_ratio(self):
+        predictor = UserRuntimePredictor(ewma=1.0)
+        done = make_job(walltime=1000.0, user="alice")
+        done.start(0.0, [0])
+        done.complete(250.0)  # used a quarter of the request
+        predictor.observe(done)
+        new = make_job(job_id="n", walltime=2000.0, user="alice")
+        assert predictor.predict(new) == pytest.approx(500.0)
+        assert predictor.ratio_for("alice") == pytest.approx(0.25)
+
+    def test_never_exceeds_request(self):
+        predictor = UserRuntimePredictor()
+        job = make_job(walltime=100.0)
+        assert predictor.predict(job) <= 100.0
+
+    def test_unknown_user_none_ratio(self):
+        assert UserRuntimePredictor().ratio_for("ghost") is None
+
+
+class TestNodeThermalModel:
+    def test_steady_state(self):
+        model = NodeThermalModel(r_thermal=0.1, tau=100.0)
+        assert model.steady_state(300.0, 20.0) == pytest.approx(50.0)
+
+    def test_converges_to_steady_state(self):
+        model = NodeThermalModel(r_thermal=0.1, tau=100.0,
+                                 initial_temperature=20.0)
+        for _ in range(100):
+            model.step(50.0, 300.0, 20.0)
+        assert model.temperature == pytest.approx(50.0, abs=0.1)
+
+    def test_exponential_approach(self):
+        model = NodeThermalModel(r_thermal=0.1, tau=100.0,
+                                 initial_temperature=20.0)
+        t1 = model.step(100.0, 300.0, 20.0)
+        # After one time constant: ~63% of the gap closed.
+        assert t1 == pytest.approx(20.0 + 30.0 * (1 - np.exp(-1)), rel=1e-6)
+
+    def test_predict_does_not_mutate(self):
+        model = NodeThermalModel(initial_temperature=30.0)
+        before = model.temperature
+        model.predict(1000.0, 300.0, 20.0)
+        assert model.temperature == before
+
+    def test_time_to_threshold(self):
+        model = NodeThermalModel(r_thermal=0.2, tau=100.0,
+                                 initial_temperature=30.0, t_max=85.0)
+        # Steady state at 20 + 0.2*400 = 100 > 85: finite time.
+        t = model.time_to_threshold(400.0, 20.0)
+        assert 0.0 < t < float("inf")
+        model.step(t, 400.0, 20.0)
+        assert model.temperature == pytest.approx(85.0, abs=0.5)
+
+    def test_time_to_threshold_infinite_when_safe(self):
+        model = NodeThermalModel(r_thermal=0.1, tau=100.0, t_max=85.0)
+        assert model.time_to_threshold(100.0, 20.0) == float("inf")
+        assert not model.would_throttle(100.0, 20.0)
+
+    def test_already_over(self):
+        model = NodeThermalModel(initial_temperature=90.0, t_max=85.0)
+        assert model.time_to_threshold(100.0, 20.0) == 0.0
+
+    def test_validation(self):
+        model = NodeThermalModel()
+        with pytest.raises(PredictionError):
+            model.step(-1.0, 100.0, 20.0)
+        with pytest.raises(PredictionError):
+            model.predict(-1.0, 100.0, 20.0)

@@ -1,0 +1,165 @@
+"""Property-based tests for the extension subsystems: RAPL windows,
+thermal model, fair-share decay, sparklines and the site budget
+coordinator."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import render_sparkline
+from repro.core.fairshare import FairShareScheduler
+from repro.power import PowerBudget, RaplDomain
+from repro.prediction import NodeThermalModel
+
+watt_series = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),   # time gap
+        st.floats(min_value=0.0, max_value=1000.0),  # watts
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestRaplProperties:
+    @given(watt_series, st.floats(min_value=1.0, max_value=500.0))
+    def test_window_average_bounded_by_max_sample(self, series, window):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=window)
+        t = 0.0
+        max_watts = 0.0
+        for gap, watts in series:
+            t += gap
+            domain.record(t, watts)
+            max_watts = max(max_watts, watts)
+        assert 0.0 <= domain.window_average(t) <= max_watts + 1e-9
+
+    @given(watt_series)
+    def test_allowance_non_negative(self, series):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=60.0)
+        t = 0.0
+        for gap, watts in series:
+            t += gap
+            domain.record(t, watts)
+            assert domain.allowance(t) >= 0.0
+
+    @given(st.floats(min_value=1.0, max_value=99.0),
+           st.floats(min_value=10.0, max_value=100.0))
+    def test_flat_draw_below_limit_always_compliant(self, watts, window):
+        domain = RaplDomain(limit_watts=100.0, window_seconds=window)
+        t = 0.0
+        for _ in range(30):
+            domain.record(t, watts)
+            assert domain.compliant(t)
+            t += window / 10.0
+
+
+class TestThermalProperties:
+    model_params = st.tuples(
+        st.floats(min_value=0.01, max_value=0.5),    # r_thermal
+        st.floats(min_value=10.0, max_value=1000.0),  # tau
+        st.floats(min_value=0.0, max_value=500.0),    # power
+        st.floats(min_value=-10.0, max_value=40.0),   # ambient
+    )
+
+    @given(model_params, st.floats(min_value=0.0, max_value=10_000.0))
+    def test_temperature_between_start_and_steady(self, params, dt):
+        r, tau, power, ambient = params
+        model = NodeThermalModel(r_thermal=r, tau=tau,
+                                 initial_temperature=ambient)
+        steady = model.steady_state(power, ambient)
+        start = model.temperature
+        result = model.step(dt, power, ambient)
+        lo, hi = min(start, steady), max(start, steady)
+        assert lo - 1e-6 <= result <= hi + 1e-6
+
+    @given(model_params)
+    def test_long_run_converges_to_steady_state(self, params):
+        r, tau, power, ambient = params
+        model = NodeThermalModel(r_thermal=r, tau=tau,
+                                 initial_temperature=ambient + 30.0)
+        model.step(50.0 * tau, power, ambient)
+        assert model.temperature == pytest.approx(
+            model.steady_state(power, ambient), abs=1e-3
+        )
+
+    @given(model_params, st.floats(min_value=1.0, max_value=1000.0))
+    def test_predict_equals_step_without_mutation(self, params, dt):
+        r, tau, power, ambient = params
+        model = NodeThermalModel(r_thermal=r, tau=tau,
+                                 initial_temperature=25.0)
+        predicted = model.predict(dt, power, ambient)
+        stepped = model.step(dt, power, ambient)
+        assert predicted == pytest.approx(stepped, rel=1e-12)
+
+
+class TestFairShareProperties:
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=1e5),
+                              st.floats(min_value=0.0, max_value=1e6)),
+                    max_size=30))
+    def test_usage_never_negative_and_decays(self, charges):
+        scheduler = FairShareScheduler(half_life=3600.0)
+        t = 0.0
+        for gap, node_seconds in charges:
+            t += gap
+            scheduler.record_usage("u", node_seconds, t)
+            assert scheduler.decayed_usage("u", t) >= 0.0
+        late = scheduler.decayed_usage("u", t + 10 * 3600.0)
+        now = scheduler.decayed_usage("u", t)
+        assert late <= now + 1e-6
+
+    @given(st.floats(min_value=1.0, max_value=1e6),
+           st.floats(min_value=60.0, max_value=1e6))
+    def test_half_life_exact(self, amount, half_life):
+        scheduler = FairShareScheduler(half_life=half_life)
+        scheduler.record_usage("u", amount, now=0.0)
+        assert scheduler.decayed_usage("u", half_life) == pytest.approx(
+            amount / 2.0, rel=1e-9
+        )
+
+
+class TestSparklineProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), max_size=300),
+           st.integers(min_value=1, max_value=120))
+    def test_output_length_bounded(self, values, width):
+        out = render_sparkline(values, width=width)
+        assert len(out) == min(len(values), width)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=300))
+    def test_only_valid_glyphs(self, values):
+        out = render_sparkline(values)
+        assert set(out) <= set(" ▁▂▃▄▅▆▇█")
+
+
+class TestBudgetTreeProperties:
+    @given(st.lists(st.floats(min_value=10.0, max_value=500.0),
+                    min_size=2, max_size=6),
+           st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=2, max_size=6))
+    @settings(max_examples=50)
+    def test_demand_proportional_resize_keeps_invariant(self, floors, demands):
+        assume(len(floors) == len(demands))
+        total = sum(floors) * 2.0
+        root = PowerBudget("site", total)
+        children = [
+            root.subdivide(f"m{i}", total / len(floors))
+            for i in range(len(floors))
+        ]
+        # Re-divide: floors + demand-proportional surplus (the
+        # coordinator's arithmetic), shrink-first ordering.
+        surplus = total - sum(floors)
+        total_demand = sum(demands)
+        targets = [
+            floor + (surplus * d / total_demand if total_demand > 0
+                     else surplus / len(floors))
+            for floor, d in zip(floors, demands)
+        ]
+        order = sorted(range(len(children)),
+                       key=lambda i: targets[i] - children[i].limit_watts)
+        for i in order:
+            children[i].resize(max(targets[i], 1.0))
+        root.validate()
+        assert sum(c.limit_watts for c in children) <= total + 1e-6

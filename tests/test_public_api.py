@@ -1,0 +1,88 @@
+"""Meta-tests on the public API surface.
+
+Guards the packaging-level promises: importability of everything the
+package advertises, docstrings on every public module and exported
+symbol, and the top-level quickstart.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+ALL_MODULES = _walk_modules()
+
+
+class TestApiSurface:
+    def test_version_present(self):
+        assert repro.__version__
+
+    def test_quickstart_runs(self):
+        result = repro.quickstart(nodes=8, jobs=10, seed=1)
+        assert result.metrics.jobs_completed == 10
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_imports_and_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.simulator",
+            "repro.cluster",
+            "repro.power",
+            "repro.workload",
+            "repro.telemetry",
+            "repro.prediction",
+            "repro.grid",
+            "repro.core",
+            "repro.policies",
+            "repro.centers",
+            "repro.survey",
+            "repro.analysis",
+        ],
+    )
+    def test_all_exports_resolve_and_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+        for name in module.__all__:
+            obj = getattr(module, name, None)
+            assert obj is not None, f"{module_name}.{name} missing"
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{module_name}.{name} undocumented"
+
+    def test_subpackage_count_matches_design(self):
+        subpackages = {
+            name.split(".")[1]
+            for name in ALL_MODULES
+            if name.count(".") == 1
+        }
+        expected = {
+            "simulator", "cluster", "power", "workload", "telemetry",
+            "prediction", "grid", "core", "policies", "centers",
+            "survey", "analysis",
+        }
+        # Plain modules (errors, units, _version) are not packages.
+        assert expected <= subpackages | {"errors", "units", "_version"}
+
+    def test_error_hierarchy_rooted(self):
+        from repro import errors
+
+        roots = [
+            obj for name, obj in vars(errors).items()
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        ]
+        for exc in roots:
+            assert issubclass(exc, errors.ReproError) or exc is errors.ReproError

@@ -1,0 +1,165 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import EventOrderError, SimulationError
+from repro.simulator import EventPriority, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_start_time(self):
+        assert Simulator().now == 0.0
+        assert Simulator(start_time=100.0).now == 100.0
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.at(5.0, lambda: order.append("b"))
+        sim.at(1.0, lambda: order.append("a"))
+        sim.at(9.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self, sim):
+        order = []
+        for i in range(5):
+            sim.at(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self, sim):
+        order = []
+        sim.at(1.0, lambda: order.append("control"), priority=EventPriority.CONTROL)
+        sim.at(1.0, lambda: order.append("state"), priority=EventPriority.STATE)
+        sim.at(1.0, lambda: order.append("monitor"), priority=EventPriority.MONITOR)
+        sim.run()
+        assert order == ["state", "monitor", "control"]
+
+    def test_after_is_relative(self, sim):
+        sim.at(10.0, lambda: sim.after(5.0, lambda: None))
+        sim.run()
+        assert sim.now == 15.0
+
+    def test_scheduling_in_past_raises(self, sim):
+        sim.at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(EventOrderError):
+            sim.at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(EventOrderError):
+            sim.after(-1.0, lambda: None)
+
+    def test_args_passed_through(self, sim):
+        got = []
+        sim.at(1.0, lambda a, b: got.append((a, b)), 1, "x")
+        sim.run()
+        assert got == [(1, "x")]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.active
+
+    def test_handle_active_lifecycle(self, sim):
+        handle = sim.at(1.0, lambda: None)
+        assert handle.active
+        assert handle.time == 1.0
+        sim.run()
+        # fired events are popped; the handle is no longer cancelled
+        # but the event cannot fire again.
+        assert sim.events_fired == 1
+
+    def test_pending_excludes_tombstones(self, sim):
+        h1 = sim.at(1.0, lambda: None)
+        sim.at(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending == 1
+
+
+class TestRun:
+    def test_run_until_advances_clock_exactly(self, sim):
+        sim.at(1.0, lambda: None)
+        final = sim.run(until=10.0)
+        assert final == 10.0
+        assert sim.now == 10.0
+
+    def test_run_until_leaves_future_events(self, sim):
+        fired = []
+        sim.at(20.0, lambda: fired.append(1))
+        sim.run(until=10.0)
+        assert fired == []
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_guard(self, sim):
+        def reschedule():
+            sim.after(1.0, reschedule)
+
+        sim.at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_step_fires_single_event(self, sim):
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_not_reentrant(self, sim):
+        def inner():
+            sim.run()
+
+        sim.at(1.0, inner)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestPeriodic:
+    def test_every_fires_at_interval(self, sim):
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now))
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_every_with_start_offset(self, sim):
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), start_offset=0.0)
+        sim.run(until=25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_every_until_bound(self, sim):
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), until=25.0)
+        sim.run(until=100.0)
+        assert times == [10.0, 20.0]
+
+    def test_every_cancel_stops_chain(self, sim):
+        times = []
+        handle = sim.every(10.0, lambda: times.append(sim.now))
+        sim.at(25.0, handle.cancel)
+        sim.run(until=100.0)
+        assert times == [10.0, 20.0]
+
+    def test_every_rejects_bad_interval(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+
+    def test_every_starting_beyond_until_is_noop(self, sim):
+        handle = sim.every(10.0, lambda: None, until=5.0)
+        assert not handle.active
+        sim.run()
+        assert sim.events_fired == 0

@@ -1,0 +1,106 @@
+"""Tests for RNG streams and the trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import RngStreams, TraceRecord, TraceRecorder
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(1).stream("x").random(10)
+        b = RngStreams(1).stream("x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        rng = RngStreams(1)
+        a = rng.stream("a").random(10)
+        b = rng.stream("b").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random(10)
+        b = RngStreams(2).stream("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        rng = RngStreams(1)
+        assert rng.stream("x") is rng.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        rng1 = RngStreams(1)
+        s = rng1.stream("x")
+        first = s.random()
+        rng2 = RngStreams(1)
+        rng2.stream("noise")  # extra stream created first
+        assert rng2.stream("x").random() == pytest.approx(first)
+
+    def test_fork_creates_independent_family(self):
+        root = RngStreams(1)
+        child = root.fork("replica0")
+        assert isinstance(child, RngStreams)
+        a = child.stream("x").random(5)
+        b = root.stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_fork_deterministic(self):
+        a = RngStreams(1).fork("r").stream("x").random(5)
+        b = RngStreams(1).fork("r").stream("x").random(5)
+        assert np.array_equal(a, b)
+
+
+class TestTraceRecorder:
+    def test_emit_and_len(self, trace):
+        trace.emit(1.0, "job.start", job="j1")
+        trace.emit(2.0, "job.end", job="j1")
+        assert len(trace) == 2
+
+    def test_records_filter_by_exact_category(self, trace):
+        trace.emit(1.0, "job.start")
+        trace.emit(2.0, "power.sample")
+        assert len(trace.records("job.start")) == 1
+
+    def test_records_filter_by_prefix(self, trace):
+        trace.emit(1.0, "job.start")
+        trace.emit(2.0, "job.end")
+        trace.emit(3.0, "power.sample")
+        assert len(trace.records("job")) == 2
+
+    def test_prefix_does_not_match_partial_words(self, trace):
+        trace.emit(1.0, "jobx.start")
+        assert trace.records("job") == []
+
+    def test_iter_between_half_open(self, trace):
+        for t in (1.0, 2.0, 3.0):
+            trace.emit(t, "x")
+        got = list(trace.iter_between(1.0, 3.0))
+        assert [r.time for r in got] == [1.0, 2.0]
+
+    def test_subscriber_sees_records_live(self, trace):
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(1.0, "a", k=1)
+        assert len(seen) == 1
+        assert isinstance(seen[0], TraceRecord)
+        assert seen[0].data == {"k": 1}
+
+    def test_disabled_recorder_drops_records(self):
+        trace = TraceRecorder(enabled=False)
+        trace.emit(1.0, "a")
+        assert len(trace) == 0
+
+    def test_clear_keeps_subscribers(self, trace):
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(1.0, "a")
+        trace.clear()
+        assert len(trace) == 0
+        trace.emit(2.0, "b")
+        assert len(seen) == 2
+
+    def test_count(self, trace):
+        trace.emit(1.0, "a.b")
+        trace.emit(1.0, "a.c")
+        trace.emit(1.0, "d")
+        assert trace.count("a") == 2
+        assert trace.count() == 3

@@ -1,0 +1,69 @@
+"""Coverage for small helpers not exercised elsewhere."""
+
+import pytest
+
+from repro.prediction.features import feature_matrix, FEATURE_NAMES
+from repro.analysis.stats import workload_summary
+from repro.survey.taxonomy import (
+    TECHNIQUE_DESCRIPTIONS,
+    TECHNIQUE_IMPLEMENTATIONS,
+    Technique,
+)
+from repro.workload.swf import roundtrip_string
+from tests.conftest import make_job
+
+
+class TestFeatureMatrix:
+    def test_shape(self):
+        jobs = [make_job(job_id=f"j{i}", nodes=2 ** i) for i in range(4)]
+        matrix = feature_matrix(jobs)
+        assert matrix.shape == (4, len(FEATURE_NAMES))
+
+    def test_empty(self):
+        assert feature_matrix([]).shape == (0, len(FEATURE_NAMES))
+
+
+class TestWorkloadSummaryEdges:
+    def test_empty_jobs(self):
+        summary = workload_summary([], span=1000.0)
+        assert summary["jobs_total"] == 0.0
+        assert summary["mean_size_nodes"] == 0.0
+
+    def test_zero_span(self):
+        job = make_job()
+        job.start(0.0, [0])
+        job.complete(10.0)
+        summary = workload_summary([job], span=0.0)
+        assert summary["jobs_per_month"] == 0.0
+
+
+class TestTaxonomyTables:
+    def test_descriptions_cover_every_technique(self):
+        assert set(TECHNIQUE_DESCRIPTIONS) == set(Technique)
+
+    def test_implementations_cover_every_technique(self):
+        assert set(TECHNIQUE_IMPLEMENTATIONS) == set(Technique)
+
+    def test_enum_values_unique(self):
+        values = [t.value for t in Technique]
+        assert len(values) == len(set(values))
+
+
+class TestSwfHelpers:
+    def test_roundtrip_string_empty(self):
+        assert roundtrip_string([]) == ""
+
+
+class TestJobReprAndMisc:
+    def test_node_repr(self):
+        from repro.cluster import Node
+
+        text = repr(Node(3))
+        assert "Node(3" in text
+
+    def test_moldable_tuple_immutable(self):
+        from repro.workload import MoldableConfig
+
+        cfg = MoldableConfig(4, 100.0)
+        with pytest.raises(AttributeError):
+            cfg.nodes = 8

@@ -1,0 +1,125 @@
+"""Tests for the survey data model, questionnaire and center data."""
+
+import pytest
+
+from repro.errors import SurveyError
+from repro.survey import (
+    IDENTIFIED_NOT_PARTICIPATING,
+    MaturityStage,
+    QUESTIONNAIRE,
+    Technique,
+    center_profile,
+    survey_responses,
+)
+from repro.survey.data import response_for
+from repro.survey.questionnaire import question, themes
+from repro.survey.taxonomy import TECHNIQUE_IMPLEMENTATIONS
+
+
+class TestQuestionnaire:
+    def test_eight_questions(self):
+        assert len(QUESTIONNAIRE) == 8
+        assert [q.number for q in QUESTIONNAIRE] == list(range(1, 9))
+
+    def test_sub_items_match_paper(self):
+        assert len(question(2).sub_items) == 3  # a, b, c
+        assert len(question(3).sub_items) == 5  # a-e
+        assert len(question(5).sub_items) == 3
+        assert len(question(8).sub_items) == 2
+
+    def test_q3e_names_percentiles(self):
+        (_, text) = question(3).sub_items[4]
+        for token in ("10th", "25th", "75th", "90th"):
+            assert token in text
+
+    def test_every_question_has_rationale(self):
+        assert all(q.rationale for q in QUESTIONNAIRE)
+
+    def test_themes_unique(self):
+        assert len(set(themes())) == 8
+
+    def test_unknown_question(self):
+        with pytest.raises(KeyError):
+            question(9)
+
+
+class TestCenterData:
+    def test_nine_participants(self):
+        responses = survey_responses()
+        assert len(responses) == 9
+        slugs = [r.profile.slug for r in responses]
+        assert slugs == [
+            "riken", "tokyotech", "cea", "kaust", "lrz",
+            "stfc", "trinity", "cineca", "jcahpc",
+        ]
+
+    def test_two_declined(self):
+        assert len(IDENTIFIED_NOT_PARTICIPATING) == 2
+        assert all(not p.participated for p in IDENTIFIED_NOT_PARTICIPATING)
+
+    def test_all_have_production_deployment(self):
+        # Section V: "all sites have some type of production deployment".
+        for response in survey_responses():
+            assert response.by_stage(MaturityStage.PRODUCTION), (
+                f"{response.profile.slug} missing production activities"
+            )
+
+    def test_response_pages_in_paper_range(self):
+        pages = [r.response_pages for r in survey_responses()]
+        assert min(pages) == 8
+        assert max(pages) == 17
+
+    def test_profile_lookup(self):
+        riken = center_profile("riken")
+        assert riken.country == "Japan"
+        assert riken.region == "Asia"
+        with pytest.raises(SurveyError):
+            center_profile("nowhere")
+
+    def test_response_lookup(self):
+        response = response_for("kaust")
+        assert response.profile.flagship_system.startswith("Shaheen")
+        with pytest.raises(SurveyError):
+            response_for("nowhere")
+
+    def test_kaust_static_capping_row(self):
+        kaust = response_for("kaust")
+        production = kaust.by_stage(MaturityStage.PRODUCTION)
+        descriptions = " ".join(a.description for a in production)
+        assert "270 W" in descriptions
+        assert "70%" in descriptions
+        assert Technique.STATIC_NODE_CAPPING in kaust.production_techniques()
+
+    def test_tokyotech_window_row(self):
+        tokyo = response_for("tokyotech")
+        descriptions = " ".join(
+            a.description for a in tokyo.by_stage(MaturityStage.PRODUCTION)
+        )
+        assert "30 min" in descriptions
+        assert Technique.DYNAMIC_CAP_TRACKING in tokyo.production_techniques()
+        assert Technique.IDLE_SHUTDOWN in tokyo.production_techniques()
+
+    def test_riken_emergency_row(self):
+        riken = response_for("riken")
+        assert Technique.EMERGENCY_KILL in riken.production_techniques()
+        assert Technique.GRID_INTEGRATION in riken.techniques()
+
+    def test_partners_deduplicated(self):
+        cea = response_for("cea")
+        partners = cea.partners()
+        assert len(partners) == len(set(partners))
+        assert "BULL" in partners
+
+    def test_every_technique_has_implementation(self):
+        for technique in Technique:
+            assert technique in TECHNIQUE_IMPLEMENTATIONS
+
+    def test_implementation_modules_importable(self):
+        import importlib
+
+        for module_name in set(TECHNIQUE_IMPLEMENTATIONS.values()):
+            importlib.import_module(module_name)
+
+    def test_regions_match_figure2(self):
+        regions = {r.profile.region for r in survey_responses()}
+        assert regions == {"Asia", "Europe", "North America", "Middle East"}

@@ -1,0 +1,215 @@
+"""Tests for the capability matrix, geography, components, selection
+and the cross-center analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.core.epa import FunctionalCategory
+from repro.survey import (
+    MaturityStage,
+    SurveyAnalysis,
+    Technique,
+    build_capability_matrix,
+    build_component_graph,
+    map_points,
+    regional_distribution,
+    selection_funnel,
+    verify_component_graph,
+)
+from repro.survey.geography import ascii_map, countries
+from repro.survey.matrix import (
+    TABLE1_CENTERS,
+    TABLE2_CENTERS,
+    render_table1,
+    render_table2,
+)
+from repro.survey.selection import SelectionCriteria, interview_timeline
+
+
+class TestCapabilityMatrix:
+    def test_all_centers_in_matrix(self):
+        matrix = build_capability_matrix()
+        assert len(matrix.centers) == 9
+
+    def test_table_split_matches_paper(self):
+        assert TABLE1_CENTERS == ("riken", "tokyotech", "cea", "kaust", "lrz")
+        assert TABLE2_CENTERS == ("stfc", "trinity", "cineca", "jcahpc")
+
+    def test_cells_populated(self):
+        matrix = build_capability_matrix()
+        assert matrix.cell("kaust", MaturityStage.PRODUCTION)
+        assert matrix.cell("jcahpc", MaturityStage.TECH_DEV) == []  # "-" in paper
+
+    def test_production_counts(self):
+        counts = build_capability_matrix().production_counts()
+        assert all(v >= 1 for v in counts.values())
+        assert counts["tokyotech"] == 4  # four production rows in Table I
+
+    def test_technique_matrix_shape(self):
+        matrix, centers, techniques = build_capability_matrix().technique_matrix()
+        assert matrix.shape == (9, len(list(Technique)))
+        assert matrix.any(axis=1).all()  # every center has something
+
+    def test_render_table1_contains_rows(self):
+        text = render_table1()
+        assert "TABLE I" in text
+        assert "RIKEN" in text
+        assert "270 W" in text
+        assert "LRZ" in text
+
+    def test_render_table2_contains_rows(self):
+        text = render_table2()
+        assert "TABLE II" in text
+        assert "JCAHPC" in text
+        assert "CAPMC" in text
+
+
+class TestGeography:
+    def test_nine_points(self):
+        points = map_points()
+        assert len(points) == 9
+        assert all(-90 <= p.latitude <= 90 for p in points)
+
+    def test_regional_distribution(self):
+        dist = regional_distribution()
+        assert dist == {
+            "Asia": 3, "Europe": 4, "Middle East": 1, "North America": 1
+        }
+
+    def test_countries(self):
+        assert countries()["Japan"] == 3
+
+    def test_ascii_map_renders(self):
+        art = ascii_map()
+        assert "RIKEN" in art
+        # All nine markers placed (possibly with collisions).
+        digits = sum(ch.isdigit() for row in art.splitlines() for ch in row
+                     if row.startswith("|"))
+        assert digits >= 6
+
+
+class TestComponents:
+    def test_graph_verifies_clean(self):
+        graph = build_component_graph()
+        assert verify_component_graph(graph) == []
+
+    def test_four_categories_covered(self):
+        from repro.survey.components import category_coverage
+
+        coverage = category_coverage(build_component_graph())
+        for category in FunctionalCategory:
+            assert coverage[category], category
+
+    def test_scheduler_acts_through_rm(self):
+        graph = build_component_graph()
+        assert graph.has_edge("job scheduler", "resource manager")
+        # The scheduler does NOT touch nodes directly.
+        assert not graph.has_edge("job scheduler", "compute nodes")
+
+    def test_monitoring_loop_exists(self):
+        graph = build_component_graph()
+        path = nx.shortest_path(graph, "telemetry sensors", "job scheduler")
+        assert "monitoring archive" in path
+
+    def test_verification_catches_damage(self):
+        graph = build_component_graph()
+        graph.remove_edge("job scheduler", "resource manager")
+        problems = verify_component_graph(graph)
+        assert any("job scheduler -> resource manager" in p for p in problems)
+
+    def test_verification_catches_category_gap(self):
+        graph = build_component_graph()
+        for node in graph.nodes:
+            graph.nodes[node]["categories"] = frozenset(
+                c for c in graph.nodes[node]["categories"]
+                if c is not FunctionalCategory.POWER_CONTROL
+            )
+        problems = verify_component_graph(graph)
+        assert any("energy/power control" in p for p in problems)
+
+
+class TestSelection:
+    def test_funnel_matches_paper(self):
+        funnel = selection_funnel()
+        assert funnel.identified == 11
+        assert funnel.participating == 9
+        assert funnel.declined == 2
+        assert funnel.participation_rate == pytest.approx(9 / 11)
+
+    def test_all_participants_pass_three_part_test(self):
+        funnel = selection_funnel()
+        assert all(funnel.passes_three_part_test.values())
+
+    def test_criteria_relaxation(self):
+        criteria = SelectionCriteria(require_top500=False)
+        funnel = selection_funnel(criteria)
+        assert funnel.participating == 9
+
+    def test_timeline_facts(self):
+        timeline = interview_timeline()
+        assert timeline["start"] == "September 2016"
+        assert timeline["end"] == "August 2017"
+
+
+class TestAnalysis:
+    def test_adoption_sorted_and_complete(self):
+        analysis = SurveyAnalysis()
+        records = analysis.adoption()
+        counts = [r.total_centers for r in records]
+        assert counts == sorted(counts, reverse=True)
+        assert len(records) == len(list(Technique))
+
+    def test_common_themes_include_vendor_coproduct(self):
+        analysis = SurveyAnalysis()
+        themes = {r.technique for r in analysis.common_themes(min_centers=3)}
+        # Vendor co-development appears across most centers (Q5's point).
+        assert Technique.VENDOR_COPRODUCT in themes
+        assert Technique.POWER_AWARE_SCHEDULING in themes
+
+    def test_unique_approaches_exist(self):
+        analysis = SurveyAnalysis()
+        unique = analysis.unique_approaches()
+        techniques = {r.technique for r in unique}
+        # Virtualized node splitting is Tokyo Tech only.
+        assert Technique.VIRTUALIZATION in techniques
+
+    def test_similarity_matrix_properties(self):
+        analysis = SurveyAnalysis()
+        sim, centers = analysis.similarity_matrix()
+        assert sim.shape == (9, 9)
+        assert (sim == sim.T).all()
+        assert all(sim[i, i] == 1.0 for i in range(9))
+        assert ((0.0 <= sim) & (sim <= 1.0)).all()
+
+    def test_clustering_returns_labels(self):
+        analysis = SurveyAnalysis()
+        clusters = analysis.cluster_centers(num_clusters=3)
+        assert set(clusters) == set(analysis.centers)
+        assert len(set(clusters.values())) <= 3
+
+    def test_most_similar_pair(self):
+        a, b, score = SurveyAnalysis().most_similar_pair()
+        assert a != b
+        assert 0.0 < score <= 1.0
+
+    def test_research_production_gap(self):
+        gap = SurveyAnalysis().research_production_gap()
+        assert gap["reached_production"]
+        # Temperature modeling is research-only in the tables.
+        assert Technique.TEMPERATURE_MODELING in gap["research_only"]
+
+    def test_vendor_engagement_ranked(self):
+        engagement = SurveyAnalysis().vendor_engagement()
+        counts = [len(v) for v in engagement.values()]
+        assert counts == sorted(counts, reverse=True)
+        # SLURM/SchedMD shows up at several centers.
+        assert "SchedMD (SLURM)" in engagement
+        assert len(engagement["SchedMD (SLURM)"]) >= 3
+
+    def test_stage_counts(self):
+        counts = SurveyAnalysis().stage_counts()
+        assert counts[MaturityStage.PRODUCTION] >= 9
+        assert sum(counts.values()) >= 30
+
+    def test_all_have_production(self):
+        assert SurveyAnalysis().all_have_production()

@@ -1,0 +1,56 @@
+"""Tests for the survey report generator."""
+
+import pytest
+
+from repro.survey import render_survey_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return render_survey_report()
+
+
+class TestSurveyReport:
+    def test_is_markdown_with_title(self, report):
+        assert report.startswith("# Energy and Power Aware")
+
+    def test_methodology_facts(self, report):
+        assert "Centers identified: 11; participating: 9" in report
+        assert "September 2016 to August 2017" in report
+        assert "8-17 per center" in report
+
+    def test_all_eight_questions_present(self, report):
+        for number in range(1, 9):
+            assert f"\n{number}. " in report
+
+    def test_every_center_has_section(self, report):
+        for name in ("RIKEN", "Tokyo Institute of Technology", "CEA",
+                     "KAUST", "LRZ", "STFC", "Trinity", "CINECA", "JCAHPC"):
+            assert name in report
+
+    def test_capability_rows_rendered(self, report):
+        assert "Automated emergency job killing" in report
+        assert "270 W power cap" in report
+        assert "(none reported)" in report  # JCAHPC's empty tech-dev cell
+
+    def test_analysis_sections(self, report):
+        assert "Common themes" in report
+        assert "research-to-production gap" in report
+        assert "Vendor engagement" in report
+        assert "Cluster " in report
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|") and not line.startswith("|--"):
+                assert line.endswith("|"), line
+
+    def test_center_metrics_appended(self):
+        report = render_survey_report(
+            center_metrics={"riken": {"jobs_completed": 42.0,
+                                      "utilization": 0.5}}
+        )
+        assert "Executed scenario (this framework)" in report
+        assert "jobs_completed: 42" in report
+
+    def test_deterministic(self, report):
+        assert render_survey_report() == report

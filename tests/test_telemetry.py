@@ -1,0 +1,201 @@
+"""Tests for the telemetry substrate."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator import Simulator, TraceRecorder
+from repro.telemetry import (
+    HierarchicalAggregator,
+    LongTermArchive,
+    PowerApi,
+    TelemetrySampler,
+)
+from tests.conftest import make_job
+
+
+class TestTelemetrySampler:
+    def test_multi_channel_sampling(self):
+        sim = Simulator()
+        sampler = TelemetrySampler(sim, interval=10.0)
+        power = sampler.add_channel("power", lambda: 100.0, "W")
+        jobs = sampler.add_channel("jobs", lambda: 3.0)
+        sampler.start()
+        sim.run(until=50.0)
+        assert power.latest() == 100.0
+        assert jobs.mean() == 3.0
+        times, values = power.series()
+        assert list(times) == [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_duplicate_channel_rejected(self):
+        sampler = TelemetrySampler(Simulator())
+        sampler.add_channel("x", lambda: 1.0)
+        with pytest.raises(ConfigurationError):
+            sampler.add_channel("x", lambda: 2.0)
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        sampler = TelemetrySampler(sim, interval=10.0)
+        channel = sampler.add_channel("x", lambda: 1.0)
+        sampler.start()
+        sim.run(until=30.0)
+        sampler.stop()
+        count = len(channel.values)
+        sim.at(100.0, lambda: None)
+        sim.run()
+        assert len(channel.values) == count
+
+    def test_latest_none_before_sampling(self):
+        sampler = TelemetrySampler(Simulator())
+        channel = sampler.add_channel("x", lambda: 1.0)
+        assert channel.latest() is None
+        assert channel.mean() == 0.0
+
+
+class TestHierarchicalAggregator:
+    def _trace_with_samples(self):
+        trace = TraceRecorder()
+        for t in range(0, 101, 10):
+            trace.emit(float(t), "power.sample", meter="m1", watts=100.0)
+            trace.emit(float(t), "power.sample", meter="m2", watts=50.0)
+        return trace
+
+    def test_machine_summary(self):
+        agg = HierarchicalAggregator(self._trace_with_samples())
+        summary = agg.machine_summary("m1")
+        assert summary.samples == 11
+        assert summary.mean == pytest.approx(100.0)
+        assert summary.peak == pytest.approx(100.0)
+        assert summary.total_energy_joules == pytest.approx(100.0 * 100.0)
+
+    def test_unknown_meter_empty(self):
+        agg = HierarchicalAggregator(self._trace_with_samples())
+        assert agg.machine_summary("ghost").samples == 0
+
+    def test_center_summary_sums_machines(self):
+        agg = HierarchicalAggregator(self._trace_with_samples())
+        center = agg.center_summary(["m1", "m2"])
+        assert center.mean == pytest.approx(150.0)
+        assert center.total_energy_joules == pytest.approx(15_000.0)
+
+    def test_job_summaries(self):
+        job = make_job(nodes=2)
+        job.start(0.0, [0, 1])
+        job.complete(100.0)
+        job.energy_joules = 5000.0
+        agg = HierarchicalAggregator(TraceRecorder())
+        summaries = agg.job_summaries([job])
+        assert summaries[0].mean == pytest.approx(50.0)
+        assert summaries[0].total_energy_joules == 5000.0
+
+    def test_by_user(self):
+        a = make_job(job_id="a", user="alice")
+        a.energy_joules = 10.0
+        b = make_job(job_id="b", user="alice")
+        b.energy_joules = 5.0
+        agg = HierarchicalAggregator(TraceRecorder())
+        assert agg.by_user([a, b]) == {"alice": 15.0}
+
+
+class TestLongTermArchive:
+    def test_raw_query(self):
+        archive = LongTermArchive()
+        for t in range(100):
+            archive.record(float(t), float(t))
+        times, values = archive.query(10.0, 20.0)
+        assert list(times) == list(range(10, 20))
+
+    def test_downsampling_tiers(self):
+        archive = LongTermArchive(raw_retention=600.0)
+        for t in range(0, 7200, 10):
+            archive.record(float(t), 100.0)
+        archive.flush()
+        # Raw history was expired beyond 600 s; minute tier answers.
+        times, values = archive.query(0.0, 3600.0)
+        assert len(times) > 0
+        assert all(v == pytest.approx(100.0) for v in values)
+
+    def test_minute_means(self):
+        archive = LongTermArchive(raw_retention=60.0)
+        # Two minutes: first at 100 W, second at 200 W.
+        for t in range(0, 60, 10):
+            archive.record(float(t), 100.0)
+        for t in range(60, 120, 10):
+            archive.record(float(t), 200.0)
+        archive.flush()
+        assert archive.mean_over(0.0, 60.0) == pytest.approx(100.0)
+        assert archive.mean_over(60.0, 120.0) == pytest.approx(200.0)
+
+    def test_out_of_order_rejected(self):
+        archive = LongTermArchive()
+        archive.record(10.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            archive.record(5.0, 1.0)
+
+    def test_retention_ordering_validated(self):
+        with pytest.raises(ConfigurationError):
+            LongTermArchive(raw_retention=100.0, minute_retention=50.0)
+
+    def test_empty_query(self):
+        archive = LongTermArchive()
+        times, values = archive.query(0.0, 100.0)
+        assert len(times) == 0
+        assert archive.mean_over(0.0, 100.0) == 0.0
+
+
+class TestPowerApi:
+    def test_segment_measurement(self):
+        sim = Simulator()
+        api = PowerApi(sim, lambda: 200.0)
+        sim.at(0.0, lambda: api.start_segment("solve"))
+        sim.at(10.0, lambda: api.stop_segment("solve"))
+        sim.run()
+        (m,) = api.measurements_for("solve")
+        assert m.duration == 10.0
+        assert m.energy_joules == pytest.approx(2000.0)
+        assert m.average_watts == pytest.approx(200.0)
+
+    def test_nested_segments(self):
+        sim = Simulator()
+        api = PowerApi(sim, lambda: 100.0)
+        sim.at(0.0, lambda: api.start_segment("outer"))
+        sim.at(2.0, lambda: api.start_segment("inner"))
+        sim.at(4.0, lambda: api.stop_segment("inner"))
+        sim.at(10.0, lambda: api.stop_segment("outer"))
+        sim.run()
+        outer = api.measurements_for("outer")[0]
+        inner = api.measurements_for("inner")[0]
+        assert outer.energy_joules == pytest.approx(1000.0)
+        assert inner.energy_joules == pytest.approx(200.0)
+
+    def test_observe_refines_integration(self):
+        sim = Simulator()
+        level = {"w": 100.0}
+        api = PowerApi(sim, lambda: level["w"])
+        sim.at(0.0, lambda: api.start_segment("s"))
+        # Power rises at t=5; observe captures the change point.
+        def bump():
+            level["w"] = 300.0
+            api.observe()
+        sim.at(5.0, bump)
+        sim.at(10.0, lambda: api.stop_segment("s"))
+        sim.run()
+        (m,) = api.measurements_for("s")
+        # 5 s at the old 100 W (sample-and-hold) + 5 s at the new 300 W.
+        assert m.energy_joules == pytest.approx(500.0 + 1500.0)
+
+    def test_double_start_rejected(self):
+        api = PowerApi(Simulator(), lambda: 1.0)
+        api.start_segment("s")
+        with pytest.raises(ConfigurationError):
+            api.start_segment("s")
+
+    def test_stop_unopened_rejected(self):
+        api = PowerApi(Simulator(), lambda: 1.0)
+        with pytest.raises(ConfigurationError):
+            api.stop_segment("ghost")
+
+    def test_open_segments_listed(self):
+        api = PowerApi(Simulator(), lambda: 1.0)
+        api.start_segment("b")
+        api.start_segment("a")
+        assert api.open_segments == ["a", "b"]

@@ -1,0 +1,51 @@
+"""Tests for unit helpers and validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro import units
+
+
+class TestConversions:
+    def test_time_helpers(self):
+        assert units.minutes(2) == 120.0
+        assert units.hours(1) == 3600.0
+        assert units.days(1) == 86400.0
+
+    def test_power_helpers(self):
+        assert units.kilowatts(1.5) == 1500.0
+        assert units.megawatts(2) == 2e6
+
+    def test_frequency(self):
+        assert units.gigahertz(2.4) == 2.4e9
+
+    def test_energy_conversions(self):
+        assert units.joules_to_kwh(3.6e6) == pytest.approx(1.0)
+        assert units.joules_to_mwh(3.6e9) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert units.check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf"), "a", True, None])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            units.check_positive("x", bad)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert units.check_non_negative("x", 0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, float("nan"), float("inf"), "a"])
+    def test_check_non_negative_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            units.check_non_negative("x", bad)
+
+    def test_check_fraction(self):
+        assert units.check_fraction("x", 0.5) == 0.5
+        assert units.check_fraction("x", 0.0) == 0.0
+        assert units.check_fraction("x", 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            units.check_fraction("x", 1.1)
+        with pytest.raises(ConfigurationError):
+            units.check_fraction("x", -0.1)

@@ -1,0 +1,144 @@
+"""Tests for the synthetic workload generator and presets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SurveyError, WorkloadError
+from repro.units import DAY, HOUR
+from repro.workload import (
+    CENTER_WORKLOADS,
+    WorkloadGenerator,
+    WorkloadSpec,
+    center_workload_spec,
+)
+
+
+class TestSpecValidation:
+    def test_defaults_are_valid(self):
+        WorkloadSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival_rate": 0.0},
+            {"duration": 0.0},
+            {"min_nodes": 0},
+            {"min_nodes": 8, "max_nodes": 4},
+            {"capability_fraction": 1.5},
+            {"mean_work": 0.0},
+            {"overestimate_mean": 0.5},
+            {"moldable_fraction": -0.1},
+            {"users": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+
+class TestGeneration:
+    def _generate(self, rng, **kwargs):
+        defaults = dict(arrival_rate=100.0 / HOUR, duration=1.0 * DAY,
+                        max_nodes=64)
+        defaults.update(kwargs)
+        return WorkloadGenerator(WorkloadSpec(**defaults), rng.stream("g"))
+
+    def test_deterministic(self, rng):
+        from repro.simulator import RngStreams
+
+        a = WorkloadGenerator(WorkloadSpec(), RngStreams(7).stream("x")).generate(count=50)
+        b = WorkloadGenerator(WorkloadSpec(), RngStreams(7).stream("x")).generate(count=50)
+        assert [j.submit_time for j in a] == [j.submit_time for j in b]
+        assert [j.nodes for j in a] == [j.nodes for j in b]
+
+    def test_count_exact(self, rng):
+        jobs = self._generate(rng).generate(count=123)
+        assert len(jobs) == 123
+
+    def test_sorted_by_submit(self, rng):
+        jobs = self._generate(rng).generate(count=100)
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+
+    def test_sizes_within_bounds(self, rng):
+        jobs = self._generate(rng, min_nodes=2, max_nodes=32).generate(count=200)
+        assert all(2 <= j.nodes <= 32 for j in jobs)
+
+    def test_sizes_are_powers_of_two_ish(self, rng):
+        jobs = self._generate(rng, min_nodes=1, max_nodes=64).generate(count=200)
+        for job in jobs:
+            assert job.nodes & (job.nodes - 1) == 0 or job.nodes == 64
+
+    def test_walltime_covers_work(self, rng):
+        jobs = self._generate(rng).generate(count=200)
+        assert all(j.walltime_request >= j.work_seconds for j in jobs)
+
+    def test_walltime_quarter_hour_rounding(self, rng):
+        jobs = self._generate(rng).generate(count=50)
+        # Requests are rounded up to 900 s multiples (unless clamped by work).
+        rounded = sum(1 for j in jobs if j.walltime_request % 900.0 == 0.0)
+        assert rounded >= len(jobs) * 0.8
+
+    def test_capability_fraction_shifts_sizes(self, rng):
+        small = self._generate(rng, capability_fraction=0.0).generate(count=300)
+        from repro.simulator import RngStreams
+
+        big_gen = WorkloadGenerator(
+            WorkloadSpec(arrival_rate=100.0 / HOUR, duration=1.0 * DAY,
+                         max_nodes=64, capability_fraction=0.9),
+            RngStreams(99).stream("g"),
+        )
+        big = big_gen.generate(count=300)
+        assert np.mean([j.nodes for j in big]) > np.mean([j.nodes for j in small])
+
+    def test_diurnal_concentrates_daytime(self, rng):
+        jobs = self._generate(rng, diurnal=True, duration=4 * DAY).generate()
+        hours = np.array([(j.submit_time % DAY) / 3600.0 for j in jobs])
+        day = ((hours >= 8) & (hours < 20)).mean()
+        assert day > 0.5  # more than half of submissions in working hours
+
+    def test_moldable_fraction(self, rng):
+        jobs = self._generate(rng, moldable_fraction=1.0, min_nodes=2).generate(count=100)
+        with_configs = [j for j in jobs if j.moldable]
+        assert len(with_configs) >= 90  # nodes==1 jobs are exempt
+        for job in with_configs:
+            node_counts = [c.nodes for c in job.moldable]
+            assert len(node_counts) == len(set(node_counts))
+            # More nodes -> less work per Amdahl.
+            ordered = sorted(job.moldable, key=lambda c: c.nodes)
+            works = [c.work_seconds for c in ordered]
+            assert works == sorted(works, reverse=True)
+
+    def test_zero_count_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            self._generate(rng).generate(count=0)
+
+    def test_users_assigned(self, rng):
+        jobs = self._generate(rng, users=3).generate(count=50)
+        users = {j.user for j in jobs}
+        assert users <= {"user000", "user001", "user002"}
+        assert len(users) == 3
+
+
+class TestPresets:
+    def test_all_nine_centers_present(self):
+        assert len(CENTER_WORKLOADS) == 9
+
+    @pytest.mark.parametrize("slug", sorted(CENTER_WORKLOADS))
+    def test_preset_builds_valid_spec(self, slug):
+        spec = center_workload_spec(slug)
+        assert spec.duration > 0
+
+    def test_override(self):
+        spec = center_workload_spec("riken", max_nodes=32)
+        assert spec.max_nodes == 32
+
+    def test_unknown_center(self):
+        with pytest.raises(SurveyError):
+            center_workload_spec("nowhere")
+
+    def test_trinity_is_capability_heavy(self):
+        trinity = center_workload_spec("trinity")
+        tokyotech = center_workload_spec("tokyotech")
+        assert trinity.capability_fraction > tokyotech.capability_fraction
+        assert trinity.mean_work > tokyotech.mean_work

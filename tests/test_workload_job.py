@@ -1,0 +1,111 @@
+"""Tests for the job model and life-cycle."""
+
+import pytest
+
+from repro.errors import JobStateError, WorkloadError
+from repro.workload import Job, JobState, MoldableConfig
+from repro.workload.phases import COMPUTE_BOUND
+
+
+class TestValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(WorkloadError):
+            Job("j", nodes=0, work_seconds=10, walltime_request=10)
+        with pytest.raises(WorkloadError):
+            Job("j", nodes=1, work_seconds=0, walltime_request=10)
+        with pytest.raises(WorkloadError):
+            Job("j", nodes=1, work_seconds=10, walltime_request=0)
+
+    def test_moldable_config_validation(self):
+        with pytest.raises(WorkloadError):
+            MoldableConfig(0, 10.0)
+        with pytest.raises(WorkloadError):
+            MoldableConfig(1, 0.0)
+
+
+class TestLifecycle:
+    def test_happy_path(self, job_factory):
+        job = job_factory(nodes=2, submit=5.0)
+        job.start(10.0, [0, 1])
+        assert job.state is JobState.RUNNING
+        job.complete(50.0)
+        assert job.state is JobState.COMPLETED
+        assert job.wait_time == 5.0
+        assert job.run_time == 40.0
+        assert job.turnaround == 45.0
+        assert job.node_seconds == 80.0
+        assert job.is_terminal
+
+    def test_start_wrong_node_count(self, job_factory):
+        job = job_factory(nodes=2)
+        with pytest.raises(JobStateError):
+            job.start(0.0, [0])
+
+    def test_kill_records_reason(self, job_factory):
+        job = job_factory()
+        job.start(0.0, [0])
+        job.kill(5.0, "emergency power limit")
+        assert job.state is JobState.KILLED
+        assert job.kill_reason == "emergency power limit"
+
+    def test_timeout(self, job_factory):
+        job = job_factory()
+        job.start(0.0, [0])
+        job.timeout(200.0)
+        assert job.state is JobState.TIMEOUT
+
+    def test_cancel_pending_only(self, job_factory):
+        job = job_factory()
+        job.cancel()
+        assert job.state is JobState.CANCELLED
+        other = job_factory(job_id="j2")
+        other.start(0.0, [0])
+        with pytest.raises(JobStateError):
+            other.cancel()
+
+    def test_no_double_start(self, job_factory):
+        job = job_factory()
+        job.start(0.0, [0])
+        with pytest.raises(JobStateError):
+            job.start(1.0, [0])
+
+    def test_terminal_states_frozen(self, job_factory):
+        job = job_factory()
+        job.start(0.0, [0])
+        job.complete(10.0)
+        with pytest.raises(JobStateError):
+            job.kill(11.0)
+
+
+class TestDerived:
+    def test_bounded_slowdown_floor(self, job_factory):
+        # Very short job: slowdown bounded by the threshold.
+        job = job_factory(work=1.0)
+        job.start(0.0, [0])
+        job.complete(1.0)
+        assert job.bounded_slowdown(threshold=10.0) == pytest.approx(1.0)
+
+    def test_bounded_slowdown_with_wait(self, job_factory):
+        job = job_factory(submit=0.0)
+        job.start(100.0, [0])
+        job.complete(200.0)
+        # (100 + 100) / 100 = 2
+        assert job.bounded_slowdown() == pytest.approx(2.0)
+
+    def test_unfinished_metrics_are_none(self, job_factory):
+        job = job_factory()
+        assert job.wait_time is None
+        assert job.run_time is None
+        assert job.turnaround is None
+        assert job.bounded_slowdown() is None
+
+    def test_profile_means(self, job_factory):
+        job = job_factory(profile=COMPUTE_BOUND)
+        assert job.mean_sensitivity == pytest.approx(0.95)
+        assert job.mean_power_intensity == pytest.approx(1.0)
+
+    def test_config_for(self, job_factory):
+        configs = (MoldableConfig(2, 100.0), MoldableConfig(4, 60.0))
+        job = job_factory(nodes=2, moldable=configs)
+        assert job.config_for(4).work_seconds == 60.0
+        assert job.config_for(8) is None

@@ -1,0 +1,114 @@
+"""Tests for phases and the application catalog."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.apps import Application, ApplicationCatalog, default_catalog
+from repro.workload.phases import (
+    BALANCED,
+    COMM_BOUND,
+    COMPUTE_BOUND,
+    MEMORY_BOUND,
+    Phase,
+    PhaseProfile,
+)
+
+
+class TestPhase:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Phase(0.0)
+        with pytest.raises(WorkloadError):
+            Phase(1.1)
+        with pytest.raises(WorkloadError):
+            Phase(0.5, sensitivity=1.5)
+        with pytest.raises(WorkloadError):
+            Phase(0.5, intensity=-0.1)
+
+
+class TestPhaseProfile:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            PhaseProfile([Phase(0.5), Phase(0.4)])
+        with pytest.raises(WorkloadError):
+            PhaseProfile([])
+
+    def test_weighted_means(self):
+        profile = PhaseProfile(
+            [Phase(0.5, sensitivity=1.0, intensity=1.0),
+             Phase(0.5, sensitivity=0.0, intensity=0.5)]
+        )
+        assert profile.mean_sensitivity == pytest.approx(0.5)
+        assert profile.mean_intensity == pytest.approx(0.75)
+
+    def test_segments_split_work(self):
+        segments = BALANCED.segments(100.0)
+        assert sum(w for w, _ in segments) == pytest.approx(100.0)
+        assert len(segments) == 3
+
+    def test_canonical_profiles_ordering(self):
+        # Compute-bound is the most frequency-sensitive, comm the least.
+        assert COMPUTE_BOUND.mean_sensitivity > BALANCED.mean_sensitivity
+        assert BALANCED.mean_sensitivity > MEMORY_BOUND.mean_sensitivity
+        assert MEMORY_BOUND.mean_sensitivity > COMM_BOUND.mean_sensitivity
+
+
+class TestApplication:
+    def test_amdahl_scaling(self):
+        app = Application("x", BALANCED, serial_fraction=0.1)
+        base = 100.0
+        # Doubling nodes cannot halve runtime with a serial part.
+        scaled = app.scaled_work(base, base_nodes=4, nodes=8)
+        assert base / 2 < scaled < base
+
+    def test_scaling_identity(self):
+        app = Application("x", BALANCED, serial_fraction=0.05)
+        assert app.scaled_work(100.0, 4, 4) == pytest.approx(100.0)
+
+    def test_scaling_down_increases_work(self):
+        app = Application("x", BALANCED, serial_fraction=0.05)
+        assert app.scaled_work(100.0, 4, 2) > 100.0
+
+    def test_serial_fraction_validation(self):
+        with pytest.raises(WorkloadError):
+            Application("x", BALANCED, serial_fraction=1.0)
+
+    def test_node_count_validation(self):
+        app = Application("x", BALANCED)
+        with pytest.raises(WorkloadError):
+            app.scaled_work(10.0, 0, 4)
+
+
+class TestCatalog:
+    def test_default_catalog_valid(self):
+        catalog = default_catalog()
+        assert len(catalog) == 8
+        assert "cfd_solver" in catalog
+        assert catalog["cfd_solver"].profile is COMPUTE_BOUND
+
+    def test_sample_respects_weights(self, rng):
+        apps = [Application("a", BALANCED), Application("b", BALANCED)]
+        catalog = ApplicationCatalog(apps, weights=[1.0, 0.0])
+        stream = rng.stream("apps")
+        names = {catalog.sample(stream).name for _ in range(20)}
+        assert names == {"a"}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            ApplicationCatalog([Application("a", BALANCED),
+                                Application("a", BALANCED)])
+
+    def test_weight_validation(self):
+        apps = [Application("a", BALANCED)]
+        with pytest.raises(WorkloadError):
+            ApplicationCatalog(apps, weights=[0.0])
+        with pytest.raises(WorkloadError):
+            ApplicationCatalog(apps, weights=[1.0, 1.0])
+
+    def test_unknown_lookup(self):
+        with pytest.raises(WorkloadError):
+            default_catalog()["nope"]
+
+    def test_names_order(self):
+        catalog = default_catalog()
+        assert catalog.names()[0] == "cfd_solver"

@@ -1,0 +1,113 @@
+"""Tests for SWF trace reading and writing."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload import Job, read_swf, write_swf
+from repro.workload.swf import roundtrip_string
+
+SAMPLE = """\
+; Sample SWF trace
+; UnixStartTime: 0
+1 0 10 100 4 -1 -1 4 200 -1 1 5 -1 2 1 -1 -1 -1
+2 50 -1 300 8 -1 -1 8 600 -1 1 6 -1 3 1 -1 -1 -1
+3 60 5 -1 -1 -1 -1 4 100 -1 0 5 -1 2 1 -1 -1 -1
+"""
+
+
+class TestRead:
+    def test_parses_jobs(self):
+        jobs = read_swf(io.StringIO(SAMPLE))
+        # Third line has run_time -1 -> skipped.
+        assert len(jobs) == 2
+        assert jobs[0].job_id == "swf1"
+        assert jobs[0].nodes == 4
+        assert jobs[0].work_seconds == 100.0
+        assert jobs[0].walltime_request == 200.0
+        assert jobs[0].submit_time == 0.0
+        assert jobs[0].user == "user005"
+
+    def test_cores_per_node_division(self):
+        jobs = read_swf(io.StringIO(SAMPLE), cores_per_node=4)
+        assert jobs[0].nodes == 1
+        assert jobs[1].nodes == 2
+
+    def test_ceil_division(self):
+        line = "1 0 0 100 5 -1 -1 5 200 -1 1 1 -1 1 1 -1 -1 -1\n"
+        jobs = read_swf(io.StringIO(line), cores_per_node=4)
+        assert jobs[0].nodes == 2  # ceil(5/4)
+
+    def test_max_jobs(self):
+        jobs = read_swf(io.StringIO(SAMPLE), max_jobs=1)
+        assert len(jobs) == 1
+
+    def test_requested_falls_back_to_actual(self):
+        line = "1 0 0 100 4 -1 -1 -1 -1 -1 1 1 -1 1 1 -1 -1 -1\n"
+        jobs = read_swf(io.StringIO(line))
+        assert jobs[0].nodes == 4
+        assert jobs[0].walltime_request == 100.0
+
+    def test_short_line_raises(self):
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO("1 2 3\n"))
+
+    def test_non_numeric_raises(self):
+        bad = "1 0 0 abc 4 -1 -1 4 200 -1 1 1 -1 1 1 -1 -1 -1\n"
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO(bad))
+
+    def test_bad_cores_per_node(self):
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO(SAMPLE), cores_per_node=0)
+
+
+class TestWrite:
+    def test_roundtrip(self, job_factory):
+        jobs = [
+            job_factory(job_id="a", nodes=4, work=100.0, walltime=200.0),
+            job_factory(job_id="b", nodes=8, work=300.0, walltime=600.0, submit=50.0),
+        ]
+        for i, job in enumerate(jobs):
+            job.start(job.submit_time + 10.0, list(range(job.nodes)))
+            job.complete(job.start_time + job.work_seconds)
+        text = roundtrip_string(jobs)
+        back = read_swf(io.StringIO(text))
+        assert len(back) == 2
+        assert back[0].nodes == 4
+        assert back[0].work_seconds == pytest.approx(100.0)
+        assert back[1].submit_time == 50.0
+
+    def test_header_written_as_comments(self, job_factory, tmp_path):
+        job = job_factory()
+        job.start(0.0, [0])
+        job.complete(100.0)
+        path = tmp_path / "trace.swf"
+        write_swf([job], str(path), header="line1\nline2")
+        content = path.read_text()
+        assert content.startswith("; line1\n; line2\n")
+
+    def test_file_roundtrip(self, job_factory, tmp_path):
+        job = job_factory(nodes=2)
+        job.start(5.0, [0, 1])
+        job.complete(105.0)
+        path = tmp_path / "t.swf"
+        count = write_swf([job], str(path))
+        assert count == 1
+        back = read_swf(str(path))
+        assert back[0].nodes == 2
+
+    def test_unstarted_jobs_skipped_on_read(self, job_factory):
+        # Written with -1 run time; reader drops them.
+        pending = job_factory()
+        text = roundtrip_string([pending])
+        assert read_swf(io.StringIO(text)) == []
+
+    def test_status_codes(self, job_factory):
+        killed = job_factory(job_id="k")
+        killed.start(0.0, [0])
+        killed.kill(50.0, "power")
+        text = roundtrip_string([killed])
+        fields = text.strip().split()
+        assert fields[10] == "5"  # SWF status: cancelled/killed
