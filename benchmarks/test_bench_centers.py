@@ -5,42 +5,92 @@ span, scaled machines) and prints the comparative table the survey
 could not include: what each center's production policy stack actually
 does to utilization, waiting, power and energy.  The assertions pin
 the per-center signatures from Tables I/II.
+
+The sweep drives the parallel cached executor: every center is one
+:class:`~repro.analysis.Variant` fanned out by
+``ExperimentRunner.run_all(workers=N)`` with the on-disk JSON cache
+under ``benchmarks/out/cache/``.  The bench checks parallel metrics
+are identical to the sequential run and that a warm-cache rerun
+executes zero simulations.
 """
 
 from __future__ import annotations
 
-from repro.analysis.report import render_columns
+import functools
+import os
+import shutil
+import time
+
+from repro.analysis import ExperimentExecutor, ExperimentRunner, Variant
+from repro.analysis.report import render_columns, render_executor_summary
 from repro.centers import build_center_simulation, center_slugs
 from repro.units import HOUR
 
-from .conftest import write_artifact
+from .conftest import OUT_DIR, write_artifact
+
+#: One configuration shared by every arm (and by the cache key).
+CENTER_KW = dict(seed=13, duration=4 * HOUR, nodes=48)
+
+CACHE_DIR = OUT_DIR / "cache" / "exp-centers"
+
+
+def _variants():
+    return [
+        Variant(slug, functools.partial(build_center_simulation, slug,
+                                        **CENTER_KW))
+        for slug in center_slugs()
+    ]
+
+
+def _metric_row(slug, m):
+    return [
+        slug,
+        f"{m.jobs_completed}/{m.jobs_submitted}",
+        f"{m.utilization:.2f}",
+        f"{m.mean_wait:.0f}",
+        f"{m.average_power_watts / 1e3:.1f}",
+        f"{m.peak_power_watts / 1e3:.1f}",
+        f"{m.total_energy_joules / 3.6e6:.1f}",
+        f"{m.jobs_killed}",
+    ]
 
 
 def test_bench_all_centers(benchmark, artifact_dir):
-    def run_all():
-        out = {}
-        for slug in center_slugs():
-            build = build_center_simulation(slug, seed=13,
-                                            duration=4 * HOUR, nodes=48)
-            result = build.simulation.run()
-            out[slug] = (build, result)
-        return out
+    shutil.rmtree(CACHE_DIR, ignore_errors=True)
+    workers = min(4, os.cpu_count() or 1)
 
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # Reference: the exact sequential path (in-process, no cache).
+    sequential = ExperimentRunner(_variants())
+    t0 = time.perf_counter()
+    sequential.run_all()
+    seq_wall = time.perf_counter() - t0
 
-    rows = []
-    for slug, (build, result) in results.items():
-        m = result.metrics
-        rows.append([
-            slug,
-            f"{m.jobs_completed}/{m.jobs_submitted}",
-            f"{m.utilization:.2f}",
-            f"{m.mean_wait:.0f}",
-            f"{m.average_power_watts / 1e3:.1f}",
-            f"{m.peak_power_watts / 1e3:.1f}",
-            f"{m.total_energy_joules / 3.6e6:.1f}",
-            f"{m.jobs_killed}",
-        ])
+    # Measured: the parallel executor, cold cache.
+    parallel = ExperimentRunner(_variants())
+    cold = ExperimentExecutor(workers=workers, cache_dir=CACHE_DIR)
+    t0 = time.perf_counter()
+    benchmark.pedantic(
+        lambda: parallel.run_all(executor=cold), rounds=1, iterations=1
+    )
+    par_wall = time.perf_counter() - t0
+
+    # Warm-cache rerun must execute nothing and agree exactly.
+    rerun = ExperimentRunner(_variants())
+    warm = ExperimentExecutor(workers=workers, cache_dir=CACHE_DIR)
+    t0 = time.perf_counter()
+    rerun.run_all(executor=warm)
+    warm_wall = time.perf_counter() - t0
+
+    by_slug = {r.name: r.metrics for r in parallel.results}
+    rows = [_metric_row(slug, by_slug[slug]) for slug in center_slugs()]
+
+    # Structural signatures come from the builders directly (building
+    # is cheap; only runs are parallelized/cached).
+    builds = {
+        slug: build_center_simulation(slug, **CENTER_KW)
+        for slug in center_slugs()
+    }
+
     write_artifact(
         "exp-centers",
         "EXP-CENTERS — the nine scenarios executed "
@@ -50,31 +100,53 @@ def test_bench_all_centers(benchmark, artifact_dir):
              "kWh", "killed"],
             rows,
         )
+        + "\n\nExecution (parallel cached executor):\n"
+        + f"  sequential      : {seq_wall:6.2f}s\n"
+        + f"  parallel cold   : {par_wall:6.2f}s  "
+        + f"({workers} workers, {cold.last_executed} runs)\n"
+        + f"  parallel warm   : {warm_wall:6.2f}s  "
+        + f"({warm.last_cache_hits} cache hits)\n\n"
+        + render_executor_summary(cold.last_records)
         + "\n\nScenario notes:\n"
         + "\n".join(
             f"  {slug}: {'; '.join(build.notes)}"
-            for slug, (build, _r) in results.items()
+            for slug, build in builds.items()
         ),
     )
 
+    # Parallel must be metric-identical to sequential, variant by
+    # variant, and the warm rerun identical again with zero executions.
+    assert [r.name for r in parallel.results] == \
+           [r.name for r in sequential.results]
+    for par, seq in zip(parallel.results, sequential.results):
+        assert par.metrics.as_dict() == seq.metrics.as_dict(), par.name
+    assert warm.last_executed == 0
+    assert warm.last_cache_hits == len(center_slugs())
+    for re_run, par in zip(rerun.results, parallel.results):
+        assert re_run.metrics.as_dict() == par.metrics.as_dict(), re_run.name
+    # Fan-out only pays with real cores; on >= 4 the parallel sweep
+    # must beat sequential (the 2x target is asserted loosely to stay
+    # robust on loaded CI machines).
+    if workers >= 4 and (os.cpu_count() or 1) >= 4:
+        assert par_wall < seq_wall, (par_wall, seq_wall)
+
     # Per-center signatures (Tables I/II).
-    for slug, (build, result) in results.items():
-        m = result.metrics
+    for slug in center_slugs():
+        m = by_slug[slug]
         assert m.jobs_completed >= 0.5 * m.jobs_submitted, slug
 
     # Tokyo Tech: cooperative — never kills.
-    assert results["tokyotech"][1].metrics.jobs_killed == 0
+    assert by_slug["tokyotech"].jobs_killed == 0
     # KAUST: 70% of nodes capped at 270 W.
-    kaust_machine = results["kaust"][0].simulation.machine
+    kaust_machine = builds["kaust"].simulation.machine
     assert sum(1 for n in kaust_machine.nodes if n.power_cap == 270.0) \
         == round(0.7 * len(kaust_machine))
     # STFC: monitoring only — nothing capped, nothing powered down.
-    stfc = results["stfc"][0].simulation
+    stfc = builds["stfc"].simulation
     assert all(n.power_cap is None for n in stfc.machine.nodes)
     # JCAHPC: every node under a group cap.
-    jcahpc = results["jcahpc"][0].simulation
+    jcahpc = builds["jcahpc"].simulation
     assert all(n.power_cap is not None for n in jcahpc.machine.nodes)
     # RIKEN: the emergency limit is armed below peak.
-    riken_policies = results["riken"][0].simulation.policies
-    assert riken_policies[0].limit_watts < \
-        results["riken"][0].simulation.machine.peak_power
+    riken = builds["riken"].simulation
+    assert riken.policies[0].limit_watts < riken.machine.peak_power

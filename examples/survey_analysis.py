@@ -1,10 +1,26 @@
 #!/usr/bin/env python
 """Regenerate the paper's artifacts: Tables I/II, Figures 1/2, and the
-announced cross-center analysis.
+announced cross-center analysis — then execute the capability matrix
+itself as a parallel cached sweep over all nine center scenarios.
 
 Run:  python examples/survey_analysis.py
+A second run serves the sweep from ``benchmarks/out/cache/`` without
+re-simulating anything.
 """
 
+import functools
+import os
+
+from repro.analysis import (
+    DEFAULT_CACHE_DIR,
+    ExperimentExecutor,
+    ExperimentRunner,
+    Variant,
+    render_dict_table,
+    render_executor_summary,
+)
+from repro.centers import build_center_simulation, center_slugs
+from repro.units import HOUR
 from repro.survey import (
     SurveyAnalysis,
     build_component_graph,
@@ -66,6 +82,37 @@ def main() -> None:
     print("\nANALYSIS — vendor engagement:")
     for partner, centers in analysis.vendor_engagement().items():
         print(f"  {partner:30s}: {', '.join(centers)}")
+
+    run_center_sweep()
+
+
+def run_center_sweep() -> None:
+    """Execute all nine scenarios through the parallel cached executor."""
+    workers = min(4, os.cpu_count() or 1)
+    runner = ExperimentRunner([
+        Variant(slug, functools.partial(build_center_simulation, slug,
+                                        seed=13, duration=1 * HOUR, nodes=24))
+        for slug in center_slugs()
+    ])
+    executor = ExperimentExecutor(workers=workers,
+                                  cache_dir=DEFAULT_CACHE_DIR / "example-sweep")
+    runner.run_all(executor=executor)
+
+    print(f"\nEXECUTION — capability matrix run "
+          f"({workers} workers, 24 nodes, 1 simulated hour):")
+    print(render_dict_table(
+        runner.metric_table(["jobs_completed", "utilization", "mean_wait",
+                             "average_power_watts", "total_energy_joules"]),
+        metric_units={"mean_wait": "s", "average_power_watts": "W",
+                      "total_energy_joules": "J"},
+        row_label="center",
+    ))
+    print()
+    print(render_executor_summary(executor.last_records))
+    print(f"  wall {executor.last_wall_seconds:.2f}s — "
+          f"{executor.last_executed} simulated, "
+          f"{executor.last_cache_hits} from cache "
+          f"({executor.cache.root}/)")
 
 
 if __name__ == "__main__":

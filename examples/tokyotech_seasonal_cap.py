@@ -17,6 +17,7 @@ Run:  python examples/tokyotech_seasonal_cap.py
 import numpy as np
 
 from repro.centers import build_center_simulation
+from repro.compat import trapezoid
 from repro.units import HOUR
 
 
@@ -42,7 +43,7 @@ def main() -> None:
     for i, t in enumerate(times):
         mask = (times >= t - window) & (times <= t)
         if mask.sum() >= 2:
-            window_avgs.append(np.trapezoid(watts[mask], times[mask])
+            window_avgs.append(trapezoid(watts[mask], times[mask])
                                / (times[mask][-1] - times[mask][0]))
     window_avgs = np.array(window_avgs) if window_avgs else np.array([0.0])
 

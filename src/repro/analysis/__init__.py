@@ -2,25 +2,43 @@
 
 from .stats import percentile_table, PercentileTable, workload_summary
 from .runner import ExperimentRunner, Variant, VariantResult
+from .executor import (
+    DEFAULT_CACHE_DIR,
+    ExecutorError,
+    ExperimentExecutor,
+    ResultCache,
+    RunRecord,
+    VariantSpec,
+    config_fingerprint,
+)
 from .compare import relative_change, compare_metrics
 from .report import (
     format_quantity,
     render_columns,
     render_dict_table,
+    render_executor_summary,
     render_sparkline,
 )
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExecutorError",
+    "ExperimentExecutor",
     "ExperimentRunner",
     "PercentileTable",
+    "ResultCache",
+    "RunRecord",
     "Variant",
     "VariantResult",
+    "VariantSpec",
     "compare_metrics",
+    "config_fingerprint",
     "format_quantity",
     "percentile_table",
     "relative_change",
     "render_columns",
     "render_dict_table",
+    "render_executor_summary",
     "render_sparkline",
     "workload_summary",
 ]

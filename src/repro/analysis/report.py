@@ -82,6 +82,28 @@ def render_sparkline(values, width: int = 60) -> str:
     return "".join(out)
 
 
+def render_executor_summary(records) -> str:
+    """Aligned table of executor :class:`RunRecord` outcomes.
+
+    One row per (variant, replica): seed, wall-clock, attempts and
+    whether the result came from the on-disk cache — the progress /
+    provenance view a sweep prints next to its metric table.
+    """
+    rows = []
+    for rec in records:
+        rows.append([
+            rec.variant,
+            str(rec.replica),
+            str(rec.seed),
+            f"{rec.wall_seconds:.2f}s",
+            str(rec.attempts),
+            "cache" if rec.from_cache else "run",
+        ])
+    return render_columns(
+        ["variant", "rep", "seed", "wall", "att", "source"], rows
+    )
+
+
 def render_dict_table(
     table: Dict[str, Dict[str, float]],
     metric_units: Optional[Dict[str, str]] = None,

@@ -8,11 +8,13 @@ benches print.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..core.metrics import MetricsReport
 from ..core.simulation import ClusterSimulation, SimulationResult
+from .executor import ExperimentExecutor, VariantSpec
 
 
 @dataclass
@@ -21,7 +23,11 @@ class Variant:
 
     ``build`` must return a fresh, fully wired
     :class:`ClusterSimulation` — including its own machine and its own
-    copy of the workload (job objects are mutated by runs).
+    copy of the workload (job objects are mutated by runs) — or a
+    wrapper exposing one through a ``.simulation`` attribute (e.g.
+    :class:`~repro.centers.base.CenterBuild`).  For parallel runs
+    (``run_all(workers > 1)``) it must additionally be picklable: a
+    module-level function or :func:`functools.partial` of one.
     """
 
     name: str
@@ -31,11 +37,17 @@ class Variant:
 
 @dataclass
 class VariantResult:
-    """Result of one arm."""
+    """Result of one arm.
+
+    ``result`` is the full :class:`SimulationResult` when the arm ran
+    in-process (the sequential path); runs delegated to a process pool
+    or served from the on-disk cache carry only the metrics, and
+    ``result`` is ``None``.
+    """
 
     name: str
     metrics: MetricsReport
-    result: SimulationResult
+    result: Optional[SimulationResult]
     notes: str = ""
 
 
@@ -49,15 +61,55 @@ class ExperimentRunner:
         self.variants = variants
         self.results: List[VariantResult] = []
 
-    def run_all(self, until: Optional[float] = None) -> List[VariantResult]:
-        """Execute every variant; returns (and stores) the results."""
-        self.results = []
-        for variant in self.variants:
-            simulation = variant.build()
-            result = simulation.run(until=until)
-            self.results.append(
-                VariantResult(variant.name, result.metrics, result, variant.notes)
+    def run_all(
+        self,
+        until: Optional[float] = None,
+        workers: int = 1,
+        cache_dir: Optional[pathlib.Path] = None,
+        executor: Optional[ExperimentExecutor] = None,
+    ) -> List[VariantResult]:
+        """Execute every variant; returns (and stores) the results.
+
+        With the defaults (``workers=1``, no cache, no executor) every
+        variant runs sequentially in-process, exactly as before, and
+        each :class:`VariantResult` carries the full
+        :class:`~repro.core.simulation.SimulationResult`.
+
+        With ``workers > 1``, a ``cache_dir``, or an explicit
+        *executor*, execution is delegated to
+        :class:`~repro.analysis.executor.ExperimentExecutor` — variant
+        ``build`` callables must then be picklable (module-level
+        functions or partials) for multi-process runs, result ordering
+        still matches the variant list, and ``VariantResult.result``
+        is ``None`` (metrics only cross the process/cache boundary).
+        """
+        if executor is None and workers == 1 and cache_dir is None:
+            self.results = []
+            for variant in self.variants:
+                built = variant.build()
+                # Accept builders returning a wrapper with a
+                # .simulation attribute (e.g. centers.CenterBuild),
+                # mirroring the executor's worker-side convention.
+                simulation = getattr(built, "simulation", built)
+                result = simulation.run(until=until)
+                self.results.append(
+                    VariantResult(variant.name, result.metrics, result, variant.notes)
+                )
+            return self.results
+
+        if executor is None:
+            executor = ExperimentExecutor(
+                workers=workers, until=until, cache_dir=cache_dir
             )
+        specs = [
+            VariantSpec(name=v.name, build=v.build, notes=v.notes)
+            for v in self.variants
+        ]
+        records = executor.run(specs)
+        self.results = [
+            VariantResult(rec.variant, rec.metrics_report(), None, rec.notes)
+            for rec in records
+        ]
         return self.results
 
     def metric_table(self, keys: List[str]) -> Dict[str, Dict[str, float]]:
@@ -69,8 +121,13 @@ class ExperimentRunner:
         return table
 
     def best_by(self, key: str, minimize: bool = True) -> VariantResult:
-        """The variant with the best value of one metric."""
+        """The variant with the best value of one metric.
+
+        Variants missing the metric are never selected: the sentinel
+        is ``+inf`` when minimizing and ``-inf`` when maximizing.
+        """
         if not self.results:
             raise ValueError("run_all() first")
         chooser = min if minimize else max
-        return chooser(self.results, key=lambda r: r.metrics.as_dict().get(key, float("inf")))
+        sentinel = float("inf") if minimize else float("-inf")
+        return chooser(self.results, key=lambda r: r.metrics.as_dict().get(key, sentinel))

@@ -1,0 +1,18 @@
+"""Cross-version compatibility shims.
+
+The project declares ``numpy>=1.24`` but numpy 2.0 renamed
+``np.trapz`` to ``np.trapezoid`` (and later removed the old name).
+Importing the integrator from here keeps every call site working on
+both major versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # numpy >= 2.0
+    trapezoid = np.trapezoid
+except AttributeError:  # pragma: no cover - numpy 1.x
+    trapezoid = np.trapz
+
+__all__ = ["trapezoid"]

@@ -184,7 +184,20 @@ class ConservativeBackfillScheduler(Scheduler):
                     start = candidate
                     break
             if start is None:
-                start = max(profile_points()) if deltas else ctx.now
+                # No profile point fits the job (e.g. part of the
+                # machine is booting, so free nodes never reach its
+                # size).  The profile is constant after its last point,
+                # so search forward from there: if the job fits at the
+                # tail it can be soundly reserved, otherwise no sound
+                # reservation exists — leave the job unreserved (it is
+                # retried on later passes as nodes come up) instead of
+                # forcing one that drives the free-node profile
+                # negative and delays every reservation after it.
+                tail = max(profile_points())
+                if free_at(tail, free_now) >= job.nodes:
+                    start = tail
+                else:
+                    continue
 
             if start <= ctx.now and admitted and job.nodes <= len(pool):
                 nodes = self._allocate(ctx, job, pool)

@@ -76,6 +76,30 @@ class MetricsReport:
         out.update(self.extra)
         return out
 
+    @classmethod
+    def from_dict(cls, values: Dict[str, float]) -> "MetricsReport":
+        """Rebuild a report from :meth:`as_dict` output.
+
+        Unknown keys land in :attr:`extra`, so reports survive a
+        round-trip through flat JSON (the experiment executor's cache
+        format) without losing information.
+        """
+        known = {f for f in cls.__dataclass_fields__ if f != "extra"}
+        int_fields = {
+            "jobs_submitted", "jobs_completed", "jobs_killed",
+            "jobs_timed_out", "jobs_unfinished",
+        }
+        report = cls()
+        for key, value in values.items():
+            if key in known:
+                setattr(
+                    report, key,
+                    int(value) if key in int_fields else float(value),
+                )
+            else:
+                report.extra[key] = float(value)
+        return report
+
 
 def compute_metrics(
     jobs: Iterable[Job],

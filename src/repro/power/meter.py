@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..compat import trapezoid
 from ..simulator.engine import Simulator
 from ..simulator.events import EventPriority
 from ..simulator.trace import TraceRecorder
@@ -133,7 +134,7 @@ class PowerMeter:
             return float(self._watts[-1])
         tt = np.asarray(self._times[lo:])
         ww = np.asarray(self._watts[lo:])
-        energy = float(np.trapezoid(ww, tt))
+        energy = float(trapezoid(ww, tt))
         span = float(tt[-1] - tt[0])
         return energy / span if span > 0 else float(ww[-1])
 

@@ -9,7 +9,7 @@ callbacks scheduled on this engine.
 
 from .engine import EventHandle, Simulator
 from .events import Event, EventPriority
-from .rng import RngStreams
+from .rng import RngStreams, derive_seed
 from .trace import TraceRecord, TraceRecorder
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "EventHandle",
     "EventPriority",
     "RngStreams",
+    "derive_seed",
     "Simulator",
     "TraceRecord",
     "TraceRecorder",

@@ -76,7 +76,11 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events currently in the heap (incl. tombstones)."""
+        """Number of live events awaiting execution.
+
+        Cancelled events (tombstones) still sitting in the heap are
+        not counted — they will be skipped, never fired.
+        """
         return sum(1 for e in self._heap if not e.cancelled)
 
     # ------------------------------------------------------------------
@@ -150,7 +154,7 @@ class Simulator:
         first = self._now + (interval if start_offset is None else start_offset)
         if until is not None and first > until:
             # Nothing to do; return an already-cancelled handle.
-            dummy = Event(self._now, priority, self._seq, lambda: None)
+            dummy = Event(self._now, int(priority), self._seq, lambda: None)
             self._seq += 1
             dummy.cancelled = True
             return EventHandle(dummy)

@@ -17,6 +17,18 @@ from typing import Dict
 import numpy as np
 
 
+def derive_seed(root_seed: int, name: str) -> int:
+    """Deterministically derive a child seed for *name* from *root_seed*.
+
+    This is the key-derivation rule :class:`RngStreams` uses for its
+    named streams and :meth:`RngStreams.fork`, exposed for components
+    that need reproducible per-task seeds (e.g. the experiment
+    executor's per-replica seeds) without holding a stream family.
+    """
+    digest = hashlib.sha256(f"{int(root_seed)}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 class RngStreams:
     """Factory of independent named :class:`numpy.random.Generator` streams.
 
@@ -41,8 +53,7 @@ class RngStreams:
         return self._seed
 
     def _derive_key(self, name: str) -> int:
-        digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
-        return int.from_bytes(digest[:8], "little")
+        return derive_seed(self._seed, name)
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for *name*, creating it on first use.

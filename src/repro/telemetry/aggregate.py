@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List
 
 import numpy as np
 
+from ..compat import trapezoid
 from ..simulator.trace import TraceRecorder
 from ..workload.job import Job
 
@@ -45,7 +46,7 @@ class HierarchicalAggregator:
             return LevelSummary("machine", meter_name, 0, 0.0, 0.0, 0.0)
         times = np.array([r.time for r in records])
         watts = np.array([r.data["watts"] for r in records])
-        energy = float(np.trapezoid(watts, times)) if len(times) > 1 else 0.0
+        energy = float(trapezoid(watts, times)) if len(times) > 1 else 0.0
         return LevelSummary(
             "machine", meter_name, len(records),
             float(watts.mean()), float(watts.max()), energy,

@@ -93,6 +93,20 @@ class TestExperimentRunner:
         best = runner.best_by("mean_wait", minimize=True)
         assert best.name in ("fcfs", "easy")
 
+    def test_best_by_maximize_skips_missing_metric(self):
+        # Regression: the missing-metric sentinel used to be +inf for
+        # both directions, so with minimize=False a variant lacking
+        # the metric beat every variant that had it.
+        runner = ExperimentRunner([self._variant("fcfs", FcfsScheduler)])
+        runner.run_all()
+        runner.results[0].metrics.extra["goodput"] = 5.0
+        missing = MetricsReport()  # no "goodput" anywhere
+        from repro.analysis import VariantResult
+        runner.results.append(VariantResult("empty", missing, None))
+        # A variant lacking the metric is never chosen, either way.
+        assert runner.best_by("goodput", minimize=False).name == "fcfs"
+        assert runner.best_by("goodput", minimize=True).name == "fcfs"
+
     def test_duplicate_names_rejected(self):
         with pytest.raises(ValueError):
             ExperimentRunner([

@@ -1,0 +1,35 @@
+"""Tests for the numpy version-compatibility shims."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro.compat
+
+
+class TestTrapezoid:
+    def test_integrates_like_numpy(self):
+        x = np.array([0.0, 1.0, 3.0])
+        y = np.array([0.0, 2.0, 2.0])
+        assert repro.compat.trapezoid(y, x) == pytest.approx(5.0)
+
+    def test_falls_back_to_trapz_on_numpy1(self, monkeypatch):
+        # Simulate numpy 1.x: no np.trapezoid, only np.trapz.
+        monkeypatch.delattr(np, "trapezoid", raising=False)
+        monkeypatch.setattr(np, "trapz", lambda y, x=None: 123.0,
+                            raising=False)
+        try:
+            module = importlib.reload(repro.compat)
+            assert module.trapezoid([0.0, 1.0], [0.0, 1.0]) == 123.0
+        finally:
+            monkeypatch.undo()
+            importlib.reload(repro.compat)
+
+    def test_meter_window_average_uses_shim(self, sim):
+        from repro.power.meter import PowerMeter
+
+        meter = PowerMeter(sim, lambda: 100.0, interval=10.0)
+        meter.start()
+        sim.run(until=60.0)
+        assert meter.window_average(30.0) == pytest.approx(100.0)

@@ -168,3 +168,24 @@ class TestConservativeBackfill:
             ctx(small_machine, jobs)
         )
         assert [d.job.job_id for d in decisions] == ["ok"]
+
+    def test_infeasible_reservation_does_not_delay_later_jobs(
+        self, small_machine
+    ):
+        # Regression: a job that fits nowhere on the free-node profile
+        # (8 of 16 nodes shutting down, so only 8 can free up) used to
+        # be reserved at the profile end anyway, driving the profile
+        # negative and pushing the 4-node job behind it into a future
+        # reservation even though 8 nodes are idle right now.
+        from repro.cluster.node import NodeState
+
+        for node in small_machine.nodes[:8]:
+            node.transition(NodeState.SHUTTING_DOWN, 0.0)
+        jobs = [
+            make_job(job_id="big", nodes=12, walltime=500.0),
+            make_job(job_id="small", nodes=4, walltime=500.0),
+        ]
+        decisions = ConservativeBackfillScheduler().schedule(
+            ctx(small_machine, jobs)
+        )
+        assert [d.job.job_id for d in decisions] == ["small"]

@@ -163,3 +163,17 @@ class TestPeriodic:
         assert not handle.active
         sim.run()
         assert sim.events_fired == 0
+
+    def test_every_noop_handle_priority_is_int(self, sim):
+        # Regression: the dummy handle stored the raw EventPriority
+        # enum where at() stores a plain int.
+        handle = sim.every(10.0, lambda: None, until=5.0,
+                           priority=EventPriority.MONITOR)
+        assert type(handle._event.priority) is int
+
+    def test_pending_counts_only_live_events(self, sim):
+        live = sim.at(1.0, lambda: None)
+        dead = sim.at(2.0, lambda: None)
+        dead.cancel()
+        assert live.active
+        assert sim.pending == 1
