@@ -59,3 +59,25 @@ def test_bench_end_to_end_simulation(benchmark):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.metrics.jobs_completed >= 1400
+
+
+def test_bench_cancel_heavy_churn(benchmark):
+    """Cancel/reschedule churn: the cap-heavy pattern where every speed
+    change cancels and reschedules a completion event.  Tombstone
+    compaction must keep the heap bounded by the live count, not by
+    the total number of cancellations."""
+
+    def churn():
+        sim = Simulator()
+        live = [sim.at(1e12 + i, lambda: None) for i in range(200)]
+        for i in range(100_000):
+            slot = i % 200
+            live[slot].cancel()
+            live[slot] = sim.at(1e12 + i, lambda: None)
+        return sim
+
+    sim = benchmark.pedantic(churn, rounds=3, iterations=1)
+    assert sim.pending == 200
+    # Bounded heap: compaction keeps tombstones under half the heap
+    # (plus the trigger threshold), nowhere near the 100k cancelled.
+    assert sim.heap_size <= 2 * (200 + sim._COMPACT_MIN_TOMBSTONES)

@@ -1,0 +1,36 @@
+"""Compact numeric sample buffers for telemetry hot paths.
+
+Long simulations append one sample per meter/channel per interval —
+millions of appends on month-long runs.  ``array('d')`` stores them as
+raw C doubles (8 bytes each, no per-sample PyObject), appends in O(1)
+without boxing overhead, and exports the buffer protocol so numpy can
+read it without copying element by element.
+
+``series_view`` is the one subtlety: ``np.frombuffer`` over a live
+``array('d')`` would pin the buffer — any later ``append`` then fails
+with ``BufferError: cannot resize an array that is exporting buffers``.
+The view is therefore materialized with ``.copy()`` before returning,
+which also keeps the public ``series()`` contract identical to the old
+list-backed code (an independent ndarray snapshot).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+__all__ = ["sample_buffer", "series_view"]
+
+
+def sample_buffer() -> array:
+    """A fresh, empty C-double sample buffer."""
+    return array("d")
+
+
+def series_view(buf: array) -> np.ndarray:
+    """Snapshot *buf* as a float64 ndarray (one memcpy, never a live
+    view — see module docstring)."""
+    if not buf:
+        return np.empty(0, dtype=np.float64)
+    return np.frombuffer(buf, dtype=np.float64).copy()

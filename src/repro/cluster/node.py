@@ -91,6 +91,7 @@ class Node:
         "pdu_id",
         "last_state_change",
         "idle_since",
+        "power_listener",
     )
 
     def __init__(
@@ -134,6 +135,12 @@ class Node:
         self.pdu_id: Optional[str] = None
         self.last_state_change = 0.0
         self.idle_since: Optional[float] = 0.0
+        #: Power-accounting hook: called with ``node_id`` whenever a
+        #: field that determines the node's power draw changes (state,
+        #: cap, frequency).  Installed by the owning simulation so its
+        #: running machine-watts sum can be updated by delta instead of
+        #: re-summing every node; None outside a simulation.
+        self.power_listener: Optional[callable] = None
 
     # ------------------------------------------------------------------
     # State machine
@@ -153,6 +160,8 @@ class Node:
         self.state = target
         self.last_state_change = time
         self.idle_since = time if target is NodeState.IDLE else None
+        if self.power_listener is not None:
+            self.power_listener(self.node_id)
 
     @property
     def is_available(self) -> bool:
@@ -209,17 +218,21 @@ class Node:
         """
         if cap is None:
             self.power_cap = None
-            return
-        if cap < self.cap_floor:
-            raise PowerCapError(
-                f"node {self.node_id}: cap {cap:.1f} W below enforceable "
-                f"floor {self.cap_floor:.1f} W"
-            )
-        self.power_cap = float(cap)
+        else:
+            if cap < self.cap_floor:
+                raise PowerCapError(
+                    f"node {self.node_id}: cap {cap:.1f} W below enforceable "
+                    f"floor {self.cap_floor:.1f} W"
+                )
+            self.power_cap = float(cap)
+        if self.power_listener is not None:
+            self.power_listener(self.node_id)
 
     def set_frequency(self, frequency: float) -> None:
         """Set the operating frequency, clamped to the DVFS range."""
         self.frequency = min(self.max_frequency, max(self.min_frequency, frequency))
+        if self.power_listener is not None:
+            self.power_listener(self.node_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

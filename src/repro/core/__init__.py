@@ -9,8 +9,19 @@ allocation machinery, and the metrics every evaluation reports.
 """
 
 from .queue import JobQueue, QueueConfig
-from .scheduler import FcfsScheduler, Scheduler, SchedulingContext, StartDecision
+from .scheduler import (
+    FcfsScheduler,
+    NodePool,
+    Scheduler,
+    SchedulingContext,
+    StartDecision,
+)
+from .profile import FreeNodeProfile
 from .backfill import ConservativeBackfillScheduler, EasyBackfillScheduler
+from .reference_backfill import (
+    ReferenceConservativeBackfillScheduler,
+    ReferenceEasyBackfillScheduler,
+)
 from .allocator import (
     Allocator,
     FirstFitAllocator,
@@ -41,6 +52,10 @@ __all__ = [
     "FairShareAccountingPolicy",
     "FairShareScheduler",
     "FcfsScheduler",
+    "FreeNodeProfile",
+    "NodePool",
+    "ReferenceConservativeBackfillScheduler",
+    "ReferenceEasyBackfillScheduler",
     "FirstFitAllocator",
     "PredictiveEasyScheduler",
     "RuntimeLearningPolicy",

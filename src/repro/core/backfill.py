@@ -14,43 +14,26 @@ Both use the user's walltime request as the runtime estimate — a hard
 upper bound in this framework because jobs are killed at their
 walltime, which keeps reservations sound even under power capping
 slowdowns.
+
+Both schedulers plan on a :class:`~repro.core.profile.FreeNodeProfile`
+— an incrementally maintained step function of free nodes over time —
+instead of re-deriving the profile from a raw delta dict per candidate
+start.  That turns conservative backfill from ~O(P·T³) into O(P·T) at
+queue depth P with T profile breakpoints, while producing decisions
+identical to the seed implementations preserved in
+:mod:`repro.core.reference_backfill` (enforced by property tests).
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-from .scheduler import Scheduler, SchedulingContext, StartDecision
+from .profile import FreeNodeProfile
+from .scheduler import NodePool, Scheduler, SchedulingContext, StartDecision
 
-
-def _release_profile(ctx: SchedulingContext) -> List[Tuple[float, int]]:
-    """Sorted (time, nodes_released) list from running jobs' estimates."""
-    events: dict = {}
-    for info in ctx.running:
-        events[info.expected_end] = events.get(info.expected_end, 0) + len(info.node_ids)
-    return sorted(events.items())
-
-
-def _earliest_fit(
-    free_now: int,
-    releases: List[Tuple[float, int]],
-    needed: int,
-    now: float,
-) -> float:
-    """Earliest time *needed* nodes are simultaneously free.
-
-    Walks the (monotone non-decreasing) cumulative release profile.
-    Returns ``now`` when the job fits immediately; +inf when it never
-    fits (needed exceeds capacity horizon — caller guards that).
-    """
-    if needed <= free_now:
-        return now
-    free = free_now
-    for time, released in releases:
-        free += released
-        if free >= needed:
-            return time
-    return float("inf")
+# Re-exported for prediction-assisted schedulers (fairshare module)
+# that run the EASY arithmetic over predicted runtimes.
+from .reference_backfill import _earliest_fit, _release_profile  # noqa: F401
 
 
 class EasyBackfillScheduler(Scheduler):
@@ -60,7 +43,7 @@ class EasyBackfillScheduler(Scheduler):
 
     def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
         decisions: List[StartDecision] = []
-        pool = list(ctx.available)
+        pool = NodePool(ctx.available)
         pending = list(ctx.pending)
 
         # Phase 1: start jobs in order while they fit and are admitted.
@@ -68,8 +51,7 @@ class EasyBackfillScheduler(Scheduler):
         for i, job in enumerate(pending):
             if job.nodes <= len(pool) and ctx.admit(job):
                 nodes = self._allocate(ctx, job, pool)
-                ids = {n.node_id for n in nodes}
-                pool = [n for n in pool if n.node_id not in ids]
+                pool.remove_ids(n.node_id for n in nodes)
                 decisions.append(StartDecision(job, nodes))
             else:
                 blocked_idx = i
@@ -79,39 +61,30 @@ class EasyBackfillScheduler(Scheduler):
 
         head = pending[blocked_idx]
 
-        # Phase 2: compute the head's shadow time and spare nodes.
-        releases = _release_profile(ctx)
-        # Nodes already granted this round count as busy until their
-        # walltime; fold them into the release profile.
-        extra: dict = {}
-        for d in decisions:
-            end = ctx.now + d.job.walltime_request
-            extra[end] = extra.get(end, 0) + len(d.nodes)
-        merged = sorted(
-            (dict(releases) | {}).items()
-        )  # copy of releases as list
-        for end, cnt in extra.items():
-            merged.append((end, cnt))
-        merged.sort()
-
-        shadow = _earliest_fit(len(pool), merged, head.nodes, ctx.now)
-        if shadow == float("inf"):
+        # Phase 2: the head's shadow time and spare nodes, off the
+        # release profile.  Origin -inf keeps stale (sub-now) release
+        # estimates as explicit breakpoints, matching the seed's raw
+        # release walk; equal-time releases merge into one breakpoint
+        # (the seed's duplicate-entry list was only cumulative by
+        # accident of the walk order).
+        profile = FreeNodeProfile.from_releases(
+            float("-inf"),
+            len(pool),
+            self._release_events(ctx, decisions),
+        )
+        shadow = profile.earliest_at_least(head.nodes, ctx.now)
+        if shadow is None:
+            shadow = float("inf")
             # Head can never fit (larger than capacity horizon or only
             # blocked by admission) — backfill without a shadow guard is
             # unsafe for the former; guard with capacity check:
-            if head.nodes > ctx.usable_node_count:
-                shadow = float("inf")  # truly never; others may proceed
-            else:
+            if head.nodes <= ctx.usable_node_count:
                 # Blocked by admission (e.g. power): be conservative,
                 # allow only jobs that fit in currently spare nodes.
                 shadow = ctx.now
 
         # Spare nodes at shadow time: free nodes at shadow minus head's.
-        free_at_shadow = len(pool)
-        for time, released in merged:
-            if time <= shadow:
-                free_at_shadow += released
-        spare = max(0, free_at_shadow - head.nodes)
+        spare = max(0, profile.free_at(shadow) - head.nodes)
 
         # Phase 3: backfill later jobs.
         for job in pending[blocked_idx + 1 :]:
@@ -121,12 +94,25 @@ class EasyBackfillScheduler(Scheduler):
             fits_spare = job.nodes <= spare
             if ends_before_shadow or fits_spare:
                 nodes = self._allocate(ctx, job, pool)
-                ids = {n.node_id for n in nodes}
-                pool = [n for n in pool if n.node_id not in ids]
+                pool.remove_ids(n.node_id for n in nodes)
                 if not ends_before_shadow:
                     spare -= job.nodes
                 decisions.append(StartDecision(job, nodes))
         return decisions
+
+    @staticmethod
+    def _release_events(
+        ctx: SchedulingContext, decisions: List[StartDecision]
+    ) -> List[Tuple[float, int]]:
+        """Release events from running jobs plus this round's grants
+        (granted nodes count as busy until their walltime)."""
+        events = [
+            (info.expected_end, len(info.node_ids)) for info in ctx.running
+        ]
+        events.extend(
+            (ctx.now + d.job.walltime_request, len(d.nodes)) for d in decisions
+        )
+        return events
 
 
 class ConservativeBackfillScheduler(Scheduler):
@@ -136,81 +122,60 @@ class ConservativeBackfillScheduler(Scheduler):
     in priority order is planned at its earliest feasible slot; only
     jobs planned to start *now* are actually started.  Planning uses
     walltime estimates, so no earlier-reserved job is ever delayed.
+
+    The profile lives in a :class:`FreeNodeProfile` built once per
+    pass; each reservation is an incremental subtraction over its
+    ``[start, end)`` window and each earliest-slot search is a single
+    sliding-window-minimum walk.
     """
 
     name = "conservative"
 
     def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
         decisions: List[StartDecision] = []
-        pool = list(ctx.available)
+        pool = NodePool(ctx.available)
+        now = ctx.now
 
-        # Free-node profile as step function: list of (time, delta).
-        deltas: dict = {}
-        for info in ctx.running:
-            deltas[info.expected_end] = deltas.get(info.expected_end, 0) + len(info.node_ids)
-
-        def profile_points() -> List[float]:
-            return sorted(set([ctx.now] + list(deltas.keys())))
-
-        def free_at(t: float, free_now: int) -> int:
-            free = free_now
-            for time, delta in deltas.items():
-                if time <= t:
-                    free += delta
-            return free
-
-        free_now = len(pool)
+        # Release events at or before now fold into the base count —
+        # identical to the seed's free_at() summing every delta with
+        # time <= t (the start-now guard below still checks the real
+        # pool, so folded stale estimates cannot over-start jobs).
+        profile = FreeNodeProfile.from_releases(
+            now,
+            len(pool),
+            ((info.expected_end, len(info.node_ids)) for info in ctx.running),
+        )
         capacity = ctx.usable_node_count
 
         for job in ctx.pending:
             if job.nodes > capacity:
                 continue  # can never run; do not reserve
             admitted = ctx.admit(job)
-            # Earliest start: first profile point where the job fits for
-            # its whole duration.
-            start = None
-            for candidate in profile_points():
-                if candidate < ctx.now:
-                    continue
-                # Fits at candidate and throughout [candidate, end)?
-                fits = True
-                end = candidate + job.walltime_request
-                for point in profile_points():
-                    if candidate <= point < end:
-                        if free_at(point, free_now) < job.nodes:
-                            fits = False
-                            break
-                if fits and free_at(candidate, free_now) >= job.nodes:
-                    start = candidate
-                    break
+            # Earliest profile breakpoint where the job fits for its
+            # whole duration.
+            start = profile.earliest_fit(job.nodes, job.walltime_request)
             if start is None:
-                # No profile point fits the job (e.g. part of the
-                # machine is booting, so free nodes never reach its
-                # size).  The profile is constant after its last point,
-                # so search forward from there: if the job fits at the
-                # tail it can be soundly reserved, otherwise no sound
-                # reservation exists — leave the job unreserved (it is
-                # retried on later passes as nodes come up) instead of
-                # forcing one that drives the free-node profile
-                # negative and delays every reservation after it.
-                tail = max(profile_points())
-                if free_at(tail, free_now) >= job.nodes:
+                # No breakpoint fits the job (e.g. part of the machine
+                # is booting, so free nodes never reach its size).  The
+                # profile is constant after its last point, so check the
+                # tail: if the job fits there it can be soundly
+                # reserved, otherwise no sound reservation exists —
+                # leave the job unreserved (it is retried on later
+                # passes as nodes come up) instead of forcing one that
+                # drives the free-node profile negative and delays
+                # every reservation after it.
+                tail = profile.tail_time
+                if profile.free_at(tail) >= job.nodes:
                     start = tail
                 else:
                     continue
 
-            if start <= ctx.now and admitted and job.nodes <= len(pool):
+            if start <= now and admitted and job.nodes <= len(pool):
                 nodes = self._allocate(ctx, job, pool)
-                ids = {n.node_id for n in nodes}
-                pool = [n for n in pool if n.node_id not in ids]
-                free_now -= job.nodes
-                end = ctx.now + job.walltime_request
-                deltas[end] = deltas.get(end, 0) + job.nodes
+                pool.remove_ids(n.node_id for n in nodes)
+                profile.reserve(now, now + job.walltime_request, job.nodes)
                 decisions.append(StartDecision(job, nodes))
             else:
-                # Reserve: subtract the job's nodes over [start, end).
-                start = max(start, ctx.now)
-                end = start + job.walltime_request
-                deltas[start] = deltas.get(start, 0) - job.nodes
-                deltas[end] = deltas.get(end, 0) + job.nodes
+                start = max(start, now)
+                profile.reserve(start, start + job.walltime_request, job.nodes)
         return decisions

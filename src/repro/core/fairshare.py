@@ -25,7 +25,7 @@ from ..prediction.runtime_predictor import UserRuntimePredictor
 from ..units import check_positive
 from ..workload.job import Job
 from .backfill import EasyBackfillScheduler, _earliest_fit, _release_profile
-from .scheduler import SchedulingContext, StartDecision
+from .scheduler import NodePool, SchedulingContext, StartDecision
 
 
 class FairShareScheduler(EasyBackfillScheduler):
@@ -120,15 +120,14 @@ class PredictiveEasyScheduler(EasyBackfillScheduler):
 
     def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
         decisions: List[StartDecision] = []
-        pool = list(ctx.available)
+        pool = NodePool(ctx.available)
         pending = list(ctx.pending)
 
         blocked_idx = None
         for i, job in enumerate(pending):
             if job.nodes <= len(pool) and ctx.admit(job):
                 nodes = self._allocate(ctx, job, pool)
-                ids = {n.node_id for n in nodes}
-                pool = [n for n in pool if n.node_id not in ids]
+                pool.remove_ids(n.node_id for n in nodes)
                 decisions.append(StartDecision(job, nodes))
             else:
                 blocked_idx = i
@@ -164,8 +163,7 @@ class PredictiveEasyScheduler(EasyBackfillScheduler):
             fits_spare = job.nodes <= spare
             if ends_before_shadow or fits_spare:
                 nodes = self._allocate(ctx, job, pool)
-                ids = {n.node_id for n in nodes}
-                pool = [n for n in pool if n.node_id not in ids]
+                pool.remove_ids(n.node_id for n in nodes)
                 if not ends_before_shadow:
                     spare -= job.nodes
                 decisions.append(StartDecision(job, nodes))

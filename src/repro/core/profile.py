@@ -1,0 +1,245 @@
+"""Free-node profile: the scheduler's view of capacity over time.
+
+Backfilling — EASY and conservative alike — reasons about one object:
+the *free-node profile*, a step function mapping future time to the
+number of simultaneously free nodes, built from running-job release
+estimates and already-placed reservations.  The seed implementations
+rebuilt and re-scanned that function from a raw delta dict for every
+candidate start time, which made conservative backfill roughly
+O(P·T³) at queue depth P with T profile breakpoints.
+
+:class:`FreeNodeProfile` keeps the function materialized instead:
+
+* sorted breakpoint times plus the free-node count on each segment,
+  so point queries are one ``bisect`` — O(log T);
+* earliest-fit search that walks the profile once with a monotone
+  sliding-window minimum (O(T) amortized for the general reserved
+  profile), collapsing to a single binary search over the cumulative
+  release curve — O(log T) — while the profile is still monotone
+  (no reservations inserted, the EASY shadow-time case);
+* incremental reservation insertion (subtract capacity over
+  ``[start, end)``) that touches only the affected segments instead
+  of re-deriving the whole profile.
+
+Counts are integers throughout (nodes are indivisible), so profile
+arithmetic is exact and decision-for-decision equivalent to the seed
+delta-dict implementations (see ``repro.core.reference_backfill`` and
+the property tests pinning that equivalence).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import deque
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import SchedulingError
+
+__all__ = ["FreeNodeProfile"]
+
+
+class FreeNodeProfile:
+    """Step function of free-node counts over ``[origin, +inf)``.
+
+    Parameters
+    ----------
+    origin:
+        Time of the first breakpoint (usually the scheduling instant
+        ``ctx.now``).  Release events at or before *origin* fold into
+        the base count — they raise the whole profile, mirroring how
+        the seed scheduler's ``free_at`` summed every delta with
+        ``time <= t``.  Pass ``float("-inf")`` to keep sub-``now``
+        release times as explicit breakpoints (the EASY shadow walk
+        needs them verbatim).
+    free:
+        Free-node count on the first segment.
+
+    Invariants: ``times`` is strictly increasing with
+    ``times[0] == origin``; ``free[i]`` is the count on
+    ``[times[i], times[i+1])``, and the final segment extends to
+    infinity.
+    """
+
+    __slots__ = ("times", "free", "_monotone")
+
+    def __init__(self, origin: float, free: int) -> None:
+        self.times: List[float] = [float(origin)]
+        self.free: List[int] = [int(free)]
+        #: True while only releases (positive steps) were applied; the
+        #: profile is then non-decreasing and earliest-fit is a binary
+        #: search over the cumulative curve.
+        self._monotone = True
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_releases(
+        cls,
+        origin: float,
+        free_now: int,
+        releases: Iterable[Tuple[float, int]],
+    ) -> "FreeNodeProfile":
+        """Build a profile from ``(time, nodes_released)`` events.
+
+        Equal release times are consolidated into one breakpoint; the
+        profile is the cumulative sum, so it starts monotone.
+        """
+        merged: dict = {}
+        base = int(free_now)
+        for time, count in releases:
+            if count < 0:
+                raise SchedulingError(
+                    f"release of {count} nodes at t={time}: counts must be >= 0"
+                )
+            if time <= origin:
+                base += count
+            else:
+                merged[time] = merged.get(time, 0) + count
+        profile = cls(origin, base)
+        running = base
+        for time in sorted(merged):
+            running += merged[time]
+            profile.times.append(float(time))
+            profile.free.append(running)
+        return profile
+
+    def add_release(self, time: float, count: int) -> None:
+        """Add *count* nodes becoming free at *time* (and ever after)."""
+        if count < 0:
+            raise SchedulingError(
+                f"release of {count} nodes at t={time}: counts must be >= 0"
+            )
+        if count == 0:
+            return
+        times, free = self.times, self.free
+        if time <= times[0]:
+            for i in range(len(free)):
+                free[i] += count
+            return
+        idx = self._ensure_point(time)
+        for i in range(idx, len(free)):
+            free[i] += count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def tail_time(self) -> float:
+        """Time of the last breakpoint (profile is constant after it)."""
+        return self.times[-1]
+
+    def free_at(self, time: float) -> int:
+        """Free-node count at *time* (``time >= origin``).  O(log T)."""
+        idx = bisect_right(self.times, time) - 1
+        return self.free[idx] if idx >= 0 else self.free[0]
+
+    def earliest_at_least(self, needed: int, not_before: float) -> Optional[float]:
+        """Earliest time the free count reaches *needed*, ignoring how
+        long it stays there.  Only valid on a monotone (release-only)
+        profile, where reaching the level means holding it forever —
+        this is the EASY shadow-time query.  O(log T): a binary search
+        over the cumulative release curve (its running minima *are* the
+        curve itself while it is non-decreasing).
+
+        Returns ``not_before`` when the level already holds on the
+        first segment, the breakpoint time otherwise (which may be in
+        the past when stale release estimates are present — callers
+        compare against it, they do not schedule at it), and ``None``
+        when the level is never reached.
+        """
+        if not self._monotone:
+            raise SchedulingError(
+                "earliest_at_least needs a monotone profile; use earliest_fit"
+            )
+        free = self.free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid] >= needed:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo == len(free):
+            return None
+        return not_before if lo == 0 else self.times[lo]
+
+    def earliest_fit(self, needed: int, duration: float) -> Optional[float]:
+        """Earliest breakpoint from which *needed* nodes stay free for
+        *duration*.  Returns ``None`` when no breakpoint qualifies
+        (the caller may still check the constant tail segment).
+
+        Monotone profiles short-circuit to :meth:`earliest_at_least`.
+        The general (reserved) profile is scanned once with a
+        monotone-deque sliding-window minimum — O(T) amortized for the
+        whole search instead of O(T²) point rescans per candidate.
+        """
+        if self._monotone:
+            start = self.earliest_at_least(needed, self.times[0])
+            return start
+        times, free = self.times, self.free
+        n = len(times)
+        window: deque = deque()  # indices into free, values increasing
+        j = 0
+        for i in range(n):
+            end = times[i] + duration
+            while j < n and times[j] < end:
+                while window and free[window[-1]] >= free[j]:
+                    window.pop()
+                window.append(j)
+                j += 1
+            while window and window[0] < i:
+                window.popleft()
+            # Degenerate zero-length window (duration <= 0): the seed
+            # semantics still require the level to hold at the start.
+            low = free[window[0]] if window else free[i]
+            if low >= needed:
+                return times[i]
+        return None
+
+    # ------------------------------------------------------------------
+    # Reservations
+    # ------------------------------------------------------------------
+    def reserve(self, start: float, end: float, count: int) -> None:
+        """Subtract *count* nodes over ``[start, end)`` — one placed
+        reservation (or an immediate start, with ``start == origin``).
+        Touches only the segments inside the window.
+        """
+        if count <= 0:
+            raise SchedulingError(
+                f"reservation of {count} nodes: counts must be > 0"
+            )
+        if end <= start:
+            return  # empty window: nothing to subtract
+        if start < self.times[0]:
+            raise SchedulingError(
+                f"reservation at t={start} before profile origin {self.times[0]}"
+            )
+        lo = self._ensure_point(start)
+        hi = self._ensure_point(end)
+        free = self.free
+        for i in range(lo, hi):
+            free[i] -= count
+        self._monotone = False
+
+    # ------------------------------------------------------------------
+    def _ensure_point(self, time: float) -> int:
+        """Index of the breakpoint at *time*, inserting it (with the
+        enclosing segment's count) when absent."""
+        times = self.times
+        idx = bisect_left(times, time)
+        if idx < len(times) and times[idx] == time:
+            return idx
+        times.insert(idx, time)
+        self.free.insert(idx, self.free[idx - 1])
+        return idx
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        steps = ", ".join(
+            f"{t:g}:{f}" for t, f in zip(self.times[:8], self.free[:8])
+        )
+        more = "..." if len(self.times) > 8 else ""
+        return f"FreeNodeProfile({steps}{more})"

@@ -1,0 +1,211 @@
+"""Reference (seed) backfilling implementations — the executable spec.
+
+These are the original delta-dict implementations of EASY and
+conservative backfilling, kept verbatim as the behavioural contract
+for the :class:`~repro.core.profile.FreeNodeProfile`-based rewrites in
+:mod:`repro.core.backfill`.  They are asymptotically naive —
+conservative re-sorts and re-scans the whole profile per candidate
+start, O(P·T³) at queue depth P — which is exactly why production code
+no longer uses them.  They exist for two purposes:
+
+* the property-based equivalence tests assert, decision for decision,
+  that the fast schedulers return what these return;
+* the deep-queue benchmarks measure the speedup against them.
+
+Do not "fix" or optimize this module: any intended behaviour change
+belongs in :mod:`repro.core.backfill`, with this spec updated in the
+same commit and the equivalence tests re-run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .scheduler import Scheduler, SchedulingContext, StartDecision
+
+
+def _release_profile(ctx: SchedulingContext) -> List[Tuple[float, int]]:
+    """Sorted (time, nodes_released) list from running jobs' estimates."""
+    events: dict = {}
+    for info in ctx.running:
+        events[info.expected_end] = events.get(info.expected_end, 0) + len(info.node_ids)
+    return sorted(events.items())
+
+
+def _earliest_fit(
+    free_now: int,
+    releases: List[Tuple[float, int]],
+    needed: int,
+    now: float,
+) -> float:
+    """Earliest time *needed* nodes are simultaneously free.
+
+    Walks the (monotone non-decreasing) cumulative release profile.
+    Returns ``now`` when the job fits immediately; +inf when it never
+    fits (needed exceeds capacity horizon — caller guards that).
+    """
+    if needed <= free_now:
+        return now
+    free = free_now
+    for time, released in releases:
+        free += released
+        if free >= needed:
+            return time
+    return float("inf")
+
+
+class ReferenceEasyBackfillScheduler(Scheduler):
+    """Seed EASY backfilling: one reservation for the head job."""
+
+    name = "easy-reference"
+
+    def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
+        decisions: List[StartDecision] = []
+        pool = list(ctx.available)
+        pending = list(ctx.pending)
+
+        # Phase 1: start jobs in order while they fit and are admitted.
+        blocked_idx = None
+        for i, job in enumerate(pending):
+            if job.nodes <= len(pool) and ctx.admit(job):
+                nodes = self._allocate(ctx, job, pool)
+                ids = {n.node_id for n in nodes}
+                pool = [n for n in pool if n.node_id not in ids]
+                decisions.append(StartDecision(job, nodes))
+            else:
+                blocked_idx = i
+                break
+        if blocked_idx is None:
+            return decisions
+
+        head = pending[blocked_idx]
+
+        # Phase 2: compute the head's shadow time and spare nodes.
+        releases = _release_profile(ctx)
+        # Nodes already granted this round count as busy until their
+        # walltime; fold them into the release profile.
+        extra: dict = {}
+        for d in decisions:
+            end = ctx.now + d.job.walltime_request
+            extra[end] = extra.get(end, 0) + len(d.nodes)
+        merged = sorted(
+            (dict(releases) | {}).items()
+        )  # copy of releases as list
+        for end, cnt in extra.items():
+            merged.append((end, cnt))
+        merged.sort()
+
+        shadow = _earliest_fit(len(pool), merged, head.nodes, ctx.now)
+        if shadow == float("inf"):
+            # Head can never fit (larger than capacity horizon or only
+            # blocked by admission) — backfill without a shadow guard is
+            # unsafe for the former; guard with capacity check:
+            if head.nodes > ctx.usable_node_count:
+                shadow = float("inf")  # truly never; others may proceed
+            else:
+                # Blocked by admission (e.g. power): be conservative,
+                # allow only jobs that fit in currently spare nodes.
+                shadow = ctx.now
+
+        # Spare nodes at shadow time: free nodes at shadow minus head's.
+        free_at_shadow = len(pool)
+        for time, released in merged:
+            if time <= shadow:
+                free_at_shadow += released
+        spare = max(0, free_at_shadow - head.nodes)
+
+        # Phase 3: backfill later jobs.
+        for job in pending[blocked_idx + 1 :]:
+            if job.nodes > len(pool) or not ctx.admit(job):
+                continue
+            ends_before_shadow = ctx.now + job.walltime_request <= shadow
+            fits_spare = job.nodes <= spare
+            if ends_before_shadow or fits_spare:
+                nodes = self._allocate(ctx, job, pool)
+                ids = {n.node_id for n in nodes}
+                pool = [n for n in pool if n.node_id not in ids]
+                if not ends_before_shadow:
+                    spare -= job.nodes
+                decisions.append(StartDecision(job, nodes))
+        return decisions
+
+
+class ReferenceConservativeBackfillScheduler(Scheduler):
+    """Seed conservative backfilling: delta-dict profile, full rescans."""
+
+    name = "conservative-reference"
+
+    def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
+        decisions: List[StartDecision] = []
+        pool = list(ctx.available)
+
+        # Free-node profile as step function: list of (time, delta).
+        deltas: dict = {}
+        for info in ctx.running:
+            deltas[info.expected_end] = deltas.get(info.expected_end, 0) + len(info.node_ids)
+
+        def profile_points() -> List[float]:
+            return sorted(set([ctx.now] + list(deltas.keys())))
+
+        def free_at(t: float, free_now: int) -> int:
+            free = free_now
+            for time, delta in deltas.items():
+                if time <= t:
+                    free += delta
+            return free
+
+        free_now = len(pool)
+        capacity = ctx.usable_node_count
+
+        for job in ctx.pending:
+            if job.nodes > capacity:
+                continue  # can never run; do not reserve
+            admitted = ctx.admit(job)
+            # Earliest start: first profile point where the job fits for
+            # its whole duration.
+            start = None
+            for candidate in profile_points():
+                if candidate < ctx.now:
+                    continue
+                # Fits at candidate and throughout [candidate, end)?
+                fits = True
+                end = candidate + job.walltime_request
+                for point in profile_points():
+                    if candidate <= point < end:
+                        if free_at(point, free_now) < job.nodes:
+                            fits = False
+                            break
+                if fits and free_at(candidate, free_now) >= job.nodes:
+                    start = candidate
+                    break
+            if start is None:
+                # No profile point fits the job (e.g. part of the
+                # machine is booting, so free nodes never reach its
+                # size).  The profile is constant after its last point,
+                # so search forward from there: if the job fits at the
+                # tail it can be soundly reserved, otherwise no sound
+                # reservation exists — leave the job unreserved (it is
+                # retried on later passes as nodes come up) instead of
+                # forcing one that drives the free-node profile
+                # negative and delays every reservation after it.
+                tail = max(profile_points())
+                if free_at(tail, free_now) >= job.nodes:
+                    start = tail
+                else:
+                    continue
+
+            if start <= ctx.now and admitted and job.nodes <= len(pool):
+                nodes = self._allocate(ctx, job, pool)
+                ids = {n.node_id for n in nodes}
+                pool = [n for n in pool if n.node_id not in ids]
+                free_now -= job.nodes
+                end = ctx.now + job.walltime_request
+                deltas[end] = deltas.get(end, 0) + job.nodes
+                decisions.append(StartDecision(job, nodes))
+            else:
+                # Reserve: subtract the job's nodes over [start, end).
+                start = max(start, ctx.now)
+                end = start + job.walltime_request
+                deltas[start] = deltas.get(start, 0) - job.nodes
+                deltas[end] = deltas.get(end, 0) + job.nodes
+        return decisions

@@ -13,12 +13,41 @@ deterministic and unit-testable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from ..cluster.machine import Machine
 from ..cluster.node import Node
 from ..workload.job import Job
 from .allocator import Allocator, FirstFitAllocator
+
+
+class NodePool:
+    """Insertion-ordered pool of free nodes with O(k) removal.
+
+    Schedulers repeatedly grant a few nodes out of a large pool; the
+    seed implementations rebuilt the whole pool list per started job
+    (``[n for n in pool if n.node_id not in ids]`` — O(N) each).  A
+    dict keyed by ``node_id`` keeps the same iteration order (Python
+    dicts preserve insertion order across deletions) while removing a
+    granted set in O(k).
+    """
+
+    __slots__ = ("_nodes",)
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._nodes = {n.node_id: n for n in nodes}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def remove_ids(self, node_ids: Iterable[int]) -> None:
+        """Drop the granted nodes from the pool."""
+        nodes = self._nodes
+        for node_id in node_ids:
+            del nodes[node_id]
 
 
 @dataclass(frozen=True)
@@ -104,7 +133,7 @@ class Scheduler:
 
     # ------------------------------------------------------------------
     def _allocate(
-        self, ctx: SchedulingContext, job: Job, pool: Sequence[Node]
+        self, ctx: SchedulingContext, job: Job, pool: Iterable[Node]
     ) -> Tuple[Node, ...]:
         """Pick nodes for *job* from *pool* via the allocator."""
         chosen = self.allocator.select(ctx.machine, list(pool), job.nodes)
@@ -123,12 +152,11 @@ class FcfsScheduler(Scheduler):
 
     def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
         decisions: List[StartDecision] = []
-        pool = list(ctx.available)
+        pool = NodePool(ctx.available)
         for job in ctx.pending:
             if job.nodes > len(pool) or not ctx.admit(job):
                 break
             nodes = self._allocate(ctx, job, pool)
-            chosen_ids = {n.node_id for n in nodes}
-            pool = [n for n in pool if n.node_id not in chosen_ids]
+            pool.remove_ids(n.node_id for n in nodes)
             decisions.append(StartDecision(job, nodes))
         return decisions

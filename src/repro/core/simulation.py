@@ -180,13 +180,20 @@ class ClusterSimulation:
         self._started_count = 0
         self._terminal_count = 0
         self._prepared = False
-        # machine_power() cache: admission checks call it once per
-        # pending job; the value only changes when node state, caps or
-        # frequencies change (tracked by the version counter) or time
-        # advances (tracked by the event counter).
-        self._power_version = 0
-        self._power_cache_key: Tuple[float, int, int] = (-1.0, -1, -1)
-        self._power_cache_value = 0.0
+        # Incremental machine power accounting.  A node's draw depends
+        # only on its state/cap/frequency/variability and the (static)
+        # intensity of the job bound to it — never on time directly —
+        # so a running watts sum updated by delta on exactly those
+        # mutations replaces re-summing all N nodes per query.  Nodes
+        # report state/cap/frequency changes through their
+        # ``power_listener`` hook; job (un)binding is marked where
+        # ``_node_exec`` changes.
+        self._node_watts: Dict[int, float] = {}
+        self._power_total = 0.0
+        self._power_dirty: set = set()
+        self._power_all_dirty = True
+        for node in machine.nodes:
+            node.power_listener = self._power_dirty.add
 
         self.meter = PowerMeter(
             self.sim,
@@ -240,14 +247,46 @@ class ClusterSimulation:
         return self.power_model.operating_point(node)
 
     def machine_power(self) -> float:
-        """Instantaneous IT power of the machine, watts (cached)."""
-        key = (self.sim.now, self.sim.events_fired, self._power_version)
-        if key != self._power_cache_key:
-            self._power_cache_value = sum(
-                self._node_operating_point(n).watts for n in self.machine.nodes
-            )
-            self._power_cache_key = key
-        return self._power_cache_value
+        """Instantaneous IT power of the machine, watts.
+
+        O(1) when nothing changed since the last call; O(d log d) for d
+        dirty nodes otherwise.  When at least half the machine is dirty
+        the whole sum is rebuilt instead — that is no slower than the
+        delta path and resets any accumulated floating-point drift.
+        Dirty nodes are folded in sorted id order so the result is
+        independent of mutation order.
+        """
+        dirty = self._power_dirty
+        if self._power_all_dirty or 2 * len(dirty) >= len(self.machine.nodes):
+            watts = self._node_watts
+            total = 0.0
+            for node in self.machine.nodes:
+                w = self._node_operating_point(node).watts
+                watts[node.node_id] = w
+                total += w
+            self._power_total = total
+            self._power_all_dirty = False
+            dirty.clear()
+        elif dirty:
+            watts = self._node_watts
+            total = self._power_total
+            node_of = self.machine.node
+            for nid in sorted(dirty):
+                w = self._node_operating_point(node_of(nid)).watts
+                total += w - watts[nid]
+                watts[nid] = w
+            self._power_total = total
+            dirty.clear()
+        return self._power_total
+
+    def invalidate_power_cache(self) -> None:
+        """Force a full re-sum on the next :meth:`machine_power` call.
+
+        Needed only after out-of-band mutations that bypass the node
+        hooks (e.g. re-drawing manufacturing variability on a machine
+        already attached to a simulation).
+        """
+        self._power_all_dirty = True
 
     def job_power(self, job_id: str) -> float:
         """Instantaneous power of one running job, watts."""
@@ -324,8 +363,11 @@ class ClusterSimulation:
         )
 
     def _on_speed_changed(self, node_ids: List[int]) -> None:
-        """RM changed caps/frequency: re-evaluate affected executions."""
-        self._power_version += 1
+        """RM changed caps/frequency: re-evaluate affected executions.
+
+        (The nodes marked themselves power-dirty via their listener
+        hook when the cap/frequency was written.)
+        """
         seen = set()
         for nid in node_ids:
             execution = self._node_exec.get(nid)
@@ -356,12 +398,18 @@ class ClusterSimulation:
         self.queue.remove(job.job_id)
         node_list = list(nodes)
         job.start(now, [n.node_id for n in node_list])
+
+        # Policies see the machine *before* this job occupies it: a
+        # budget policy's configure_start reads machine_power() to size
+        # the remaining headroom, which must not already include this
+        # job's nodes at busy draw (they carry no job binding yet, so
+        # they would be billed at full utilization).
+        for policy in self.policies:
+            policy.configure_start(job, node_list, now)
+
         for node in node_list:
             node.running_job = job.job_id
             node.transition(NodeState.BUSY, now)
-
-        for policy in self.policies:
-            policy.configure_start(job, node_list, now)
 
         execution = JobExecution(job, node_list)
         execution.last_update = now
@@ -377,6 +425,8 @@ class ClusterSimulation:
         self._executions[job.job_id] = execution
         for node in node_list:
             self._node_exec[node.node_id] = execution
+            # Binding changes the node's billed draw (job intensity).
+            self._power_dirty.add(node.node_id)
 
         self._schedule_end(execution)
         execution.timeout_handle = self.sim.at(
@@ -387,7 +437,6 @@ class ClusterSimulation:
             name=f"timeout:{job.job_id}",
         )
         self._started_count += 1
-        self._power_version += 1
         self.trace.emit(now, "job.start", job=job.job_id, nodes=job.nodes,
                         power=power, speed=speed)
         for policy in self.policies:
@@ -403,8 +452,8 @@ class ClusterSimulation:
             if node.state is NodeState.BUSY:
                 node.release(now)
             self._node_exec.pop(node.node_id, None)
+            self._power_dirty.add(node.node_id)
         self._executions.pop(execution.job.job_id, None)
-        self._power_version += 1
 
     def _finish(self, job_id: str, outcome: str, reason: str = "") -> None:
         execution = self._executions.get(job_id)

@@ -11,10 +11,11 @@ time series, and integrates energy with the trapezoidal rule.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from ..buffers import sample_buffer, series_view
 from ..compat import trapezoid
 from ..simulator.engine import Simulator
 from ..simulator.events import EventPriority
@@ -53,8 +54,11 @@ class PowerMeter:
         self.interval = check_positive("interval", interval)
         self.name = name
         self.trace = trace
-        self._times: List[float] = []
-        self._watts: List[float] = []
+        # C-double buffers: one sample is appended per interval for the
+        # whole simulation, so storage compactness matters (8 bytes vs
+        # a boxed float each) and appends stay allocation-light.
+        self._times = sample_buffer()
+        self._watts = sample_buffer()
         self._energy_joules = 0.0
         self._handle = None
 
@@ -105,7 +109,7 @@ class PowerMeter:
 
     def series(self) -> Tuple[np.ndarray, np.ndarray]:
         """The sampled (times, watts) series as numpy arrays."""
-        return np.asarray(self._times), np.asarray(self._watts)
+        return series_view(self._times), series_view(self._watts)
 
     def peak_watts(self) -> float:
         """Maximum sampled power (0 with no samples)."""

@@ -23,10 +23,11 @@ from .events import Event, EventPriority
 class EventHandle:
     """Opaque, cancellable reference to a scheduled event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, sim: "Optional[Simulator]" = None) -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -39,8 +40,23 @@ class EventHandle:
         return not self._event.cancelled
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        """Prevent the event from firing.  Idempotent.
+
+        A first effective cancel turns the heap entry into a tombstone:
+        the owning simulator's live count drops and its tombstone count
+        grows (possibly triggering heap compaction).  Cancelling an
+        already-fired or already-cancelled event changes no counters.
+        """
+        event = self._event
+        if event.cancelled or event.done:
+            event.cancelled = True
+            return
+        event.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
+            sim._tombstones += 1
+            sim._maybe_compact()
 
 
 class Simulator:
@@ -54,12 +70,24 @@ class Simulator:
         capping, diurnal load) pick an epoch offset instead.
     """
 
+    #: Tombstone compaction threshold: compact once more than half the
+    #: heap is cancelled events (and the absolute count is non-trivial).
+    _COMPACT_MIN_TOMBSTONES = 16
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
         self._events_fired = 0
+        # Live (scheduled, not yet fired or cancelled) and tombstoned
+        # (cancelled but still in the heap) event counts.  `pending`
+        # used to scan the whole heap per call — O(H) with H inflated
+        # by tombstones; cap-heavy runs cancel and reschedule a
+        # completion event per speed change, so both the scan and the
+        # heap itself grew without bound.
+        self._live = 0
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -76,12 +104,34 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of live events awaiting execution.
+        """Number of live events awaiting execution.  O(1).
 
         Cancelled events (tombstones) still sitting in the heap are
         not counted — they will be skipped, never fired.
         """
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Heap entries including tombstones (observability for the
+        compaction invariant: bounded by ~2x the live count)."""
+        return len(self._heap)
+
+    def _maybe_compact(self) -> None:
+        """Drop tombstones once they outnumber live heap entries.
+
+        Rebuilding via ``heapify`` is O(H) and safe for determinism:
+        events have a strict total order (time, priority, seq), so the
+        pop sequence of a heap depends only on its multiset of events,
+        not on their internal arrangement.
+        """
+        if (
+            self._tombstones > self._COMPACT_MIN_TOMBSTONES
+            and 2 * self._tombstones > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -103,7 +153,8 @@ class Simulator:
         event = Event(float(time), int(priority), self._seq, action, args, name)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def after(
         self,
@@ -156,8 +207,8 @@ class Simulator:
             # Nothing to do; return an already-cancelled handle.
             dummy = Event(self._now, int(priority), self._seq, lambda: None)
             self._seq += 1
-            dummy.cancelled = True
-            return EventHandle(dummy)
+            dummy.cancelled = True  # never entered the heap: no counters
+            return EventHandle(dummy, self)
         holder["handle"] = self.at(first, tick, priority=priority, name=name or "periodic")
 
         class _ChainHandle(EventHandle):
@@ -186,7 +237,10 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
+            event.done = True
+            self._live -= 1
             self._now = event.time
             self._events_fired += 1
             event.fire()
@@ -216,10 +270,13 @@ class Simulator:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    self._tombstones -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                event.done = True
+                self._live -= 1
                 self._now = event.time
                 self._events_fired += 1
                 event.fire()

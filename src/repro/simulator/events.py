@@ -54,6 +54,10 @@ class Event:
     args: tuple = field(compare=False, default=())
     name: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Set by the engine once the event has been popped for execution.
+    #: Lets a late cancel() (e.g. from within the event's own action)
+    #: be a no-op for the engine's live/tombstone bookkeeping.
+    done: bool = field(compare=False, default=False)
 
     def fire(self) -> None:
         """Invoke the callback unless the event was cancelled."""

@@ -9,11 +9,13 @@ whatever a policy or analysis wants to watch.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..buffers import sample_buffer, series_view
 from ..errors import ConfigurationError
 from ..simulator.engine import Simulator
 from ..simulator.events import EventPriority
@@ -27,12 +29,14 @@ class Channel:
     name: str
     source: Callable[[], float]
     unit: str = ""
-    times: List[float] = field(default_factory=list)
-    values: List[float] = field(default_factory=list)
+    # C-double buffers (see repro.buffers): compact per-sample storage
+    # with the same append/len/index surface as the old lists.
+    times: array = field(default_factory=sample_buffer)
+    values: array = field(default_factory=sample_buffer)
 
     def series(self) -> Tuple[np.ndarray, np.ndarray]:
         """(times, values) as numpy arrays."""
-        return np.asarray(self.times), np.asarray(self.values)
+        return series_view(self.times), series_view(self.values)
 
     def latest(self) -> Optional[float]:
         """Most recent value, or None before the first sample."""

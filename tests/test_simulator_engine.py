@@ -177,3 +177,97 @@ class TestPeriodic:
         dead.cancel()
         assert live.active
         assert sim.pending == 1
+
+
+class TestHeapHygiene:
+    """Tombstone counters and heap compaction invariants."""
+
+    def test_pending_is_counter_not_scan(self, sim):
+        handles = [sim.at(float(i + 1), lambda: None) for i in range(50)]
+        assert sim.pending == 50
+        for h in handles[:20]:
+            h.cancel()
+        assert sim.pending == 30
+
+    def test_compaction_drops_tombstones(self, sim):
+        handles = [sim.at(float(i + 1), lambda: None) for i in range(100)]
+        for h in handles[:60]:
+            h.cancel()
+        # Compaction ran (at the 51st cancel): the heap is no longer
+        # the full 100 entries, and the standing invariant holds —
+        # tombstones never exceed the trigger threshold AND half the
+        # heap at rest.
+        assert sim.pending == 40
+        assert sim.heap_size < 60
+        tombstones = sim.heap_size - sim.pending
+        assert (
+            tombstones <= sim._COMPACT_MIN_TOMBSTONES
+            or 2 * tombstones <= sim.heap_size
+        )
+
+    def test_compaction_preserves_firing_order(self, sim):
+        fired = []
+        handles = []
+        for i in range(100):
+            t = float(100 - i)  # scheduled in reverse time order
+            handles.append(sim.at(t, fired.append, t))
+        for h in handles[::2]:
+            h.cancel()
+        survivors = sorted(h.time for h in handles[1::2])
+        sim.run()
+        assert fired == survivors
+        assert sim.events_fired == len(survivors)
+
+    def test_events_fired_unaffected_by_compaction(self, sim):
+        for i in range(10):
+            sim.at(float(i + 1), lambda: None)
+        doomed = [sim.at(1000.0 + i, lambda: None) for i in range(40)]
+        for h in doomed:
+            h.cancel()
+        sim.run()
+        assert sim.events_fired == 10
+
+    def test_cancel_after_fire_keeps_counters_sane(self, sim):
+        h1 = sim.at(1.0, lambda: None)
+        h2 = sim.at(2.0, lambda: None)
+        sim.step()
+        h1.cancel()  # already fired: must not decrement live again
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_fired == 2
+
+    def test_self_cancel_during_fire_is_noop(self, sim):
+        holder = {}
+
+        def action():
+            holder["h"].cancel()
+
+        holder["h"] = sim.at(1.0, action)
+        sim.at(2.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_fired == 2
+
+    def test_cancel_reschedule_churn_bounds_heap(self, sim):
+        # The cap-heavy pattern: every speed change cancels and
+        # reschedules a completion event.  The heap must stay O(live),
+        # not O(total cancellations).
+        handle = sim.at(1e9, lambda: None)
+        for i in range(10_000):
+            handle.cancel()
+            handle = sim.at(1e9 + i, lambda: None)
+        assert sim.pending == 1
+        assert sim.heap_size <= 2 * sim._COMPACT_MIN_TOMBSTONES + 2
+
+    def test_periodic_chain_cancel_updates_counters(self, sim):
+        ticks = []
+        handle = sim.every(10.0, lambda: ticks.append(sim.now))
+
+        def stop():
+            handle.cancel()
+
+        sim.at(35.0, stop, priority=0)
+        sim.run(until=100.0)
+        assert ticks == [10.0, 20.0, 30.0]
+        assert sim.pending == 0
