@@ -1,0 +1,217 @@
+"""Experiment ``exp-power-kernel``: machine-power accounting at scale.
+
+The tentpole claim of the SoA power rewrite: a whole-machine power
+re-sum — what every budget/capping control loop pays per tick — runs
+as one numpy kernel over the mirror arrays instead of N Python
+``operating_point`` calls, and is ≥10× faster at 16k nodes.  The two
+backends are first asserted to agree on the benchmarked machine
+itself (on top of the randomized equivalence sweeps in
+``tests/test_power_vector.py``).
+
+Also benched here:
+
+* the *wide-job reconfigure* fold — re-capping a 4096-node slice of a
+  16k machine dirties those rows only; the fold is one kernel over the
+  sorted dirty rows vs a per-node Python loop;
+* ``build_context()`` at 64k nodes — the available list and usable
+  count come from masks maintained on node state transitions, replacing
+  the seed's two O(N) attribute scans per scheduler pass.
+
+Timings land in ``benchmarks/out/BENCH_power.json`` (machine-readable,
+uploaded by the CI benchmarks job) plus the usual rendered .txt
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.cluster import NodeState
+from repro.core import ClusterSimulation, FcfsScheduler
+
+from .conftest import OUT_DIR, bench_machine, write_artifact
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    """Best-of-N wall time of one call (first call warms caches)."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return max(best, 1e-9)
+
+
+def _update_bench_json(section: str, payload: dict) -> None:
+    """Merge one section into benchmarks/out/BENCH_power.json."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_power.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def _sim(nodes: int, backend: str) -> ClusterSimulation:
+    return ClusterSimulation(
+        bench_machine(nodes), FcfsScheduler(), [], power_backend=backend
+    )
+
+
+def test_bench_power_full_resum(benchmark, artifact_dir):
+    """Whole-machine power re-sum, scalar vs vector, 16k and 64k."""
+    rows = {}
+    for n in (16_384, 65_536):
+        scalar = _sim(n, "scalar")
+        vector = _sim(n, "vector")
+
+        def scalar_resum():
+            scalar._power_all_dirty = True
+            return scalar.machine_power()
+
+        def vector_resum():
+            vector.power_vector.force_resum()
+            return vector.machine_power()
+
+        # The backends must agree on the benchmarked machine itself.
+        assert abs(scalar_resum() - vector_resum()) <= 1e-6 * n
+
+        t_scalar = _best_of(scalar_resum)
+        t_vector = _best_of(vector_resum)
+        rows[n] = (t_scalar, t_vector, t_scalar / t_vector)
+
+    # Machine-readable timing for the 16k vector kernel.
+    vec16 = _sim(16_384, "vector")
+
+    def bench_target():
+        vec16.power_vector.force_resum()
+        return vec16.machine_power()
+
+    benchmark.pedantic(bench_target, rounds=5, iterations=1)
+
+    lines = [
+        "EXP-POWER-KERNEL — full machine power re-sum\n"
+        "(idle machine; one machine_power() with every row stale)\n"
+    ]
+    for n, (ts, tv, speedup) in rows.items():
+        lines.append(
+            f"{n:6d} nodes: scalar {ts * 1e3:8.2f} ms"
+            f"   vector {tv * 1e3:7.3f} ms   speedup {speedup:7.1f}x"
+        )
+    write_artifact("exp-power-kernel", "\n".join(lines) + "\n")
+    _update_bench_json(
+        "full_resum",
+        {
+            str(n): {
+                "scalar_seconds": ts,
+                "vector_seconds": tv,
+                "speedup": speedup,
+            }
+            for n, (ts, tv, speedup) in rows.items()
+        },
+    )
+
+    # The tentpole acceptance bar: >=10x at 16k nodes.
+    speedup_16k = rows[16_384][2]
+    assert speedup_16k >= 10.0, f"only {speedup_16k:.1f}x at 16k nodes"
+
+
+def test_bench_power_reconfigure(artifact_dir):
+    """Wide-job reconfigure: re-cap a 4096-node slice of a 16k machine,
+    then fold the dirty rows into the cached total."""
+    n, width = 16_384, 4_096
+    results = {}
+    for backend in ("scalar", "vector"):
+        csim = _sim(n, backend)
+        csim.machine_power()  # settle the cache
+        slice_nodes = csim.machine.nodes[:width]
+        caps = iter([200.0, 300.0] * 50)
+
+        def recap_and_fold():
+            csim.rm.set_power_cap(slice_nodes, next(caps))
+            return csim.machine_power()
+
+        # Time the fold alone: dirty the rows outside the clock.
+        def fold_only():
+            return csim.machine_power()
+
+        def dirty_then_time():
+            csim.rm.set_power_cap(slice_nodes, next(caps))
+            t0 = time.perf_counter()
+            fold_only()
+            return time.perf_counter() - t0
+
+        recap_and_fold()  # warm
+        results[backend] = min(dirty_then_time() for _ in range(3))
+
+    speedup = results["scalar"] / max(results["vector"], 1e-9)
+    write_artifact(
+        "exp-power-reconfigure",
+        "EXP-POWER-RECONFIGURE — dirty-row fold after a wide re-cap\n"
+        f"({n} nodes, {width}-node slice re-capped; machine_power() only)\n\n"
+        f"scalar fold {results['scalar'] * 1e3:8.2f} ms\n"
+        f"vector fold {results['vector'] * 1e3:8.3f} ms\n"
+        f"speedup {speedup:10.1f}x\n",
+    )
+    _update_bench_json(
+        "reconfigure_fold",
+        {
+            "nodes": n,
+            "slice": width,
+            "scalar_seconds": results["scalar"],
+            "vector_seconds": results["vector"],
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 2.0, f"only {speedup:.1f}x on the dirty fold"
+
+
+def test_bench_context_build(artifact_dir):
+    """build_context() on a congested 64k machine vs the seed's scans."""
+    n = 65_536
+    csim = _sim(n, "vector")
+    machine = csim.machine
+    # Congest the machine: all but one cabinet-ish worth of nodes busy.
+    for node in machine.nodes[: n - 512]:
+        node.assign("wide", 0.0)
+
+    def reference_scan():
+        # The seed's two O(N) passes per scheduler invocation.
+        available = [node for node in machine.nodes if node.is_available]
+        usable = sum(
+            1 for node in machine.nodes if node.state is not NodeState.DOWN
+        )
+        return available, usable
+
+    ctx = csim.build_context()
+    ref_available, ref_usable = reference_scan()
+    assert [a.node_id for a in ctx.available] == [
+        r.node_id for r in ref_available
+    ]
+    assert ctx.usable_node_count == ref_usable
+
+    t_incremental = _best_of(csim.build_context)
+    t_reference = _best_of(reference_scan)
+    speedup = t_reference / t_incremental
+
+    write_artifact(
+        "exp-context-build",
+        "EXP-CONTEXT-BUILD — scheduler context snapshot cost\n"
+        f"({n} nodes, 512 idle; one build_context() call)\n\n"
+        f"seed O(N) scans {t_reference * 1e3:8.2f} ms\n"
+        f"incremental     {t_incremental * 1e3:8.3f} ms\n"
+        f"speedup {speedup:15.1f}x\n",
+    )
+    _update_bench_json(
+        "context_build",
+        {
+            "nodes": n,
+            "idle": 512,
+            "reference_seconds": t_reference,
+            "incremental_seconds": t_incremental,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 10.0, f"only {speedup:.1f}x over the seed scans"

@@ -23,12 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..cluster.machine import Machine
 from ..cluster.node import Node, NodeState
 from ..cluster.site import Site
-from ..errors import SchedulingError
+from ..errors import ConfigurationError, SchedulingError
 from ..power.meter import PowerMeter
 from ..power.model import NodePowerModel
+from ..power.vector import VectorPowerMirror
 from ..simulator.engine import EventHandle, Simulator
 from ..simulator.events import EventPriority
 from ..simulator.rng import RngStreams
@@ -48,6 +51,7 @@ class JobExecution:
     __slots__ = (
         "job",
         "nodes",
+        "rows",
         "work_done",
         "speed",
         "power_watts",
@@ -61,6 +65,8 @@ class JobExecution:
     def __init__(self, job: Job, nodes: List[Node]) -> None:
         self.job = job
         self.nodes = nodes
+        #: Mirror row indices of ``nodes`` (vector power backend only).
+        self.rows: Optional[np.ndarray] = None
         self.work_done = 0.0
         self.speed = 1.0
         self.power_watts = 0.0
@@ -122,6 +128,11 @@ class ClusterSimulation:
     cap_watts_for_metrics:
         If set, the metrics report includes the fraction of samples
         above this limit.
+    power_backend:
+        ``"vector"`` (default) evaluates machine power through the
+        structure-of-arrays mirror (:mod:`repro.power.vector`);
+        ``"scalar"`` keeps the original per-node loops — the reference
+        implementation the equivalence tests pin the mirror against.
     """
 
     def __init__(
@@ -142,6 +153,7 @@ class ClusterSimulation:
         sim: Optional[Simulator] = None,
         trace: Optional[TraceRecorder] = None,
         comm_penalty: float = 0.0,
+        power_backend: str = "vector",
     ) -> None:
         self.machine = machine
         self.scheduler = scheduler
@@ -187,13 +199,44 @@ class ClusterSimulation:
         # mutations replaces re-summing all N nodes per query.  Nodes
         # report state/cap/frequency changes through their
         # ``power_listener`` hook; job (un)binding is marked where
-        # ``_node_exec`` changes.
+        # ``_node_exec`` changes.  The default "vector" backend keeps
+        # the per-node fields mirrored in numpy arrays
+        # (:class:`~repro.power.vector.VectorPowerMirror`) so re-sums
+        # and wide-job re-evaluations are array kernels; the "scalar"
+        # backend is the original per-node loop, kept as the reference
+        # the equivalence tests and benchmarks compare against.
+        if power_backend not in ("vector", "scalar"):
+            raise ConfigurationError(
+                f"power_backend must be 'vector' or 'scalar', got {power_backend!r}"
+            )
         self._node_watts: Dict[int, float] = {}
         self._power_total = 0.0
         self._power_dirty: set = set()
         self._power_all_dirty = True
+        self.power_vector: Optional[VectorPowerMirror] = (
+            VectorPowerMirror(machine, self.power_model)
+            if power_backend == "vector"
+            else None
+        )
+        # Incremental scheduling context: availability and usable-node
+        # masks maintained on node state transitions (the same listener
+        # feed as power accounting) so build_context() never scans all
+        # N nodes.  Row order == machine.nodes order, which preserves
+        # the seed's id-ordered available list.
+        self._node_row: Dict[int, int] = {
+            node.node_id: row for row, node in enumerate(machine.nodes)
+        }
+        self._avail_mask = np.fromiter(
+            (n.is_available for n in machine.nodes), dtype=bool,
+            count=len(machine.nodes),
+        )
+        self._down_mask = np.fromiter(
+            (n.state is NodeState.DOWN for n in machine.nodes), dtype=bool,
+            count=len(machine.nodes),
+        )
+        self._usable_count = len(machine.nodes) - int(self._down_mask.sum())
         for node in machine.nodes:
-            node.power_listener = self._power_dirty.add
+            node.power_listener = self._on_node_event
 
         self.meter = PowerMeter(
             self.sim,
@@ -237,6 +280,22 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
     # Power accounting
     # ------------------------------------------------------------------
+    def _on_node_event(self, node_id: int) -> None:
+        """``Node.power_listener`` target: one node's state, cap or
+        frequency changed.  Updates the scheduling-context masks and
+        routes the change into the active power backend."""
+        row = self._node_row[node_id]
+        state = self.machine.nodes[row].state
+        self._avail_mask[row] = state is NodeState.IDLE
+        is_down = state is NodeState.DOWN
+        if is_down != bool(self._down_mask[row]):
+            self._down_mask[row] = is_down
+            self._usable_count += -1 if is_down else 1
+        if self.power_vector is not None:
+            self.power_vector.touch(node_id)
+        else:
+            self._power_dirty.add(node_id)
+
     def _node_operating_point(self, node: Node):
         execution = self._node_exec.get(node.node_id)
         if execution is not None:
@@ -249,13 +308,16 @@ class ClusterSimulation:
     def machine_power(self) -> float:
         """Instantaneous IT power of the machine, watts.
 
-        O(1) when nothing changed since the last call; O(d log d) for d
-        dirty nodes otherwise.  When at least half the machine is dirty
-        the whole sum is rebuilt instead — that is no slower than the
-        delta path and resets any accumulated floating-point drift.
-        Dirty nodes are folded in sorted id order so the result is
-        independent of mutation order.
+        O(1) when nothing changed since the last call; one vectorized
+        kernel over the dirty rows (vector backend) or an O(d log d)
+        Python fold (scalar backend) otherwise.  When at least half the
+        machine is dirty the whole sum is rebuilt instead — that is no
+        slower than the delta path and resets any accumulated
+        floating-point drift.  Dirty nodes are folded in sorted id
+        order so the result is independent of mutation order.
         """
+        if self.power_vector is not None:
+            return self.power_vector.machine_watts()
         dirty = self._power_dirty
         if self._power_all_dirty or 2 * len(dirty) >= len(self.machine.nodes):
             watts = self._node_watts
@@ -287,6 +349,36 @@ class ClusterSimulation:
         already attached to a simulation).
         """
         self._power_all_dirty = True
+        if self.power_vector is not None:
+            self.power_vector.invalidate()
+        # State fields may have been rewritten out of band too; one
+        # O(N) rebuild keeps the context masks honest (this path is for
+        # rare bulk mutations, never the per-event hot path).
+        nodes = self.machine.nodes
+        self._avail_mask = np.fromiter(
+            (n.is_available for n in nodes), dtype=bool, count=len(nodes)
+        )
+        self._down_mask = np.fromiter(
+            (n.state is NodeState.DOWN for n in nodes), dtype=bool,
+            count=len(nodes),
+        )
+        self._usable_count = len(nodes) - int(self._down_mask.sum())
+
+    def node_watts(self) -> np.ndarray:
+        """Per-node instantaneous draw, ``machine.nodes`` order.
+
+        One array kernel on the vector backend; the scalar backend
+        falls back to the per-node reference loop.  Control loops that
+        need every node's draw (RAPL windows, group caps) should call
+        this once per tick instead of querying node by node.
+        """
+        if self.power_vector is not None:
+            return self.power_vector.node_watts()
+        return np.fromiter(
+            (self._node_operating_point(n).watts for n in self.machine.nodes),
+            dtype=float,
+            count=len(self.machine.nodes),
+        )
 
     def job_power(self, job_id: str) -> float:
         """Instantaneous power of one running job, watts."""
@@ -327,16 +419,24 @@ class ClusterSimulation:
     def _compute_operating(self, execution: JobExecution) -> Tuple[float, float, bool]:
         """(speed, power, violated) of a job across its nodes now."""
         job = execution.job
-        speed = 1.0
-        power = 0.0
-        violated = False
-        for node in execution.nodes:
-            sample = self.power_model.operating_point(
-                node, job.mean_power_intensity, job.mean_sensitivity
-            )
-            speed = min(speed, sample.speed)
-            power += sample.watts
-            violated = violated or sample.cap_violated
+        if self.power_vector is not None and execution.rows is not None:
+            # One kernel over the job's rows; the mirror already holds
+            # the job's intensity/sensitivity from bind().
+            op = self.power_vector.operating_points(execution.rows)
+            speed = min(1.0, float(op.speed.min()))
+            power = float(op.watts.sum())
+            violated = bool(op.cap_violated.any())
+        else:
+            speed = 1.0
+            power = 0.0
+            violated = False
+            for node in execution.nodes:
+                sample = self.power_model.operating_point(
+                    node, job.mean_power_intensity, job.mean_sensitivity
+                )
+                speed = min(speed, sample.speed)
+                power += sample.watts
+                violated = violated or sample.cap_violated
         speed /= execution.placement_penalty
         return max(speed, 1e-9), power, violated
 
@@ -416,6 +516,15 @@ class ClusterSimulation:
         execution.placement_penalty = self._placement_penalty(
             job, [n.node_id for n in node_list]
         )
+        # Binding changes the nodes' billed draw (job intensity); it
+        # must land in the power backend before _compute_operating.
+        if self.power_vector is not None:
+            execution.rows = self.power_vector.rows_for(
+                n.node_id for n in node_list
+            )
+            self.power_vector.bind(
+                execution.rows, job.mean_power_intensity, job.mean_sensitivity
+            )
         speed, power, violated = self._compute_operating(execution)
         execution.speed = speed
         execution.power_watts = power
@@ -425,8 +534,8 @@ class ClusterSimulation:
         self._executions[job.job_id] = execution
         for node in node_list:
             self._node_exec[node.node_id] = execution
-            # Binding changes the node's billed draw (job intensity).
-            self._power_dirty.add(node.node_id)
+            if self.power_vector is None:
+                self._power_dirty.add(node.node_id)
 
         self._schedule_end(execution)
         execution.timeout_handle = self.sim.at(
@@ -452,7 +561,10 @@ class ClusterSimulation:
             if node.state is NodeState.BUSY:
                 node.release(now)
             self._node_exec.pop(node.node_id, None)
-            self._power_dirty.add(node.node_id)
+            if self.power_vector is None:
+                self._power_dirty.add(node.node_id)
+        if self.power_vector is not None and execution.rows is not None:
+            self.power_vector.unbind(execution.rows)
         self._executions.pop(execution.job.job_id, None)
 
     def _finish(self, job_id: str, outcome: str, reason: str = "") -> None:
@@ -538,9 +650,19 @@ class ClusterSimulation:
         )
 
     def build_context(self) -> SchedulingContext:
-        """Snapshot the current state for the scheduler."""
+        """Snapshot the current state for the scheduler.
+
+        The available list and the usable-node count come from masks
+        maintained on node state transitions (see ``_on_node_event``),
+        not from scanning all N nodes: the cost per pass is
+        proportional to the number of available nodes, which is what a
+        congested center-scale machine actually has few of.  The mask
+        is walked in row (== node id) order, so the list is identical
+        to the seed's full scan.
+        """
         now = self.sim.now
-        available = [n for n in self.machine.nodes if n.is_available]
+        nodes = self.machine.nodes
+        available = [nodes[row] for row in np.flatnonzero(self._avail_mask)]
         for policy in self.policies:
             available = policy.filter_nodes(available, now)
 
@@ -551,11 +673,15 @@ class ClusterSimulation:
                 shaped = policy.select_configuration(shaped, now)
             pending.append(shaped)
 
+        # A start_time of exactly 0.0 is a legitimate start (the first
+        # jobs of most workloads), not a missing value — only None
+        # means "not started".
         running = [
             RunningJobInfo(
                 e.job,
                 tuple(n.node_id for n in e.nodes),
-                (e.job.start_time or now) + e.job.walltime_request,
+                (now if e.job.start_time is None else e.job.start_time)
+                + e.job.walltime_request,
             )
             for e in self._executions.values()
         ]
@@ -563,7 +689,7 @@ class ClusterSimulation:
         def admit(job: Job) -> bool:
             return all(p.admit(job, now) for p in self.policies)
 
-        usable = sum(1 for n in self.machine.nodes if n.state is not NodeState.DOWN)
+        usable = self._usable_count
         return SchedulingContext(
             now=now,
             machine=self.machine,

@@ -75,9 +75,12 @@ class RaplEnforcementPolicy(Policy):
         rm = self.simulation.rm
         to_lower: List = []
         to_raise: List = []
-        for node in machine.nodes:
+        # One vectorized kernel gives every node's draw (machine.nodes
+        # order); only the window bookkeeping and the rare step
+        # decisions remain per-node.
+        all_watts = self.simulation.node_watts()
+        for node, watts in zip(machine.nodes, all_watts):
             domain = self.domains[node.node_id]
-            watts = self.simulation._node_operating_point(node).watts
             domain.record(now, watts)
             if not node.is_on:
                 continue

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 from ..core.epa import FunctionalCategory
 from ..errors import PolicyError
 from ..units import check_fraction, check_positive
@@ -69,10 +71,23 @@ class StaticCappingPolicy(Policy):
     def worst_case_power(self) -> float:
         """Guaranteed machine power bound under this partitioning."""
         machine = self.simulation.machine
-        capped = set(self.capped_node_ids)
+        mirror = self.simulation.power_vector
+        if mirror is not None:
+            effective_max = mirror.max_power * mirror.variability
+            capped = np.zeros(len(mirror), dtype=bool)
+            if self.capped_node_ids:
+                capped[mirror.rows_for(self.capped_node_ids)] = True
+            return float(
+                np.where(
+                    capped,
+                    np.minimum(self.cap_watts, effective_max),
+                    effective_max,
+                ).sum()
+            )
+        capped_ids = set(self.capped_node_ids)
         total = 0.0
         for node in machine.nodes:
-            if node.node_id in capped:
+            if node.node_id in capped_ids:
                 total += min(self.cap_watts, node.effective_max_power)
             else:
                 total += node.effective_max_power

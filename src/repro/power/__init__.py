@@ -15,14 +15,17 @@ from .capmc import Capmc
 from .meter import PowerMeter
 from .budget import PowerBudget
 from .pue import FacilityPowerModel
+from .vector import OperatingPoints, VectorPowerMirror
 
 __all__ = [
     "Capmc",
     "FacilityPowerModel",
     "FrequencyLadder",
     "NodePowerModel",
+    "OperatingPoints",
     "PowerBudget",
     "PowerMeter",
     "PowerSample",
     "RaplDomain",
+    "VectorPowerMirror",
 ]

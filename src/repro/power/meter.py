@@ -80,7 +80,15 @@ class PowerMeter:
             self._handle = None
 
     def sample(self) -> float:
-        """Take one sample now; returns the measured watts."""
+        """Take one sample now; returns the measured watts.
+
+        A sample at the timestamp of the previous sample *replaces* it
+        (e.g. ``finalize()`` sampling right after a periodic sample at
+        the same instant), and the trapezoid already integrated up to
+        that timestamp is corrected for the new endpoint value — the
+        series never holds two samples at one time, which would skew
+        the energy integral.
+        """
         watts = float(self.source())
         now = self.sim.now
         if self._times and now > self._times[-1]:
@@ -88,6 +96,9 @@ class PowerMeter:
             dt = now - self._times[-1]
             self._energy_joules += 0.5 * (self._watts[-1] + watts) * dt
         if self._times and now == self._times[-1]:
+            if len(self._times) > 1:
+                dt = self._times[-1] - self._times[-2]
+                self._energy_joules += 0.5 * (watts - self._watts[-1]) * dt
             self._watts[-1] = watts
         else:
             self._times.append(now)

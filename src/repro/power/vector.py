@@ -1,0 +1,320 @@
+"""Structure-of-arrays mirror of the machine for vectorized power math.
+
+:class:`NodePowerModel` is the executable spec: one node in, one
+:class:`~repro.power.model.PowerSample` out.  That shape is perfect for
+reasoning and testing and hopeless for machine-scale control loops —
+Tokyo Tech's windowed capping, RIKEN's emergency kill and every budget
+policy in this reproduction query *whole-machine* power every tick, and
+a per-node Python call that allocates a frozen dataclass caps the
+simulator at a few thousand nodes.
+
+:class:`VectorPowerMirror` keeps the power-relevant node fields
+(state code, idle/max/off power, variability, frequency and DVFS range,
+cap, and the bound job's intensity/sensitivity) as flat numpy arrays,
+one row per node in ``machine.nodes`` order, and evaluates the *same*
+operating-point semantics as the scalar model — boot/shutdown states,
+cap clamping to ``f_min``, cap-violation flags — in a handful of array
+ops.  Equivalence with :meth:`NodePowerModel.operating_point` is pinned
+by the randomized sweeps in ``tests/test_power_vector.py``.
+
+Sync contract
+-------------
+The mirror is *push*-synchronized:
+
+* every mutation that goes through the node state machine or power
+  setters (``transition``/``set_power_cap``/``set_frequency``) fires
+  ``Node.power_listener``, which the owning simulation routes into
+  :meth:`touch` — the row is re-read from the node and marked dirty;
+* job (un)binding does not fire the hook; the simulation calls
+  :meth:`bind`/:meth:`unbind` where it updates its ``_node_exec`` map;
+* anything else (re-drawing variability on a live machine, rewriting
+  ``idle_power`` in place) bypasses both channels and requires an
+  explicit :meth:`invalidate` — surfaced to users as
+  ``ClusterSimulation.invalidate_power_cache()``.
+
+``machine_watts()`` keeps a per-row watts cache plus a running total:
+O(1) when nothing is dirty, one vectorized kernel over the dirty rows
+otherwise, and a full vectorized re-sum once at least half the machine
+is dirty (no slower than the delta path, and it resets accumulated
+floating-point drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.machine import Machine
+from ..cluster.node import NodeState
+from .model import NodePowerModel
+
+__all__ = ["OperatingPoints", "VectorPowerMirror", "STATE_CODES"]
+
+#: NodeState -> small-int code used in the state-code array.
+STATE_CODES: Dict[NodeState, int] = {
+    NodeState.OFF: 0,
+    NodeState.DOWN: 1,
+    NodeState.BOOTING: 2,
+    NodeState.SHUTTING_DOWN: 3,
+    NodeState.IDLE: 4,
+    NodeState.BUSY: 5,
+}
+
+_OFF = STATE_CODES[NodeState.OFF]
+_DOWN = STATE_CODES[NodeState.DOWN]
+_BOOTING = STATE_CODES[NodeState.BOOTING]
+_SHUTTING_DOWN = STATE_CODES[NodeState.SHUTTING_DOWN]
+_IDLE = STATE_CODES[NodeState.IDLE]
+_BUSY = STATE_CODES[NodeState.BUSY]
+
+
+@dataclass(frozen=True)
+class OperatingPoints:
+    """Vectorized :class:`~repro.power.model.PowerSample`: one row per
+    queried node, fields aligned by position."""
+
+    watts: np.ndarray
+    frequency_ratio: np.ndarray
+    speed: np.ndarray
+    cap_violated: np.ndarray
+
+
+class VectorPowerMirror:
+    """SoA mirror of one machine, bound to one :class:`NodePowerModel`.
+
+    Rows are positions in ``machine.nodes``; ``rows_for`` maps node ids
+    to rows for callers that hold ids.
+    """
+
+    def __init__(self, machine: Machine, model: NodePowerModel) -> None:
+        self.machine = machine
+        self.model = model
+        self._nodes = machine.nodes
+        n = len(self._nodes)
+        self._row_of: Dict[int, int] = {
+            node.node_id: row for row, node in enumerate(self._nodes)
+        }
+        self.state_code = np.zeros(n, dtype=np.int8)
+        self.idle_power = np.zeros(n)
+        self.max_power = np.zeros(n)
+        self.off_power = np.zeros(n)
+        self.variability = np.ones(n)
+        self.frequency = np.zeros(n)
+        self.min_frequency = np.zeros(n)
+        self.max_frequency = np.ones(n)
+        #: +inf encodes "no cap" — every comparison against it then
+        #: behaves exactly like the scalar ``cap is None`` branches.
+        self.power_cap = np.full(n, np.inf)
+        self.utilization = np.ones(n)
+        self.sensitivity = np.ones(n)
+
+        self._watts = np.zeros(n)
+        self._total = 0.0
+        self._dirty: set = set()
+        self._all_dirty = True
+        self.refresh_all()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def rows_for(self, node_ids: Iterable[int]) -> np.ndarray:
+        """Row indices for *node_ids* (machine.nodes positions)."""
+        row_of = self._row_of
+        return np.fromiter(
+            (row_of[nid] for nid in node_ids), dtype=np.intp
+        )
+
+    def refresh_row(self, row: int) -> None:
+        """Re-read one node's power-relevant fields into the arrays."""
+        node = self._nodes[row]
+        self.state_code[row] = STATE_CODES[node.state]
+        self.idle_power[row] = node.idle_power
+        self.max_power[row] = node.max_power
+        self.off_power[row] = node.off_power
+        self.variability[row] = node.variability
+        self.frequency[row] = node.frequency
+        self.min_frequency[row] = node.min_frequency
+        self.max_frequency[row] = node.max_frequency
+        cap = node.power_cap
+        self.power_cap[row] = np.inf if cap is None else cap
+
+    def touch(self, node_id: int) -> None:
+        """``Node.power_listener`` entry point: resync + mark dirty."""
+        row = self._row_of[node_id]
+        self.refresh_row(row)
+        self._dirty.add(row)
+
+    def bind(self, rows: np.ndarray, utilization: float, sensitivity: float) -> None:
+        """Record a job binding on *rows* (intensity enters the bill)."""
+        self.utilization[rows] = min(1.0, max(0.0, float(utilization)))
+        self.sensitivity[rows] = min(1.0, max(0.0, float(sensitivity)))
+        self._dirty.update(rows.tolist())
+
+    def unbind(self, rows: np.ndarray) -> None:
+        """Drop a job binding: rows fall back to the unbound defaults."""
+        self.utilization[rows] = 1.0
+        self.sensitivity[rows] = 1.0
+        self._dirty.update(rows.tolist())
+
+    def refresh_all(self) -> None:
+        """Re-read every row (used at build time and by invalidate)."""
+        for row in range(len(self._nodes)):
+            self.refresh_row(row)
+        self._all_dirty = True
+        self._dirty.clear()
+
+    def invalidate(self) -> None:
+        """Full resync for mutations that bypassed both sync channels."""
+        self.refresh_all()
+
+    def force_resum(self) -> None:
+        """Mark the cached total stale without touching any row (the
+        rows are already in sync; benchmarks use this to time the pure
+        full-re-sum kernel path)."""
+        self._all_dirty = True
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def operating_points(self, rows: Optional[np.ndarray] = None) -> OperatingPoints:
+        """Operating point of the selected rows (all rows when None).
+
+        Replicates :meth:`NodePowerModel.operating_point` branch for
+        branch; see that method for the physics.
+        """
+        sel = slice(None) if rows is None else rows
+        state = self.state_code[sel]
+        idle = self.idle_power[sel]
+        max_p = self.max_power[sel]
+        off_p = self.off_power[sel]
+        var = self.variability[sel]
+        freq = self.frequency[sel]
+        min_f = self.min_frequency[sel]
+        max_f = self.max_frequency[sel]
+        cap = self.power_cap[sel]
+        util = self.utilization[sel]
+        sens = self.sensitivity[sel]
+        model = self.model
+        alpha = model.alpha
+
+        off = (state == _OFF) | (state == _DOWN)
+        boot = state == _BOOTING
+        shut = state == _SHUTTING_DOWN
+        idle_m = state == _IDLE
+        busy = state == _BUSY
+
+        f_set = freq / max_f
+        f_min = min_f / max_f
+        dyn = (max_p - idle) * var * util
+
+        # BUSY cap clamp.  ``budgeted <= 0`` and ``f_cap < f_min`` both
+        # resolve to (f_min, violated) in the scalar model, so a single
+        # guarded f_cap (0 when the budget is gone) covers both.
+        capped = np.isfinite(cap)
+        over = capped & (dyn > 0.0) & (idle + dyn * f_set**alpha > cap)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            f_cap = (
+                np.maximum(cap - idle, 0.0) / np.where(dyn > 0.0, dyn, 1.0)
+            ) ** (1.0 / alpha)
+        f_eff = np.where(over, np.minimum(f_set, f_cap), f_set)
+        clamp_to_min = over & (f_cap < f_min)
+        f_eff = np.where(clamp_to_min, f_min, f_eff)
+        busy_violated = clamp_to_min | (capped & (dyn <= 0.0) & (idle > cap))
+
+        idle_violated = idle_m & (idle > cap)
+
+        watts = np.select(
+            [off, boot, shut, idle_m],
+            [
+                off_p,
+                off_p + model.boot_power_fraction * (max_p * var),
+                idle * model.shutdown_power_fraction,
+                idle,
+            ],
+            default=idle + dyn * f_eff**alpha,
+        )
+        ratio = np.select(
+            [idle_violated, idle_m, busy], [1.0, f_set, f_eff], default=0.0
+        )
+        speed = np.where(
+            busy, np.maximum(1.0 - sens * (1.0 - f_eff), 1e-9), 0.0
+        )
+        violated = idle_violated | (busy & busy_violated)
+        return OperatingPoints(watts, ratio, speed, violated)
+
+    def machine_watts(self) -> float:
+        """Total machine draw; folds dirty rows into the cached total.
+
+        O(1) when clean; one kernel over the dirty rows otherwise; a
+        full vectorized re-sum when at least half the rows are dirty.
+        """
+        n = len(self._watts)
+        dirty = self._dirty
+        if self._all_dirty or 2 * len(dirty) >= n:
+            watts = self.operating_points().watts
+            self._watts = watts
+            self._total = float(watts.sum())
+            self._all_dirty = False
+            dirty.clear()
+        elif dirty:
+            rows = np.fromiter(dirty, dtype=np.intp, count=len(dirty))
+            rows.sort()
+            fresh = self.operating_points(rows).watts
+            self._total += float(fresh.sum() - self._watts[rows].sum())
+            self._watts[rows] = fresh
+            dirty.clear()
+        return self._total
+
+    def node_watts(self) -> np.ndarray:
+        """Per-node current draw, ``machine.nodes`` order (a copy)."""
+        self.machine_watts()
+        return self._watts.copy()
+
+    # ------------------------------------------------------------------
+    # Prediction kernels (policy helpers)
+    # ------------------------------------------------------------------
+    def frequencies_for_cap(
+        self,
+        rows: np.ndarray,
+        caps: np.ndarray,
+        utilization: float = 1.0,
+    ) -> np.ndarray:
+        """Vector twin of :meth:`NodePowerModel.frequency_for_cap`:
+        highest Hz per row whose predicted power meets the row's cap,
+        clamped to the DVFS range."""
+        caps = np.asarray(caps, dtype=float)
+        idle = self.idle_power[rows]
+        min_f = self.min_frequency[rows]
+        max_f = self.max_frequency[rows]
+        util = min(1.0, max(0.0, float(utilization)))
+        dyn = (self.max_power[rows] - idle) * self.variability[rows] * util
+        budgeted = caps - idle
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = (
+                np.maximum(budgeted, 0.0) / np.where(dyn > 0.0, dyn, 1.0)
+            ) ** (1.0 / self.model.alpha)
+        freq = np.clip(ratio * max_f, min_f, max_f)
+        freq = np.where(budgeted <= 0.0, min_f, freq)
+        return np.where(
+            dyn <= 0.0, np.where(caps >= idle, max_f, min_f), freq
+        )
+
+    def power_at_ratio(
+        self,
+        rows: np.ndarray,
+        ratios: np.ndarray,
+        utilization: float = 1.0,
+    ) -> np.ndarray:
+        """Vector twin of :meth:`NodePowerModel.power_at_ratio`:
+        predicted BUSY watts per row at an explicit frequency ratio."""
+        idle = self.idle_power[rows]
+        min_ratio = self.min_frequency[rows] / self.max_frequency[rows]
+        ratios = np.minimum(1.0, np.maximum(min_ratio, np.asarray(ratios, dtype=float)))
+        util = min(1.0, max(0.0, float(utilization)))
+        dyn = (self.max_power[rows] - idle) * self.variability[rows] * util
+        return idle + dyn * ratios**self.model.alpha

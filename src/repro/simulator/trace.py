@@ -10,8 +10,9 @@ simulation, never by reaching into live objects.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,12 @@ class TraceRecorder:
         self.enabled = enabled
         self._records: List[TraceRecord] = []
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+        # Per-category bucket index: category -> positions in
+        # ``_records`` (each list ascending by construction).  Category
+        # queries fold the matching buckets instead of scanning every
+        # record; analyses over long simulations query specific
+        # categories thousands of times.
+        self._buckets: Dict[str, List[int]] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -55,6 +62,7 @@ class TraceRecorder:
         if not self.enabled:
             return
         record = TraceRecord(time, category, data)
+        self._buckets.setdefault(category, []).append(len(self._records))
         self._records.append(record)
         for sub in self._subscribers:
             sub(record)
@@ -63,16 +71,34 @@ class TraceRecorder:
         """Register a live subscriber invoked for every new record."""
         self._subscribers.append(callback)
 
-    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
-        """Return records, optionally filtered by category prefix."""
-        if category is None:
-            return list(self._records)
+    def _matching_buckets(self, category: str) -> List[List[int]]:
+        """Position lists of every bucket matching *category* (exact or
+        dotted-prefix), unmerged."""
         prefix = category + "."
         return [
-            r
-            for r in self._records
-            if r.category == category or r.category.startswith(prefix)
+            positions
+            for cat, positions in self._buckets.items()
+            if cat == category or cat.startswith(prefix)
         ]
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        """Return records, optionally filtered by category prefix.
+
+        Emission order is preserved: matching buckets hold ascending
+        record positions, so a k-way merge restores the global order
+        without touching non-matching records.
+        """
+        if category is None:
+            return list(self._records)
+        buckets = self._matching_buckets(category)
+        if not buckets:
+            return []
+        if len(buckets) == 1:
+            positions: Iterable[int] = buckets[0]
+        else:
+            positions = heapq.merge(*buckets)
+        records = self._records
+        return [records[i] for i in positions]
 
     def iter_between(
         self, start: float, end: float, category: Optional[str] = None
@@ -86,9 +112,15 @@ class TraceRecorder:
                 yield r
 
     def count(self, category: Optional[str] = None) -> int:
-        """Number of records under *category* (prefix match)."""
-        return len(self.records(category))
+        """Number of records under *category* (prefix match).
+
+        O(#distinct categories), independent of the record count.
+        """
+        if category is None:
+            return len(self._records)
+        return sum(len(b) for b in self._matching_buckets(category))
 
     def clear(self) -> None:
         """Drop all records (subscribers stay registered)."""
         self._records.clear()
+        self._buckets.clear()

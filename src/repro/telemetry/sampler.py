@@ -65,11 +65,21 @@ class TelemetrySampler:
         return channel
 
     def sample(self) -> None:
-        """Poll every channel once."""
+        """Poll every channel once.
+
+        A poll at the timestamp of a channel's previous sample replaces
+        that sample instead of appending a duplicate timestamp (e.g. a
+        final flush coinciding with the periodic tick), keeping each
+        series strictly increasing in time for integration/resampling.
+        """
         now = self.sim.now
         for channel in self.channels.values():
-            channel.times.append(now)
-            channel.values.append(float(channel.source()))
+            value = float(channel.source())
+            if channel.times and channel.times[-1] == now:
+                channel.values[-1] = value
+            else:
+                channel.times.append(now)
+                channel.values.append(value)
 
     def start(self) -> None:
         """Begin periodic sampling (immediate first sample)."""

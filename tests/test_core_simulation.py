@@ -161,6 +161,64 @@ class TestKill:
         assert sim.kill_job("nope", "reason") is False
 
 
+class TestSchedulingContext:
+    def test_expected_end_honours_zero_start_time(self, small_machine):
+        # A job that started at exactly t=0.0 must report
+        # expected_end == walltime, not now + walltime: 0.0 is a real
+        # start time, not a missing value.
+        job = make_job(work=1000.0, walltime=300.0)
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [job])
+        sim.run(until=100.0)
+        assert job.start_time == 0.0
+        ctx = sim.build_context()
+        (info,) = ctx.running
+        assert info.expected_end == pytest.approx(300.0)
+
+    def test_available_tracks_state_transitions(self, small_machine):
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [])
+        nodes = small_machine.nodes
+        assert [n.node_id for n in sim.build_context().available] == list(
+            range(16)
+        )
+        sim.rm.shutdown_nodes(nodes[4:8])
+        ctx = sim.build_context()
+        assert [n.node_id for n in ctx.available] == (
+            list(range(4)) + list(range(8, 16))
+        )
+        assert ctx.usable_node_count == 16  # shutting down, not failed
+        sim.rm.drain_node(nodes[0])
+        ctx = sim.build_context()
+        assert nodes[0] not in ctx.available
+        assert ctx.usable_node_count == 15
+        sim.rm.undrain_node(nodes[0])
+        ctx = sim.build_context()
+        assert nodes[0] in ctx.available
+        assert ctx.usable_node_count == 16
+
+    def test_boot_cycle_restores_availability(self, small_machine):
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [])
+        nodes = small_machine.nodes
+        sim.rm.shutdown_nodes(nodes[:2])
+        sim.sim.run(until=1_000.0)  # complete the shutdown
+        assert nodes[0].state is NodeState.OFF
+        assert len(sim.build_context().available) == 14
+        sim.rm.boot_nodes(nodes[:2])
+        assert len(sim.build_context().available) == 14  # still booting
+        sim.sim.run(until=2_000.0)
+        assert nodes[0].state is NodeState.IDLE
+        ctx = sim.build_context()
+        assert [n.node_id for n in ctx.available] == list(range(16))
+        assert ctx.usable_node_count == 16
+
+    def test_busy_nodes_leave_available_set(self, small_machine):
+        job = make_job(nodes=6, work=500.0, walltime=1_000.0)
+        sim = ClusterSimulation(small_machine, FcfsScheduler(), [job])
+        sim.run(until=100.0)
+        ctx = sim.build_context()
+        assert len(ctx.available) == 10
+        assert all(n.state is NodeState.IDLE for n in ctx.available)
+
+
 class TestPolicyHooks:
     def test_hook_order_and_calls(self, small_machine):
         calls = []

@@ -109,6 +109,38 @@ class TestPowerMeter:
         sim.run()
         assert meter.num_samples == count
 
+    def test_same_timestamp_sample_replaces_not_appends(self):
+        # finalize()-style flush: stop() then sample() at the instant a
+        # periodic sample already fired must not duplicate the
+        # timestamp nor skew the trapezoidal integral.
+        sim = Simulator()
+        meter = PowerMeter(sim, lambda: 100.0, interval=10.0)
+        meter.start()
+        sim.run(until=50.0)
+        count = meter.num_samples
+        meter.stop()
+        meter.sample()  # same timestamp as the t=50 periodic sample
+        assert meter.num_samples == count
+        times, _ = meter.series()
+        assert len(set(times.tolist())) == len(times)
+        assert meter.energy_joules == pytest.approx(100.0 * 50.0)
+
+    def test_replacement_corrects_energy_integral(self):
+        # A changed value at a replaced timestamp re-settles the last
+        # trapezoid with the new endpoint.
+        sim = Simulator()
+        level = {"w": 100.0}
+        meter = PowerMeter(sim, lambda: level["w"], interval=10.0)
+        meter.start()
+        sim.run(until=10.0)
+        assert meter.energy_joules == pytest.approx(1000.0)
+        level["w"] = 200.0
+        meter.sample()  # still at t=10: replaces the 100 W sample
+        assert meter.num_samples == 2
+        # Trapezoid 0..10 is now (100 + 200) / 2 * 10.
+        assert meter.energy_joules == pytest.approx(1500.0)
+        assert meter.peak_watts() == pytest.approx(200.0)
+
 
 class TestPowerBudget:
     def test_subdivide_reserves_parent(self):

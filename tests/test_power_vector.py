@@ -1,0 +1,267 @@
+"""Scalar-vs-vectorized power equivalence.
+
+``NodePowerModel.operating_point`` is the executable spec;
+``VectorPowerMirror`` re-implements it as array kernels.  The sweeps
+here randomize node state (all six states), caps — including caps
+below idle power, which the scalar model flags as violations —
+DVFS settings, manufacturing variability and job intensities, and
+assert the kernel matches the spec field for field to 1e-9.  The
+end-to-end test runs the same seeded workload under both
+``power_backend`` settings and compares the physics outputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Machine, MachineSpec, Node, NodeState
+from repro.core import ClusterSimulation, EasyBackfillScheduler, FcfsScheduler
+from repro.errors import ConfigurationError
+from repro.policies.dvfs_budget import DvfsBudgetPolicy
+from repro.power import NodePowerModel, VectorPowerMirror
+from repro.simulator import RngStreams
+from repro.units import HOUR
+from repro.workload import WorkloadGenerator, WorkloadSpec
+from tests.conftest import make_job
+
+ALL_STATES = list(NodeState)
+
+
+def random_machine(rnd: random.Random, n: int = 48) -> Machine:
+    machine = Machine(MachineSpec(name="rand", nodes=n, nodes_per_cabinet=16))
+    for node in machine.nodes:
+        node.idle_power = rnd.uniform(40.0, 180.0)
+        node.max_power = node.idle_power + rnd.uniform(0.0, 400.0)
+        node.off_power = rnd.uniform(0.0, 10.0)
+        node.variability = rnd.uniform(0.75, 1.25)
+        node.min_frequency = rnd.uniform(0.8e9, 1.6e9)
+        node.max_frequency = node.min_frequency + rnd.uniform(0.1e9, 1.4e9)
+        node.frequency = rnd.uniform(node.min_frequency, node.max_frequency)
+        node.state = rnd.choice(ALL_STATES)
+        # Caps below idle power are legal model inputs (hardware can be
+        # handed an unenforceable cap) even though set_power_cap rejects
+        # them — write the field directly to exercise the violation path.
+        roll = rnd.random()
+        if roll < 0.25:
+            node.power_cap = None
+        elif roll < 0.50:
+            node.power_cap = rnd.uniform(0.3 * node.idle_power, node.idle_power)
+        else:
+            node.power_cap = rnd.uniform(
+                node.idle_power, node.effective_max_power * 1.1
+            )
+    return machine
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_operating_points_match_scalar_model(self, seed):
+        rnd = random.Random(seed)
+        machine = random_machine(rnd)
+        model = NodePowerModel(
+            alpha=rnd.choice([1.5, 2.0, 2.7]),
+            boot_power_fraction=rnd.uniform(0.2, 0.9),
+            shutdown_power_fraction=rnd.uniform(0.5, 1.5),
+        )
+        mirror = VectorPowerMirror(machine, model)
+        utils = [rnd.random() for _ in machine.nodes]
+        senss = [rnd.random() for _ in machine.nodes]
+        mirror.utilization[:] = utils
+        mirror.sensitivity[:] = senss
+
+        op = mirror.operating_points()
+        for row, node in enumerate(machine.nodes):
+            sample = model.operating_point(node, utils[row], senss[row])
+            assert op.watts[row] == pytest.approx(sample.watts, abs=1e-9)
+            assert op.frequency_ratio[row] == pytest.approx(
+                sample.frequency_ratio, abs=1e-9
+            )
+            assert op.speed[row] == pytest.approx(sample.speed, abs=1e-9)
+            assert bool(op.cap_violated[row]) is sample.cap_violated
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_subset_rows_match_full_kernel(self, seed):
+        rnd = random.Random(100 + seed)
+        machine = random_machine(rnd)
+        mirror = VectorPowerMirror(machine, NodePowerModel())
+        rows = np.asarray(sorted(rnd.sample(range(len(machine.nodes)), 17)))
+        full = mirror.operating_points()
+        sub = mirror.operating_points(rows)
+        np.testing.assert_array_equal(sub.watts, full.watts[rows])
+        np.testing.assert_array_equal(sub.speed, full.speed[rows])
+        np.testing.assert_array_equal(sub.cap_violated, full.cap_violated[rows])
+
+    @given(
+        idle=st.floats(min_value=10.0, max_value=500.0),
+        dyn_span=st.floats(min_value=0.0, max_value=1000.0),
+        cap_frac=st.floats(min_value=0.1, max_value=1.5),
+        util=st.floats(min_value=0.0, max_value=1.0),
+        sens=st.floats(min_value=0.0, max_value=1.0),
+        freq_frac=st.floats(min_value=0.0, max_value=1.0),
+        state=st.sampled_from(ALL_STATES),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_single_node_property(
+        self, idle, dyn_span, cap_frac, util, sens, freq_frac, state
+    ):
+        node = Node(0, idle_power=idle, max_power=idle + dyn_span)
+        node.state = state
+        node.frequency = node.min_frequency + freq_frac * (
+            node.max_frequency - node.min_frequency
+        )
+        node.power_cap = cap_frac * idle  # spans below and above idle
+        machine = Machine(
+            MachineSpec(name="one", nodes=1, idle_power=idle,
+                        max_power=idle + dyn_span),
+            nodes=[node],
+        )
+        model = NodePowerModel()
+        mirror = VectorPowerMirror(machine, model)
+        mirror.utilization[0] = util
+        mirror.sensitivity[0] = sens
+        op = mirror.operating_points()
+        sample = model.operating_point(node, util, sens)
+        assert op.watts[0] == pytest.approx(sample.watts, abs=1e-9)
+        assert op.frequency_ratio[0] == pytest.approx(
+            sample.frequency_ratio, abs=1e-9
+        )
+        assert op.speed[0] == pytest.approx(sample.speed, abs=1e-9)
+        assert bool(op.cap_violated[0]) is sample.cap_violated
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_frequencies_for_cap_match_scalar(self, seed):
+        rnd = random.Random(200 + seed)
+        machine = random_machine(rnd)
+        model = NodePowerModel(alpha=rnd.choice([1.7, 2.0]))
+        mirror = VectorPowerMirror(machine, model)
+        rows = np.arange(len(machine.nodes))
+        util = rnd.random()
+        caps = np.asarray(
+            [rnd.uniform(0.2 * n.idle_power, 1.2 * n.effective_max_power)
+             for n in machine.nodes]
+        )
+        freqs = mirror.frequencies_for_cap(rows, caps, util)
+        for row, node in enumerate(machine.nodes):
+            expected = model.frequency_for_cap(node, caps[row], util)
+            assert freqs[row] == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_power_at_ratio_matches_scalar(self, seed):
+        rnd = random.Random(300 + seed)
+        machine = random_machine(rnd)
+        model = NodePowerModel()
+        mirror = VectorPowerMirror(machine, model)
+        rows = np.arange(len(machine.nodes))
+        ratios = np.asarray([rnd.uniform(0.0, 1.3) for _ in machine.nodes])
+        util = rnd.random()
+        watts = mirror.power_at_ratio(rows, ratios, util)
+        for row, node in enumerate(machine.nodes):
+            expected = model.power_at_ratio(node, ratios[row], util)
+            assert watts[row] == pytest.approx(expected, abs=1e-9)
+
+    def test_bind_clamps_out_of_range_intensities(self):
+        machine = Machine(MachineSpec(name="m", nodes=4))
+        mirror = VectorPowerMirror(machine, NodePowerModel())
+        rows = np.asarray([0, 2])
+        mirror.bind(rows, utilization=1.7, sensitivity=-0.3)
+        assert mirror.utilization[0] == 1.0
+        assert mirror.sensitivity[2] == 0.0
+        mirror.unbind(rows)
+        assert mirror.utilization[0] == 1.0
+        assert mirror.sensitivity[2] == 1.0
+
+
+def full_scalar_sum(csim: ClusterSimulation) -> float:
+    return sum(
+        csim._node_operating_point(n).watts for n in csim.machine.nodes
+    )
+
+
+class TestMirrorAccounting:
+    def test_incremental_total_tracks_mutations(self):
+        machine = Machine(MachineSpec(name="m", nodes=24, nodes_per_cabinet=8))
+        csim = ClusterSimulation(machine, FcfsScheduler(), [])
+        assert csim.power_vector is not None
+        assert csim.machine_power() == pytest.approx(full_scalar_sum(csim))
+        csim.rm.set_power_cap(machine.nodes[:5], 140.0)
+        csim.rm.set_frequency(machine.nodes[3:9], machine.nodes[0].min_frequency)
+        csim.rm.shutdown_nodes(machine.nodes[20:])
+        assert csim.machine_power() == pytest.approx(full_scalar_sum(csim))
+
+    def test_invalid_backend_rejected(self):
+        machine = Machine(MachineSpec(name="m", nodes=2))
+        with pytest.raises(ConfigurationError):
+            ClusterSimulation(machine, FcfsScheduler(), [], power_backend="simd")
+
+    def test_node_watts_matches_reference_loop(self):
+        machine = Machine(MachineSpec(name="m", nodes=12, nodes_per_cabinet=4))
+        job = make_job(job_id="a", nodes=5, work=500.0, walltime=900.0)
+        csim = ClusterSimulation(machine, FcfsScheduler(), [job])
+        csim.prepare()
+        csim.sim.run(until=100.0)
+        per_node = csim.node_watts()
+        for row, node in enumerate(machine.nodes):
+            assert per_node[row] == pytest.approx(
+                csim._node_operating_point(node).watts, abs=1e-9
+            )
+
+    def test_force_resum_matches_incremental_total(self):
+        machine = Machine(MachineSpec(name="m", nodes=16, nodes_per_cabinet=4))
+        csim = ClusterSimulation(machine, FcfsScheduler(), [])
+        csim.rm.set_power_cap(machine.nodes[:4], 150.0)
+        incremental = csim.machine_power()
+        csim.power_vector.force_resum()
+        assert csim.machine_power() == pytest.approx(incremental)
+
+
+def seeded_workload(count: int = 60):
+    spec = WorkloadSpec(
+        arrival_rate=30.0 / HOUR,
+        duration=8.0 * HOUR,
+        min_nodes=1,
+        max_nodes=12,
+        mean_work=HOUR / 3,
+    )
+    return WorkloadGenerator(spec, RngStreams(7).stream("wl")).generate(count=count)
+
+
+class TestEndToEndEquivalence:
+    """The simulation produces the same physics under either backend."""
+
+    @pytest.mark.parametrize("scheduler_cls", [FcfsScheduler, EasyBackfillScheduler])
+    def test_backends_agree_on_seeded_workload(self, scheduler_cls):
+        results = {}
+        for backend in ("scalar", "vector"):
+            machine = Machine(
+                MachineSpec(name="m", nodes=24, nodes_per_cabinet=8)
+            )
+            csim = ClusterSimulation(
+                machine,
+                scheduler_cls(),
+                seeded_workload(),
+                policies=[DvfsBudgetPolicy(budget_watts=24 * 320.0)],
+                power_backend=backend,
+                seed=3,
+            )
+            results[backend] = csim.run()
+        scalar, vector = results["scalar"], results["vector"]
+        for js, jv in zip(scalar.jobs, vector.jobs):
+            assert js.job_id == jv.job_id
+            assert js.state is jv.state
+            assert js.start_time == pytest.approx(jv.start_time, rel=1e-9)
+            assert js.end_time == pytest.approx(jv.end_time, rel=1e-9)
+            assert js.energy_joules == pytest.approx(jv.energy_joules, rel=1e-9)
+        assert scalar.meter.energy_joules == pytest.approx(
+            vector.meter.energy_joules, rel=1e-9
+        )
+        assert scalar.meter.peak_watts() == pytest.approx(
+            vector.meter.peak_watts(), rel=1e-9
+        )
+        assert scalar.metrics.makespan == pytest.approx(
+            vector.metrics.makespan, rel=1e-9
+        )

@@ -104,3 +104,30 @@ class TestTraceRecorder:
         trace.emit(1.0, "d")
         assert trace.count("a") == 2
         assert trace.count() == 3
+
+    def test_interleaved_categories_keep_emission_order(self, trace):
+        # The bucket index must fold multiple matching buckets back
+        # into global emission order, not concatenate bucket by bucket.
+        sequence = ["job.start", "power.sample", "job.end", "job.start",
+                    "rm.boot.start", "job.end", "power.cap", "job.kill"]
+        for i, category in enumerate(sequence):
+            trace.emit(float(i), category, idx=i)
+        got = trace.records("job")
+        assert [r.data["idx"] for r in got] == [0, 2, 3, 5, 7]
+        assert [r.category for r in got] == [
+            "job.start", "job.end", "job.start", "job.end", "job.kill"
+        ]
+        assert trace.count("job") == 5
+        # Exact-category query hits a single bucket.
+        assert [r.data["idx"] for r in trace.records("job.end")] == [2, 5]
+        # Full dump unchanged.
+        assert [r.data["idx"] for r in trace.records()] == list(range(8))
+
+    def test_bucket_index_survives_clear(self, trace):
+        trace.emit(1.0, "a.b")
+        trace.clear()
+        assert trace.records("a") == []
+        assert trace.count("a") == 0
+        trace.emit(2.0, "a.b")
+        trace.emit(3.0, "a.c")
+        assert [r.time for r in trace.records("a")] == [2.0, 3.0]

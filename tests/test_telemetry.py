@@ -50,6 +50,20 @@ class TestTelemetrySampler:
         assert channel.latest() is None
         assert channel.mean() == 0.0
 
+    def test_same_timestamp_sample_replaces_not_appends(self):
+        sim = Simulator()
+        sampler = TelemetrySampler(sim, interval=10.0)
+        values = iter([1.0, 2.0])
+        channel = sampler.add_channel("x", lambda: next(values, 3.0))
+        sampler.sample()
+        sampler.sample()  # same sim time: replaces, does not append
+        assert len(channel.times) == 1
+        assert channel.latest() == 2.0
+        sim.at(10.0, lambda: None)
+        sim.run()
+        sampler.sample()
+        assert list(channel.times) == [0.0, 10.0]
+
 
 class TestHierarchicalAggregator:
     def _trace_with_samples(self):
