@@ -28,6 +28,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.centers` — executable per-center scenarios
 - :mod:`repro.survey` — the questionnaire, Tables I/II, Figures 1/2
 - :mod:`repro.analysis` — experiment harness and reporting
+- :mod:`repro.state` — deterministic checkpoint/restore/replay
 """
 
 from ._version import __version__

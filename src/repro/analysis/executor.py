@@ -32,6 +32,7 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
+import os
 import pathlib
 import re
 import time
@@ -39,10 +40,12 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from .._version import __version__
 from ..core.metrics import MetricsReport
 from ..errors import ReproError
 from ..simulator.rng import derive_seed
 from ..simulator.trace import TraceRecorder
+from ..state.serialize import STATE_SCHEMA_VERSION
 
 #: Canonical cache location for benches and examples (relative to the
 #: repo root / current working directory).
@@ -120,6 +123,8 @@ class _Task:
     fingerprint: str
     index: int
     max_attempts: int
+    checkpoint_interval: Optional[float] = None
+    checkpoint_path: Optional[str] = None
 
 
 def _callable_identity(build: Callable[..., Any]) -> Dict[str, str]:
@@ -148,6 +153,12 @@ def config_fingerprint(
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
+        # Package and state-schema versions participate so stale cache
+        # entries (and checkpoints) from an older build are never
+        # reused: a version bump changes every fingerprint, hence every
+        # cache file name.
+        "repro_version": __version__,
+        "state_schema": STATE_SCHEMA_VERSION,
         "variant": spec.name,
         "seed": int(seed),
         "until": until,
@@ -157,6 +168,43 @@ def config_fingerprint(
     }
     blob = json.dumps(payload, sort_keys=True, default=repr).encode()
     return hashlib.sha256(blob).hexdigest()
+
+
+def _run_simulation(task: _Task, simulation):
+    """Run one simulation, resuming from / writing periodic checkpoints
+    when the task carries a checkpoint path.
+
+    Resume-from-checkpoint grafts the saved state onto the freshly
+    built *simulation* (same builder, same seed, so the config digest
+    matches); a missing, corrupt or config-mismatched checkpoint falls
+    back to a fresh run.  The checkpoint file is removed once the run
+    completes — from then on the result cache answers.
+    """
+    if task.checkpoint_path is None or task.checkpoint_interval is None:
+        return simulation.run(until=task.until)
+    from ..state import (
+        StateError, checkpoint_to, load_state, restore, run_checkpointed,
+    )
+    try:
+        state = load_state(task.checkpoint_path)
+    except (OSError, StateError):
+        state = None
+    if state is not None:
+        try:
+            simulation = restore(state, lambda: simulation)
+        except StateError:
+            pass  # stale or foreign checkpoint: start fresh
+    result = run_checkpointed(
+        simulation,
+        interval=task.checkpoint_interval,
+        sink=checkpoint_to(task.checkpoint_path),
+        until=task.until,
+    )
+    try:
+        os.unlink(task.checkpoint_path)
+    except OSError:
+        pass
+    return result
 
 
 def _run_task(task: _Task) -> RunRecord:
@@ -175,7 +223,7 @@ def _run_task(task: _Task) -> RunRecord:
             target = task.spec.build(**kwargs)
             simulation = getattr(target, "simulation", target)
             if hasattr(simulation, "run"):
-                result = simulation.run(until=task.until)
+                result = _run_simulation(task, simulation)
                 metrics = {
                     k: float(v) for k, v in result.metrics.as_dict().items()
                 }
@@ -294,6 +342,14 @@ class ExperimentExecutor:
         (``benchmarks/out/cache/``).
     max_attempts:
         Per-task retry bound for crashed or raising workers.
+    checkpoint_interval:
+        Simulated seconds between on-disk checkpoints of each running
+        simulation (``None`` disables checkpointing).  Requires a
+        ``cache_dir``; checkpoints live under
+        ``<cache_dir>/checkpoints/<fingerprint>.ckpt``.  A task that
+        crashes (or a whole sweep that is killed and re-run) resumes
+        from its last checkpoint and — the determinism contract —
+        finishes with metrics identical to an uninterrupted run.
     trace:
         Recorder for wall-clock progress records (``executor.*``
         categories, timestamped with seconds since the sweep started).
@@ -310,6 +366,7 @@ class ExperimentExecutor:
         until: Optional[float] = None,
         cache_dir: Optional[pathlib.Path] = None,
         max_attempts: int = 3,
+        checkpoint_interval: Optional[float] = None,
         trace: Optional[TraceRecorder] = None,
         progress: Optional[Callable[[int, int, RunRecord], None]] = None,
     ) -> None:
@@ -319,6 +376,17 @@ class ExperimentExecutor:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if checkpoint_interval is not None:
+            if checkpoint_interval <= 0:
+                raise ValueError(
+                    f"checkpoint_interval must be > 0, got {checkpoint_interval}"
+                )
+            if cache_dir is None:
+                raise ValueError(
+                    "checkpoint_interval requires a cache_dir (checkpoints "
+                    "live under <cache_dir>/checkpoints/)"
+                )
+        self.checkpoint_interval = checkpoint_interval
         self.workers = int(workers)
         self.replicas = int(replicas)
         self.base_seed = int(base_seed)
@@ -344,15 +412,23 @@ class ExperimentExecutor:
                 seed = derive_seed(
                     self.base_seed, f"{spec.name}/replica:{replica}"
                 )
+                fingerprint = config_fingerprint(spec, seed, self.until)
+                ckpt_path = None
+                if self.checkpoint_interval is not None:
+                    ckpt_path = str(
+                        self.cache.root / "checkpoints" / f"{fingerprint}.ckpt"
+                    )
                 tasks.append(
                     _Task(
                         spec=spec,
                         replica=replica,
                         seed=seed,
                         until=self.until,
-                        fingerprint=config_fingerprint(spec, seed, self.until),
+                        fingerprint=fingerprint,
                         index=len(tasks),
                         max_attempts=self.max_attempts,
+                        checkpoint_interval=self.checkpoint_interval,
+                        checkpoint_path=ckpt_path,
                     )
                 )
         return tasks

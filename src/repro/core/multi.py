@@ -87,10 +87,30 @@ class BudgetCoordinator:
         return draw + backlog * per_node
 
     def reallocate(self, now: float) -> Dict[str, float]:
-        """Re-divide the site budget; returns machine -> new watts."""
-        floors = [max(sl.floor_watts, 1.0) for sl in self.slices]
+        """Re-divide the site budget; returns machine -> new watts.
+
+        The division is always feasible: with zero total demand (an
+        all-idle site) the surplus splits evenly, and floors that no
+        longer fit the envelope (e.g. the coordinator was built with
+        floors exceeding the site budget) are scaled down
+        proportionally — never below a slice's committed watts — so
+        :meth:`PowerBudget.resize` cannot raise mid-simulation.
+        """
+        limit = self.site_budget.limit_watts
+        committed = [sl.budget.committed for sl in self.slices]
+        floors = [max(sl.floor_watts, c, 1.0)
+                  for sl, c in zip(self.slices, committed)]
         total_floor = sum(floors)
-        surplus = max(0.0, self.site_budget.limit_watts - total_floor)
+        if total_floor > limit:
+            # Infeasible floors: shrink the scalable part (floor minus
+            # committed) of every slice by one common factor.
+            scalable = [f - c for f, c in zip(floors, committed)]
+            total_scalable = sum(scalable)
+            avail = max(0.0, limit - sum(committed))
+            scale = avail / total_scalable if total_scalable > 0 else 0.0
+            floors = [c + s * scale for c, s in zip(committed, scalable)]
+            total_floor = sum(floors)
+        surplus = max(0.0, limit - total_floor)
         demands = [max(0.0, self._demand(sl) - floor)
                    for sl, floor in zip(self.slices, floors)]
         total_demand = sum(demands)
@@ -109,7 +129,11 @@ class BudgetCoordinator:
         out: Dict[str, float] = {}
         for i in order:
             sl = self.slices[i]
-            target = max(targets[i], sl.floor_watts, 1.0)
+            target = max(targets[i], 1e-6)
+            # Clamp to what the tree can actually grant: float error in
+            # the proportional division must not trip resize().
+            grantable = sl.budget.limit_watts + self.site_budget.headroom
+            target = max(min(target, grantable), sl.budget.committed)
             sl.budget.resize(target)
             out[sl.simulation.machine.name] = target
             for policy in sl.simulation.policies:

@@ -81,15 +81,17 @@ class ResourceManager:
         self.boots_initiated += 1
         self._emit("rm.boot.start", node=node.node_id)
         self._notify_power_changed(node.node_id)
-
-        def complete() -> None:
-            if node.state is NodeState.BOOTING:
-                node.transition(NodeState.IDLE, self.sim.now)
-                self._emit("rm.boot.done", node=node.node_id)
-                self._notify_nodes_changed()
-
-        self.sim.after(node.boot_time, complete, priority=EventPriority.STATE,
+        self.sim.after(node.boot_time, self._finish_boot, node,
+                       priority=EventPriority.STATE,
                        name=f"boot:{node.node_id}")
+
+    def _finish_boot(self, node: Node) -> None:
+        # Bound method (not a closure) so repro.state can capture and
+        # re-plant pending boot-completion events.
+        if node.state is NodeState.BOOTING:
+            node.transition(NodeState.IDLE, self.sim.now)
+            self._emit("rm.boot.done", node=node.node_id)
+            self._notify_nodes_changed()
 
     def shutdown_node(self, node: Node) -> None:
         """Begin powering off an IDLE node; OFF after its shutdown time."""
@@ -97,15 +99,15 @@ class ResourceManager:
         self.shutdowns_initiated += 1
         self._emit("rm.shutdown.start", node=node.node_id)
         self._notify_power_changed(node.node_id)
-
-        def complete() -> None:
-            if node.state is NodeState.SHUTTING_DOWN:
-                node.transition(NodeState.OFF, self.sim.now)
-                self._emit("rm.shutdown.done", node=node.node_id)
-                self._notify_nodes_changed()
-
-        self.sim.after(node.shutdown_time, complete, priority=EventPriority.STATE,
+        self.sim.after(node.shutdown_time, self._finish_shutdown, node,
+                       priority=EventPriority.STATE,
                        name=f"shutdown:{node.node_id}")
+
+    def _finish_shutdown(self, node: Node) -> None:
+        if node.state is NodeState.SHUTTING_DOWN:
+            node.transition(NodeState.OFF, self.sim.now)
+            self._emit("rm.shutdown.done", node=node.node_id)
+            self._notify_nodes_changed()
 
     def boot_nodes(self, nodes: Iterable[Node]) -> int:
         """Boot all OFF nodes in *nodes*; returns how many were started."""

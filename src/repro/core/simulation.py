@@ -272,10 +272,16 @@ class ClusterSimulation:
         if policy.control_interval is not None:
             self.sim.every(
                 policy.control_interval,
-                lambda p=policy: p.on_tick(self.sim.now),
+                self._policy_tick,
+                policy,
                 priority=EventPriority.CONTROL,
                 name=f"tick:{policy.name}",
             )
+
+    def _policy_tick(self, policy: Policy) -> None:
+        """Periodic control tick for one policy (bound method so the
+        state subsystem can capture pending ticks)."""
+        policy.on_tick(self.sim.now)
 
     # ------------------------------------------------------------------
     # Power accounting

@@ -83,3 +83,9 @@ class PredictionError(ReproError):
 
 class ConfigurationError(ReproError):
     """A component was constructed with inconsistent parameters."""
+
+
+class StateError(ReproError):
+    """A simulation state snapshot could not be captured, serialized,
+    or restored (unsupported live object, schema mismatch, corrupt or
+    incompatible checkpoint)."""

@@ -14,7 +14,7 @@ and periodic callbacks.  Determinism guarantees:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from ..errors import EventOrderError, SimulationError
 from .events import Event, EventPriority
@@ -59,6 +59,72 @@ class EventHandle:
             sim._maybe_compact()
 
 
+class PeriodicChain:
+    """State of one ``every()`` chain.
+
+    Each firing schedules the next via the bound ``_tick`` method, so
+    the pending heap entry of a periodic chain is introspectable (the
+    state subsystem recognizes ``event.action.__self__`` as a
+    :class:`PeriodicChain` and serializes the chain parameters instead
+    of an opaque closure).
+    """
+
+    __slots__ = ("sim", "interval", "action", "args", "priority", "name",
+                 "until", "cancelled", "handle")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        action: Callable[..., Any],
+        args: tuple,
+        priority: int,
+        name: str,
+        until: Optional[float],
+    ) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.action = action
+        self.args = args
+        self.priority = priority
+        self.name = name
+        self.until = until
+        self.cancelled = False
+        self.handle: Optional[EventHandle] = None
+
+    def _tick(self) -> None:
+        if self.cancelled:
+            return
+        self.action(*self.args)
+        next_time = self.sim._now + self.interval
+        if self.until is not None and next_time > self.until:
+            return
+        self.handle = self.sim.at(
+            next_time, self._tick, priority=self.priority, name=self.name
+        )
+
+
+class _ChainHandle(EventHandle):
+    """Handle over a whole periodic chain (cancels all future firings)."""
+
+    __slots__ = ("_chain",)
+
+    def __init__(self, chain: PeriodicChain) -> None:
+        self._chain = chain
+
+    @property
+    def time(self) -> float:
+        return self._chain.handle.time
+
+    @property
+    def active(self) -> bool:
+        return not self._chain.cancelled and self._chain.handle.active
+
+    def cancel(self) -> None:
+        self._chain.cancelled = True
+        self._chain.handle.cancel()
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -88,6 +154,10 @@ class Simulator:
         # heap itself grew without bound.
         self._live = 0
         self._tombstones = 0
+        #: Optional hook invoked as ``observer(event)`` after each event
+        #: fires (post-state).  Used by repro.state.replay to record
+        #: per-event fingerprint streams without perturbing ordering.
+        self.observer: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -188,20 +258,6 @@ class Simulator:
         if interval <= 0:
             raise SimulationError(f"periodic interval must be > 0, got {interval}")
 
-        chain_cancelled = {"flag": False}
-        holder: dict[str, EventHandle] = {}
-
-        def tick() -> None:
-            if chain_cancelled["flag"]:
-                return
-            action(*args)
-            next_time = self._now + interval
-            if until is not None and next_time > until:
-                return
-            holder["handle"] = self.at(
-                next_time, tick, priority=priority, name=name or "periodic"
-            )
-
         first = self._now + (interval if start_offset is None else start_offset)
         if until is not None and first > until:
             # Nothing to do; return an already-cancelled handle.
@@ -209,25 +265,92 @@ class Simulator:
             self._seq += 1
             dummy.cancelled = True  # never entered the heap: no counters
             return EventHandle(dummy, self)
-        holder["handle"] = self.at(first, tick, priority=priority, name=name or "periodic")
+        chain = PeriodicChain(
+            self, float(interval), action, args, int(priority),
+            name or "periodic", until,
+        )
+        chain.handle = self.at(first, chain._tick, priority=priority, name=chain.name)
+        return _ChainHandle(chain)
 
-        class _ChainHandle(EventHandle):
-            def __init__(self) -> None:  # noqa: D401 - thin wrapper
-                pass
+    # ------------------------------------------------------------------
+    # State capture/restore support (used by repro.state)
+    # ------------------------------------------------------------------
+    def iter_live_events(self) -> List[Event]:
+        """Live (pending, not cancelled) events in firing order.
 
-            @property
-            def time(self) -> float:
-                return holder["handle"].time
+        Sorted by the event total order ``(time, priority, seq)`` —
+        exactly the order :meth:`step` would pop them.
+        """
+        return sorted(e for e in self._heap if not e.cancelled)
 
-            @property
-            def active(self) -> bool:
-                return not chain_cancelled["flag"] and holder["handle"].active
+    def clear_events(self) -> None:
+        """Drop every pending event (restore support: the state
+        subsystem wipes a freshly-built simulation's heap before
+        grafting the captured one).
 
-            def cancel(self) -> None:
-                chain_cancelled["flag"] = True
-                holder["handle"].cancel()
+        Cleared events are marked cancelled+done so any handle still
+        pointing at one becomes a no-op instead of corrupting the
+        live/tombstone counters.
+        """
+        for event in self._heap:
+            event.cancelled = True
+            event.done = True
+        self._heap.clear()
+        self._live = 0
+        self._tombstones = 0
 
-        return _ChainHandle()
+    def restore_clock(self, now: float, seq: int, events_fired: int) -> None:
+        """Overwrite clock/sequence counters with captured values.
+
+        The sequence counter must be restored exactly: future events
+        scheduled after a restore must receive the same seq numbers
+        (and hence the same FIFO tie-breaks) as in the original run.
+        """
+        self._now = float(now)
+        self._seq = int(seq)
+        self._events_fired = int(events_fired)
+
+    def restore_event(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[..., Any],
+        args: tuple = (),
+        name: str = "",
+    ) -> EventHandle:
+        """Re-plant a captured event with its original sequence number.
+
+        Unlike :meth:`at` this does not consume the seq counter — the
+        caller replays recorded seqs and restores the counter itself
+        via :meth:`restore_clock`.
+        """
+        event = Event(float(time), int(priority), int(seq), action, tuple(args), name)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return EventHandle(event, self)
+
+    def restore_periodic(
+        self,
+        interval: float,
+        action: Callable[..., Any],
+        args: tuple,
+        priority: int,
+        name: str,
+        until: Optional[float],
+        next_time: float,
+        seq: int,
+    ) -> EventHandle:
+        """Re-plant a periodic chain with its pending tick at *next_time*
+        carrying the captured *seq*.  Returns the chain handle."""
+        chain = PeriodicChain(
+            self, float(interval), action, tuple(args), int(priority),
+            name or "periodic", until,
+        )
+        chain.handle = self.restore_event(
+            next_time, priority, seq, chain._tick, (), chain.name
+        )
+        return _ChainHandle(chain)
 
     # ------------------------------------------------------------------
     # Execution
@@ -244,6 +367,8 @@ class Simulator:
             self._now = event.time
             self._events_fired += 1
             event.fire()
+            if self.observer is not None:
+                self.observer(event)
             return True
         return False
 
@@ -280,6 +405,8 @@ class Simulator:
                 self._now = event.time
                 self._events_fired += 1
                 event.fire()
+                if self.observer is not None:
+                    self.observer(event)
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(

@@ -6,10 +6,20 @@ monitoring archives the surveyed centers maintain (STFC: "continuously
 collecting power and energy system monitoring info, data center,
 machine, and job levels") — analyses are run over the trace after the
 simulation, never by reaching into live objects.
+
+Retention
+---------
+By default every record is kept.  Long checkpointed campaigns can bound
+memory with ``max_records``: the recorder then keeps only the trailing
+window, dropping the oldest records as new ones arrive.  Positions are
+tracked as *absolute* emission indices so the per-category bucket index
+stays consistent across drops (stale positions are pruned lazily on
+query).
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
@@ -41,42 +51,95 @@ class TraceRecorder:
     prefix (``"job"`` matches ``"job.start"`` and ``"job.end"``).
     Optional live subscribers receive records as they are emitted —
     used by telemetry aggregators and by tests.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`emit` is a no-op.
+    max_records:
+        Optional retention bound: keep only the most recent
+        *max_records* records (ring semantics).  ``None`` keeps all.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be > 0 or None, got {max_records}")
         self.enabled = enabled
+        self.max_records = max_records
+        # ``_records`` may carry a dead prefix of ``_dead`` entries
+        # already dropped from the retention window; they are physically
+        # deleted in amortized-O(1) chunks (see ``_compact``) so ring
+        # retention never degrades emit() to O(window).
         self._records: List[TraceRecord] = []
+        self._dead = 0
+        #: Total records ever emitted; the absolute index of
+        #: ``_records[i]`` is ``_emitted - len(_records) + i``.
+        self._emitted = 0
         self._subscribers: List[Callable[[TraceRecord], None]] = []
-        # Per-category bucket index: category -> positions in
-        # ``_records`` (each list ascending by construction).  Category
+        # Per-category bucket index: category -> *absolute* emission
+        # indices (each list ascending by construction).  Category
         # queries fold the matching buckets instead of scanning every
         # record; analyses over long simulations query specific
-        # categories thousands of times.
+        # categories thousands of times.  With ring retention, indices
+        # older than the window are pruned lazily at query time.
         self._buckets: Dict[str, List[int]] = {}
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._records) - self._dead
+
+    @property
+    def total_emitted(self) -> int:
+        """Records ever emitted, including any dropped by retention."""
+        return self._emitted
+
+    @property
+    def _first_abs(self) -> int:
+        """Absolute emission index of the oldest retained record."""
+        return self._emitted - (len(self._records) - self._dead)
 
     def emit(self, time: float, category: str, **data: Any) -> None:
         """Record an event at *time* under *category* with payload *data*."""
         if not self.enabled:
             return
         record = TraceRecord(time, category, data)
-        self._buckets.setdefault(category, []).append(len(self._records))
+        self._buckets.setdefault(category, []).append(self._emitted)
         self._records.append(record)
+        self._emitted += 1
+        if (
+            self.max_records is not None
+            and len(self._records) - self._dead > self.max_records
+        ):
+            self._dead += 1
+            self._compact()
         for sub in self._subscribers:
             sub(record)
+
+    def _compact(self) -> None:
+        """Physically delete the dead prefix once it dominates storage."""
+        if self._dead > 256 and 2 * self._dead >= len(self._records):
+            del self._records[: self._dead]
+            self._dead = 0
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Register a live subscriber invoked for every new record."""
         self._subscribers.append(callback)
 
+    def _record_at(self, abs_index: int) -> TraceRecord:
+        return self._records[abs_index - self._emitted + len(self._records)]
+
+    def _prune(self, positions: List[int]) -> List[int]:
+        """Drop bucket positions that fell out of the retention window."""
+        first = self._first_abs
+        if positions and positions[0] < first:
+            del positions[: bisect.bisect_left(positions, first)]
+        return positions
+
     def _matching_buckets(self, category: str) -> List[List[int]]:
         """Position lists of every bucket matching *category* (exact or
-        dotted-prefix), unmerged."""
+        dotted-prefix), pruned to the retention window, unmerged."""
         prefix = category + "."
         return [
-            positions
+            self._prune(positions)
             for cat, positions in self._buckets.items()
             if cat == category or cat.startswith(prefix)
         ]
@@ -89,7 +152,7 @@ class TraceRecorder:
         without touching non-matching records.
         """
         if category is None:
-            return list(self._records)
+            return self._records[self._dead:]
         buckets = self._matching_buckets(category)
         if not buckets:
             return []
@@ -97,30 +160,32 @@ class TraceRecorder:
             positions: Iterable[int] = buckets[0]
         else:
             positions = heapq.merge(*buckets)
-        records = self._records
-        return [records[i] for i in positions]
+        return [self._record_at(i) for i in positions]
 
     def iter_between(
         self, start: float, end: float, category: Optional[str] = None
     ) -> Iterator[TraceRecord]:
         """Yield records with ``start <= time < end`` (prefix-filtered)."""
         prefix = None if category is None else category + "."
-        for r in self._records:
+        for i in range(self._dead, len(self._records)):
+            r = self._records[i]
             if not (start <= r.time < end):
                 continue
             if category is None or r.category == category or r.category.startswith(prefix):  # type: ignore[arg-type]
                 yield r
 
     def count(self, category: Optional[str] = None) -> int:
-        """Number of records under *category* (prefix match).
+        """Number of retained records under *category* (prefix match).
 
-        O(#distinct categories), independent of the record count.
+        O(#distinct categories) plus any lazy pruning triggered by
+        retention, independent of the record count.
         """
         if category is None:
-            return len(self._records)
+            return len(self)
         return sum(len(b) for b in self._matching_buckets(category))
 
     def clear(self) -> None:
         """Drop all records (subscribers stay registered)."""
         self._records.clear()
         self._buckets.clear()
+        self._dead = 0

@@ -1,0 +1,97 @@
+"""Regression tests: budget redivision on idle sites and infeasible
+floors (BudgetCoordinator.reallocate must never raise BudgetError)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.core import ClusterSimulation, FcfsScheduler, SiteSimulation
+from repro.core.multi import BudgetCoordinator, MachineSlice
+from repro.power.budget import PowerBudget
+from repro.simulator import Simulator, TraceRecorder
+
+
+def idle_site(n_machines=3, budget_factor=0.6, interval=300.0):
+    """A site with no workload at all: zero demand everywhere."""
+    sim = Simulator()
+    trace = TraceRecorder()
+    sims = []
+    for i in range(n_machines):
+        machine = Machine(MachineSpec(name=f"m{i}", nodes=4,
+                                      idle_power=100.0, max_power=400.0))
+        sims.append(ClusterSimulation(machine, FcfsScheduler(), [],
+                                      sim=sim, trace=trace))
+    total_peak = sum(s.machine.peak_power for s in sims)
+    return SiteSimulation(sims, site_budget_watts=total_peak * budget_factor,
+                          coordinator_interval=interval)
+
+
+class TestZeroDemand:
+    def test_all_idle_site_splits_surplus_evenly(self):
+        site = idle_site(n_machines=3)
+        for simulation in site.simulations:
+            simulation.prepare()
+        out = site.coordinator.reallocate(site.sim.now)
+        watts = list(out.values())
+        assert len(watts) == 3
+        # Identical machines, zero demand: identical slices.
+        assert max(watts) - min(watts) < 1e-6
+        assert sum(watts) <= site.site_budget.limit_watts + 1e-6
+        site.site_budget.validate()
+
+    def test_idle_site_runs_to_horizon(self):
+        site = idle_site(n_machines=2, interval=120.0)
+        results = site.run(until=3600.0)
+        assert len(results) == 2
+        assert site.coordinator.reallocations >= 1 + int(3600.0 / 120.0)
+
+    def test_repeated_reallocation_is_stable(self):
+        site = idle_site(n_machines=3)
+        for simulation in site.simulations:
+            simulation.prepare()
+        first = site.coordinator.reallocate(site.sim.now)
+        for _ in range(10):
+            again = site.coordinator.reallocate(site.sim.now)
+        assert again == first
+
+
+class TestInfeasibleFloors:
+    def make_coordinator(self, limit, floors):
+        sim = Simulator()
+        trace = TraceRecorder()
+        site_budget = PowerBudget("site", limit)
+        slices = []
+        for i, floor in enumerate(floors):
+            machine = Machine(MachineSpec(name=f"m{i}", nodes=2,
+                                          idle_power=50.0, max_power=200.0))
+            simulation = ClusterSimulation(machine, FcfsScheduler(), [],
+                                           sim=sim, trace=trace)
+            simulation.prepare()
+            child = site_budget.subdivide(f"m{i}", limit / len(floors))
+            slices.append(MachineSlice(simulation, child, floor_watts=floor))
+        return BudgetCoordinator(site_budget, slices)
+
+    def test_floors_exceeding_budget_are_scaled_not_raised(self):
+        # Combined floors (160 W each) far exceed the 100 W envelope.
+        coord = self.make_coordinator(limit=100.0, floors=[160.0, 160.0])
+        out = coord.reallocate(0.0)
+        watts = list(out.values())
+        assert sum(watts) <= 100.0 + 1e-6
+        assert max(watts) - min(watts) < 1e-6  # proportional scaling
+        coord.site_budget.validate()
+
+    def test_unequal_infeasible_floors_scale_proportionally(self):
+        coord = self.make_coordinator(limit=120.0, floors=[300.0, 100.0])
+        out = coord.reallocate(0.0)
+        watts = list(out.values())
+        assert sum(watts) <= 120.0 + 1e-6
+        assert watts[0] != watts[1]
+        coord.site_budget.validate()
+
+    def test_feasible_floors_are_untouched(self):
+        coord = self.make_coordinator(limit=1000.0, floors=[100.0, 100.0])
+        out = coord.reallocate(0.0)
+        for watts in out.values():
+            assert watts >= 100.0 - 1e-9
+        assert sum(out.values()) <= 1000.0 + 1e-6

@@ -1,0 +1,147 @@
+"""Executor checkpointing and version-aware cache fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._version import __version__
+from repro.analysis.executor import (
+    ExperimentExecutor,
+    VariantSpec,
+    config_fingerprint,
+)
+from repro.simulator import derive_seed
+from repro.state import STATE_SCHEMA_VERSION, save_state, snapshot
+
+from .state_scenarios import build_rich, build_small, step_until
+
+SPEC = VariantSpec(name="small", build=build_small, seed_kwarg="seed")
+RICH = VariantSpec(name="rich", build=build_rich, seed_kwarg="seed")
+
+
+class TestFingerprintVersioning:
+    def test_fingerprint_includes_package_version(self, monkeypatch):
+        base = config_fingerprint(SPEC, 1, None)
+        monkeypatch.setattr(
+            "repro.analysis.executor.__version__", __version__ + ".dev99"
+        )
+        assert config_fingerprint(SPEC, 1, None) != base
+
+    def test_fingerprint_includes_state_schema(self, monkeypatch):
+        base = config_fingerprint(SPEC, 1, None)
+        monkeypatch.setattr(
+            "repro.analysis.executor.STATE_SCHEMA_VERSION",
+            STATE_SCHEMA_VERSION + 1,
+        )
+        assert config_fingerprint(SPEC, 1, None) != base
+
+    def test_version_bump_invalidates_cache(self, tmp_path, monkeypatch):
+        ex = ExperimentExecutor(cache_dir=tmp_path, base_seed=3)
+        ex.run([SPEC])
+        monkeypatch.setattr(
+            "repro.analysis.executor.__version__", __version__ + ".dev99"
+        )
+        ex2 = ExperimentExecutor(cache_dir=tmp_path, base_seed=3)
+        ex2.run([SPEC])
+        # A different fingerprint means a different cache file: the
+        # stale entry cannot be reused.
+        assert ex2.last_cache_hits == 0
+        assert ex2.last_executed == 1
+
+
+class TestCheckpointValidation:
+    def test_interval_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            ExperimentExecutor(checkpoint_interval=100.0)
+
+    def test_interval_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            ExperimentExecutor(cache_dir=tmp_path, checkpoint_interval=0.0)
+
+
+class TestCheckpointedExecution:
+    def test_checkpointed_run_matches_plain(self, tmp_path):
+        plain = ExperimentExecutor(cache_dir=tmp_path / "a", base_seed=3)
+        r_plain = plain.run([SPEC])[0]
+        ck = ExperimentExecutor(
+            cache_dir=tmp_path / "b", base_seed=3, checkpoint_interval=200.0
+        )
+        r_ck = ck.run([SPEC])[0]
+        assert r_ck.metrics == r_plain.metrics
+        assert r_ck.fingerprint == r_plain.fingerprint
+        assert r_ck.final_time == r_plain.final_time
+        assert r_ck.events_fired == r_plain.events_fired
+
+    def test_checkpoint_removed_after_success(self, tmp_path):
+        ex = ExperimentExecutor(
+            cache_dir=tmp_path, base_seed=3, checkpoint_interval=200.0
+        )
+        ex.run([SPEC])
+        ckdir = tmp_path / "checkpoints"
+        assert not ckdir.exists() or not list(ckdir.iterdir())
+
+    def test_killed_sweep_resumes_identically(self, tmp_path):
+        """A checkpoint left behind by a killed run is picked up and the
+        resumed result matches the uninterrupted one exactly."""
+        plain = ExperimentExecutor(cache_dir=tmp_path / "a", base_seed=3)
+        r_plain = plain.run([RICH])[0]
+
+        seed = derive_seed(3, "rich/replica:0")
+        fp = config_fingerprint(RICH, seed, None)
+        sim = step_until(build_rich(seed=seed), 900.0)
+        ckpath = tmp_path / "b" / "checkpoints" / f"{fp}.ckpt"
+        save_state(str(ckpath), snapshot(sim))
+
+        ex = ExperimentExecutor(
+            cache_dir=tmp_path / "b", base_seed=3, checkpoint_interval=300.0
+        )
+        r_resumed = ex.run([RICH])[0]
+        assert r_resumed.metrics == r_plain.metrics
+        assert r_resumed.fingerprint == r_plain.fingerprint
+        assert r_resumed.events_fired == r_plain.events_fired
+        assert not list(ckpath.parent.iterdir())
+
+    def test_corrupt_checkpoint_falls_back_to_fresh(self, tmp_path):
+        plain = ExperimentExecutor(cache_dir=tmp_path / "a", base_seed=3)
+        r_plain = plain.run([SPEC])[0]
+
+        seed = derive_seed(3, "small/replica:0")
+        fp = config_fingerprint(SPEC, seed, None)
+        ckpath = tmp_path / "b" / "checkpoints" / f"{fp}.ckpt"
+        ckpath.parent.mkdir(parents=True)
+        ckpath.write_bytes(b"not a checkpoint")
+
+        ex = ExperimentExecutor(
+            cache_dir=tmp_path / "b", base_seed=3, checkpoint_interval=300.0
+        )
+        assert ex.run([SPEC])[0].metrics == r_plain.metrics
+
+    def test_foreign_checkpoint_falls_back_to_fresh(self, tmp_path):
+        """A checkpoint from a different scenario under this task's
+        path (config drift) is ignored, not restored."""
+        plain = ExperimentExecutor(cache_dir=tmp_path / "a", base_seed=3)
+        r_plain = plain.run([SPEC])[0]
+
+        seed = derive_seed(3, "small/replica:0")
+        fp = config_fingerprint(SPEC, seed, None)
+        foreign = step_until(build_rich(), 900.0)
+        ckpath = tmp_path / "b" / "checkpoints" / f"{fp}.ckpt"
+        save_state(str(ckpath), snapshot(foreign))
+
+        ex = ExperimentExecutor(
+            cache_dir=tmp_path / "b", base_seed=3, checkpoint_interval=300.0
+        )
+        assert ex.run([SPEC])[0].metrics == r_plain.metrics
+
+    def test_until_horizon_checkpointing(self, tmp_path):
+        plain = ExperimentExecutor(
+            cache_dir=tmp_path / "a", base_seed=3, until=1500.0
+        )
+        r_plain = plain.run([SPEC])[0]
+        ck = ExperimentExecutor(
+            cache_dir=tmp_path / "b", base_seed=3, until=1500.0,
+            checkpoint_interval=400.0,
+        )
+        r_ck = ck.run([SPEC])[0]
+        assert r_ck.metrics == r_plain.metrics
+        assert r_ck.final_time == r_plain.final_time

@@ -1,0 +1,182 @@
+"""Snapshot/restore round trips of live simulations (repro.state).
+
+The central invariant: restoring a mid-run snapshot yields a
+simulation whose remaining run is bit-identical to the original —
+same events, same floats, same final :class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.cluster import NodeState
+from repro.errors import StateError
+from repro.state import (
+    diff_states,
+    light_fingerprint,
+    load_state,
+    resume_run,
+    result_fingerprint,
+    run_checkpointed,
+    restore,
+    sim_fingerprint,
+    snapshot,
+    state_fingerprint,
+)
+
+from .state_scenarios import build_rich, build_small, step_until
+
+BACKENDS = ("vector", "scalar")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSmallRoundTrip:
+    def test_snapshot_restore_fixed_point(self, backend):
+        sim = step_until(build_small(backend=backend), 700.0)
+        st = snapshot(sim)
+        restored = restore(st, functools.partial(build_small, backend=backend))
+        assert state_fingerprint(snapshot(restored)) == state_fingerprint(st)
+        assert light_fingerprint(restored) == light_fingerprint(sim)
+
+    def test_resumed_run_is_identical(self, backend):
+        ref = result_fingerprint(build_small(backend=backend).run())
+        sim = step_until(build_small(backend=backend), 700.0)
+        st = snapshot(sim)
+        restored = restore(st, functools.partial(build_small, backend=backend))
+        assert result_fingerprint(run_checkpointed(restored)) == ref
+        # The donor simulation is untouched by snapshot: it finishes
+        # identically too.
+        assert result_fingerprint(run_checkpointed(sim)) == ref
+
+    def test_snapshot_does_not_perturb(self, backend):
+        ref = result_fingerprint(build_small(backend=backend).run())
+        sim = build_small(backend=backend)
+        sim.prepare()
+        while sim.sim.step():
+            snapshot(sim)
+            if sim.all_jobs_terminal:
+                break
+        assert result_fingerprint(sim.finalize()) == ref
+
+    def test_until_horizon_resume(self, backend):
+        ref = result_fingerprint(build_small(backend=backend).run(until=1500.0))
+        sim = step_until(build_small(backend=backend), 600.0)
+        st = snapshot(sim)
+        result = resume_run(
+            st, functools.partial(build_small, backend=backend), until=1500.0
+        )
+        assert result_fingerprint(result) == ref
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRichRoundTrip:
+    """All six node states, power caps, pending boot event, backfill."""
+
+    def cut_sim(self, backend):
+        sim = step_until(build_rich(backend=backend), 900.0)
+        # Manufacture the remaining states deterministically: one DOWN
+        # node and one BOOTING node with its boot event in flight.
+        idle = [n for n in sim.machine.nodes if n.state is NodeState.IDLE]
+        off = [n for n in sim.machine.nodes if n.state is NodeState.OFF]
+        assert idle and off, "scenario must leave idle and off nodes at the cut"
+        sim.rm.drain_node(idle[0])
+        sim.rm.boot_node(off[0])
+        return sim
+
+    def test_all_six_states_present(self, backend):
+        sim = self.cut_sim(backend)
+        states = {n.state for n in sim.machine.nodes}
+        assert states == {
+            NodeState.OFF, NodeState.BOOTING, NodeState.IDLE,
+            NodeState.BUSY, NodeState.SHUTTING_DOWN, NodeState.DOWN,
+        }
+        assert any(n.power_cap is not None for n in sim.machine.nodes)
+
+    def test_fixed_point_and_identical_finish(self, backend):
+        sim = self.cut_sim(backend)
+        st = snapshot(sim)
+        restored = restore(st, functools.partial(build_rich, backend=backend))
+        st2 = snapshot(restored)
+        assert diff_states(st, st2) == []
+        assert state_fingerprint(st2) == state_fingerprint(st)
+        fp_restored = result_fingerprint(run_checkpointed(restored))
+        fp_original = result_fingerprint(run_checkpointed(sim))
+        assert fp_restored == fp_original
+
+    def test_node_fields_survive(self, backend):
+        sim = self.cut_sim(backend)
+        restored = restore(
+            snapshot(sim), functools.partial(build_rich, backend=backend)
+        )
+        for a, b in zip(sim.machine.nodes, restored.machine.nodes):
+            assert a.state is b.state
+            assert a.power_cap == b.power_cap
+            assert a.frequency == b.frequency
+            assert a.idle_since == b.idle_since or (
+                a.idle_since is None and b.idle_since is None
+            )
+
+
+class TestCheckpointedRun:
+    def test_checkpointed_run_identical_to_plain(self, tmp_path):
+        ref = result_fingerprint(build_small().run())
+        sim = build_small()
+        path = tmp_path / "ck.ckpt"
+        saves = []
+        result = run_checkpointed(
+            sim, interval=300.0,
+            sink=lambda s: saves.append(sim_fingerprint(s)),
+        )
+        assert result_fingerprint(result) == ref
+        assert len(saves) >= 2
+
+    def test_kill_and_resume_from_file(self, tmp_path):
+        ref = result_fingerprint(build_rich().run())
+        from repro.state import checkpoint_to
+
+        path = str(tmp_path / "ck.ckpt")
+        sink = checkpoint_to(path)
+        sim = step_until(build_rich(), 1200.0)
+        sink(sim)  # the "kill" leaves only the file behind
+        del sim
+        result = resume_run(load_state(path), build_rich)
+        assert result_fingerprint(result) == ref
+
+
+class TestGuards:
+    def test_restore_rejects_different_config(self):
+        st = snapshot(step_until(build_small(), 500.0))
+        with pytest.raises(StateError, match="config"):
+            restore(st, build_rich)
+
+    def test_restore_rejects_different_seed(self):
+        st = snapshot(step_until(build_small(seed=7), 500.0))
+        with pytest.raises(StateError, match="config"):
+            restore(st, functools.partial(build_small, seed=8))
+
+    def test_trace_and_meter_survive(self):
+        sim = step_until(build_small(), 700.0)
+        n_records = len(sim.trace)
+        n_samples = sim.meter.num_samples
+        restored = restore(snapshot(sim), build_small)
+        assert len(restored.trace) == n_records
+        assert restored.trace.total_emitted == sim.trace.total_emitted
+        assert restored.meter.num_samples == n_samples
+        assert restored.meter.energy_joules == sim.meter.energy_joules
+        times_a, _ = sim.meter.series()
+        times_b, _ = restored.meter.series()
+        assert list(times_a) == list(times_b)
+
+    def test_rng_streams_survive(self):
+        sim = step_until(build_small(), 700.0)
+        # Advance a stream so its captured position differs from a
+        # fresh one; the restored stream must continue from there.
+        sim.rng.stream("probe").random(5)
+        restored = restore(snapshot(sim), build_small)
+        a = sim.rng.stream("probe").random(4).tolist()
+        b = restored.rng.stream("probe").random(4).tolist()
+        assert a == b
+        fresh = build_small()
+        assert fresh.rng.stream("probe").random(5).tolist() != a

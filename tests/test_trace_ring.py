@@ -1,0 +1,95 @@
+"""Tests for TraceRecorder ring retention (max_records)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import TraceRecorder
+
+
+class TestRingRetention:
+    def test_unbounded_by_default(self):
+        tr = TraceRecorder()
+        for i in range(1000):
+            tr.emit(float(i), "cat.a", i=i)
+        assert len(tr) == 1000
+        assert tr.total_emitted == 1000
+
+    def test_bound_keeps_trailing_window(self):
+        tr = TraceRecorder(max_records=10)
+        for i in range(100):
+            tr.emit(float(i), "cat.a", i=i)
+        assert len(tr) == 10
+        assert tr.total_emitted == 100
+        assert [r.data["i"] for r in tr.records()] == list(range(90, 100))
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_records"):
+            TraceRecorder(max_records=0)
+        with pytest.raises(ValueError, match="max_records"):
+            TraceRecorder(max_records=-3)
+
+    def test_category_queries_consistent_after_drops(self):
+        tr = TraceRecorder(max_records=20)
+        for i in range(200):
+            tr.emit(float(i), "even" if i % 2 == 0 else "odd", i=i)
+        evens = [r.data["i"] for r in tr.records("even")]
+        odds = [r.data["i"] for r in tr.records("odd")]
+        assert evens == [i for i in range(180, 200) if i % 2 == 0]
+        assert odds == [i for i in range(180, 200) if i % 2 == 1]
+        assert tr.count("even") == 10
+        assert tr.count("odd") == 10
+        assert tr.count() == 20
+
+    def test_prefix_merge_preserves_emission_order(self):
+        tr = TraceRecorder(max_records=30)
+        for i in range(120):
+            tr.emit(float(i), f"job.{'start' if i % 3 else 'end'}", i=i)
+        merged = [r.data["i"] for r in tr.records("job")]
+        assert merged == sorted(merged)
+        assert len(merged) == 30
+
+    def test_iter_between_respects_window(self):
+        tr = TraceRecorder(max_records=25)
+        for i in range(100):
+            tr.emit(float(i), "m.sample", i=i)
+        got = [r.data["i"] for r in tr.iter_between(0.0, 1000.0)]
+        assert got == list(range(75, 100))
+        narrow = [r.data["i"] for r in tr.iter_between(80.0, 90.0, "m")]
+        assert narrow == list(range(80, 90))
+
+    def test_emit_stays_amortized_constant(self):
+        """The dead prefix is physically deleted in chunks; storage
+        never exceeds the window plus the compaction slack."""
+        tr = TraceRecorder(max_records=100)
+        for i in range(50_000):
+            tr.emit(float(i), "c", i=i)
+        assert len(tr) == 100
+        assert len(tr._records) <= 2 * max(256, 100) + 2
+
+    def test_subscribers_see_everything(self):
+        seen = []
+        tr = TraceRecorder(max_records=5)
+        tr.subscribe(lambda r: seen.append(r.data["i"]))
+        for i in range(50):
+            tr.emit(float(i), "c", i=i)
+        assert seen == list(range(50))
+        assert len(tr) == 5
+
+    def test_clear_resets_window_but_not_total(self):
+        tr = TraceRecorder(max_records=5)
+        for i in range(20):
+            tr.emit(float(i), "c", i=i)
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.total_emitted == 20
+        tr.emit(99.0, "c", i=99)
+        assert [r.data["i"] for r in tr.records("c")] == [99]
+
+    def test_window_exactly_at_bound(self):
+        tr = TraceRecorder(max_records=7)
+        for i in range(7):
+            tr.emit(float(i), "c", i=i)
+        assert len(tr) == 7
+        tr.emit(7.0, "c", i=7)
+        assert [r.data["i"] for r in tr.records()] == list(range(1, 8))
