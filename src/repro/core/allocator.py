@@ -13,6 +13,7 @@ from the surveyed material:
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import List, Optional, Sequence
 
 from ..cluster.machine import Machine
@@ -54,7 +55,7 @@ class FirstFitAllocator(Allocator):
         self, machine: Machine, available: Sequence[Node], count: int
     ) -> List[Node]:
         self._check(available, count)
-        return sorted(available, key=lambda n: n.node_id)[:count]
+        return sorted(available, key=attrgetter("node_id"))[:count]
 
 
 class LowPowerAllocator(Allocator):
@@ -70,7 +71,9 @@ class LowPowerAllocator(Allocator):
         self, machine: Machine, available: Sequence[Node], count: int
     ) -> List[Node]:
         self._check(available, count)
-        return sorted(available, key=lambda n: (n.effective_max_power, n.node_id))[:count]
+        return sorted(
+            available, key=attrgetter("effective_max_power", "node_id")
+        )[:count]
 
 
 class TopologyAwareAllocator(Allocator):
@@ -92,7 +95,7 @@ class TopologyAwareAllocator(Allocator):
     ) -> List[Node]:
         self._check(available, count)
         topo: Optional[Topology] = machine.topology
-        ordered = sorted(available, key=lambda n: n.node_id)
+        ordered = sorted(available, key=attrgetter("node_id"))
         if topo is None or count == 1:
             return ordered[:count]
 

@@ -67,6 +67,10 @@ class JobQueue:
                 raise QueueError(f"duplicate queue name {cfg.name!r}")
             self._configs[cfg.name] = cfg
         self._jobs: Dict[str, Job] = {}
+        #: Memoized scheduling order; priorities and submit times are
+        #: immutable while queued, so the order only changes when the
+        #: membership does (submit/remove invalidate).
+        self._order: Optional[List[Job]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -104,23 +108,34 @@ class JobQueue:
                 f"job {job.job_id} violates limits of queue {cfg.name!r}"
             )
         self._jobs[job.job_id] = job
+        self._order = None
 
     def remove(self, job_id: str) -> Job:
         """Remove and return a queued job (started or cancelled)."""
         try:
-            return self._jobs.pop(job_id)
+            job = self._jobs.pop(job_id)
         except KeyError:
             raise QueueError(f"job {job_id} not in queue") from None
+        self._order = None
+        return job
 
     def pending(self) -> List[Job]:
-        """Jobs in merged scheduling order."""
+        """Jobs in merged scheduling order.
 
-        def sort_key(job: Job):
-            cfg = self._configs.get(job.queue) or self._configs.get("default")
-            qprio = cfg.priority if cfg else 0
-            return (-qprio, -job.priority, job.submit_time, job.job_id)
+        Every policy tick and schedule pass reads this; re-sorting a
+        deep backlog each time is O(Q log Q) per call, so the order is
+        cached until the queue membership changes.  Returns a fresh
+        list — callers may slice or mutate it freely.
+        """
+        if self._order is None:
 
-        return sorted(self._jobs.values(), key=sort_key)
+            def sort_key(job: Job):
+                cfg = self._configs.get(job.queue) or self._configs.get("default")
+                qprio = cfg.priority if cfg else 0
+                return (-qprio, -job.priority, job.submit_time, job.job_id)
+
+            self._order = sorted(self._jobs.values(), key=sort_key)
+        return list(self._order)
 
     def backlog_nodes(self) -> int:
         """Total nodes requested by queued jobs (Q3b's backlog size)."""

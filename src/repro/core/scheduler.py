@@ -13,12 +13,16 @@ deterministic and unit-testable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from ..cluster.machine import Machine
 from ..cluster.node import Node
 from ..workload.job import Job
 from .allocator import Allocator, FirstFitAllocator
+
+#: C-speed node-id extraction for hot pool/sort paths.
+_node_id = attrgetter("node_id")
 
 
 class NodePool:
@@ -35,7 +39,8 @@ class NodePool:
     __slots__ = ("_nodes",)
 
     def __init__(self, nodes: Iterable[Node]) -> None:
-        self._nodes = {n.node_id: n for n in nodes}
+        nodes = list(nodes)
+        self._nodes = dict(zip(map(_node_id, nodes), nodes))
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -152,10 +157,21 @@ class FcfsScheduler(Scheduler):
 
     def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
         decisions: List[StartDecision] = []
-        pool = NodePool(ctx.available)
+        # Lazy pool: on a congested machine most passes block on the
+        # head job, and keying every available node into a pool that is
+        # never drawn from is the dominant per-pass cost.  The fit
+        # check only needs the count; the pool is built when the first
+        # job actually clears both gates (preserving the exact
+        # admit-call sequence — admission hooks count vetoes).
+        pool: Optional[NodePool] = None
+        free = len(ctx.available)
         for job in ctx.pending:
-            if job.nodes > len(pool) or not ctx.admit(job):
+            if job.nodes > (free if pool is None else len(pool)):
                 break
+            if not ctx.admit(job):
+                break
+            if pool is None:
+                pool = NodePool(ctx.available)
             nodes = self._allocate(ctx, job, pool)
             pool.remove_ids(n.node_id for n in nodes)
             decisions.append(StartDecision(job, nodes))

@@ -51,6 +51,7 @@ class JobExecution:
     __slots__ = (
         "job",
         "nodes",
+        "node_ids",
         "rows",
         "work_done",
         "speed",
@@ -65,6 +66,10 @@ class JobExecution:
     def __init__(self, job: Job, nodes: List[Node]) -> None:
         self.job = job
         self.nodes = nodes
+        #: Frozen once at start: the scheduler context needs this tuple
+        #: every pass, and rebuilding it per pass is O(job width) for
+        #: each running job on every pass (dominant at 64k-node scale).
+        self.node_ids: Tuple[int, ...] = tuple(n.node_id for n in nodes)
         #: Mirror row indices of ``nodes`` (vector power backend only).
         self.rows: Optional[np.ndarray] = None
         self.work_done = 0.0
@@ -192,6 +197,10 @@ class ClusterSimulation:
         self._started_count = 0
         self._terminal_count = 0
         self._prepared = False
+        #: True while :meth:`run_batched` is driving the event loop;
+        #: routes policy ticks through ``on_tick_batch`` with an SoA
+        #: lifecycle view instead of the scalar ``on_tick``.
+        self._batched = False
         # Incremental machine power accounting.  A node's draw depends
         # only on its state/cap/frequency/variability and the (static)
         # intensity of the job bound to it — never on time directly —
@@ -226,6 +235,11 @@ class ClusterSimulation:
         self._node_row: Dict[int, int] = {
             node.node_id: row for row, node in enumerate(machine.nodes)
         }
+        #: Object array mirroring machine.nodes: lets build_context()
+        #: materialize the available list with one fancy-index instead
+        #: of a Python loop over the mask's set rows.
+        self._nodes_arr = np.empty(len(machine.nodes), dtype=object)
+        self._nodes_arr[:] = machine.nodes
         self._avail_mask = np.fromiter(
             (n.is_available for n in machine.nodes), dtype=bool,
             count=len(machine.nodes),
@@ -257,6 +271,8 @@ class ClusterSimulation:
                           f"{sample_interval:.0f}s machine power sampling")
 
         self.policies: List[Policy] = []
+        self._shaping_policies: List[Policy] = []
+        self._filter_policies: List[Policy] = []
         for policy in policies:
             self.add_policy(policy)
 
@@ -267,6 +283,12 @@ class ClusterSimulation:
         """Register an EPA policy (before :meth:`run`)."""
         policy.attach(self)
         self.policies.append(policy)
+        # Hot-path hook lists: build_context runs per schedule pass and
+        # must not pay per-job/per-node dispatch for default no-op hooks.
+        if type(policy).select_configuration is not Policy.select_configuration:
+            self._shaping_policies.append(policy)
+        if type(policy).filter_nodes is not Policy.filter_nodes:
+            self._filter_policies.append(policy)
         for name, category, desc in policy.epa_components():
             self.epa.register(name, category, desc)
         if policy.control_interval is not None:
@@ -280,8 +302,24 @@ class ClusterSimulation:
 
     def _policy_tick(self, policy: Policy) -> None:
         """Periodic control tick for one policy (bound method so the
-        state subsystem can capture pending ticks)."""
-        policy.on_tick(self.sim.now)
+        state subsystem can capture pending ticks).
+
+        Under :meth:`run_batched` the tick routes through
+        ``on_tick_batch`` with a lifecycle view (or None on the scalar
+        backend); the two hooks are pinned decision-identical by the
+        replay-equivalence suite.
+        """
+        if self._batched:
+            policy.on_tick_batch(self.sim.now, self.lifecycle_view())
+        else:
+            policy.on_tick(self.sim.now)
+
+    def lifecycle_view(self):
+        """SoA lifecycle view of the machine at the current instant, or
+        None on the scalar backend (callers fall back to node objects)."""
+        if self.power_vector is None:
+            return None
+        return self.power_vector.lifecycle_view(self.sim.now)
 
     # ------------------------------------------------------------------
     # Power accounting
@@ -667,17 +705,18 @@ class ClusterSimulation:
         to the seed's full scan.
         """
         now = self.sim.now
-        nodes = self.machine.nodes
-        available = [nodes[row] for row in np.flatnonzero(self._avail_mask)]
-        for policy in self.policies:
+        available = self._nodes_arr[self._avail_mask].tolist()
+        for policy in self._filter_policies:
             available = policy.filter_nodes(available, now)
 
-        pending: List[Job] = []
-        for job in self.queue.pending():
-            shaped = job
-            for policy in self.policies:
-                shaped = policy.select_configuration(shaped, now)
-            pending.append(shaped)
+        pending = self.queue.pending()
+        if self._shaping_policies:
+            shaped_jobs: List[Job] = []
+            for job in pending:
+                for policy in self._shaping_policies:
+                    job = policy.select_configuration(job, now)
+                shaped_jobs.append(job)
+            pending = shaped_jobs
 
         # A start_time of exactly 0.0 is a legitimate start (the first
         # jobs of most workloads), not a missing value — only None
@@ -685,7 +724,7 @@ class ClusterSimulation:
         running = [
             RunningJobInfo(
                 e.job,
-                tuple(n.node_id for n in e.nodes),
+                e.node_ids,
                 (now if e.job.start_time is None else e.job.start_time)
                 + e.job.walltime_request,
             )
@@ -837,4 +876,64 @@ class ClusterSimulation:
                         unfinished=len(self.jobs) - self._terminal_count,
                     )
                     break
+        return self.finalize()
+
+    def run_batched(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stall_timeout: float = 30.0 * 86400.0,
+    ) -> SimulationResult:
+        """Batched twin of :meth:`run`: same contract, same results.
+
+        Drives the engine through
+        :meth:`~repro.simulator.engine.Simulator.run_batched` (same-
+        instant event cohorts dispatched without per-event heap
+        traffic) and routes policy ticks through ``on_tick_batch`` with
+        an SoA lifecycle view.  Pinned event-for-event replay-identical
+        to :meth:`run` by the ``repro.state`` first-divergence harness;
+        the stop closure below replicates the stepped loop's terminal,
+        max-events and stall checks at the same points (after each
+        fired event ≡ before the next step).
+        """
+        self.prepare()
+        self._batched = True
+        try:
+            if until is not None:
+                self.sim.run_batched(until=until, max_events=max_events)
+            else:
+                fired = 0
+                last_progress_count = -1
+                last_progress_time = self.sim.now
+
+                def stop() -> bool:
+                    # Called once before the first event (the stepped
+                    # loop's initial while-test) and after every fired
+                    # event thereafter.
+                    nonlocal fired, last_progress_count, last_progress_time
+                    fired += 1
+                    if fired == 1:
+                        return self.all_jobs_terminal
+                    if max_events is not None and fired - 1 >= max_events:
+                        raise SchedulingError(
+                            f"exceeded max_events={max_events}; "
+                            f"runaway simulation?"
+                        )
+                    if self.all_jobs_terminal:
+                        return True
+                    progress = self.progress_count
+                    if progress != last_progress_count:
+                        last_progress_count = progress
+                        last_progress_time = self.sim.now
+                    elif self.sim.now - last_progress_time > stall_timeout:
+                        self.trace.emit(
+                            self.sim.now, "sim.stall",
+                            unfinished=len(self.jobs) - self._terminal_count,
+                        )
+                        return True
+                    return False
+
+                self.sim.run_batched(stop=stop)
+        finally:
+            self._batched = False
         return self.finalize()

@@ -27,6 +27,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.simulation import ClusterSimulation
 
 
+def _idle_rank(node: Node) -> Tuple[bool, float, int]:
+    """Longest-idle-first candidate key shared by the shutdown-style
+    policies: timestamped nodes first (oldest ``idle_since`` winning),
+    nodes with no idle timestamp last, node id breaking ties.  Written
+    out explicitly because ``idle_since or 0.0`` conflates a node idle
+    since t=0 with one whose timestamp is ``None``.
+    """
+    idle_since = node.idle_since
+    return (
+        idle_since is None,
+        idle_since if idle_since is not None else 0.0,
+        node.node_id,
+    )
+
+
 class Policy:
     """Base class for all EPA policies.  All hooks are optional."""
 
@@ -88,6 +103,21 @@ class Policy:
 
     def on_tick(self, now: float) -> None:
         """Periodic control loop (only if ``control_interval`` set)."""
+
+    def on_tick_batch(self, now: float, view) -> None:
+        """Batched-run twin of :meth:`on_tick`.
+
+        ``ClusterSimulation.run_batched`` routes policy ticks here,
+        passing a :class:`~repro.power.vector.LifecycleView` (SoA
+        arrays over the machine) when the vector power backend is
+        active, else ``None``.  Overrides must stay *decision- and
+        arithmetic-identical* to ``on_tick`` — batched runs are pinned
+        replay-identical to stepped runs by the ``repro.state``
+        harness, so even float accumulation order matters for any
+        value that ends up in a snapshot.  Default: delegate to the
+        scalar hook.
+        """
+        self.on_tick(now)
 
     # ------------------------------------------------------------------
     # Introspection

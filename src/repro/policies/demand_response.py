@@ -17,7 +17,7 @@ from ..core.epa import FunctionalCategory
 from ..grid.events import GridEventSchedule
 from ..units import check_positive
 from ..workload.job import Job
-from .base import Policy
+from .base import Policy, _idle_rank
 
 
 class DemandResponsePolicy(Policy):
@@ -93,7 +93,7 @@ class DemandResponsePolicy(Policy):
         excess = power - event.limit_watts
         idle = sorted(
             machine.nodes_in_state(NodeState.IDLE),
-            key=lambda n: (n.idle_since or 0.0, n.node_id),
+            key=_idle_rank,
         )
         shed = 0.0
         to_stop = []

@@ -20,7 +20,7 @@ from ..cluster.node import NodeState
 from ..core.epa import FunctionalCategory
 from ..units import check_positive
 from ..workload.job import Job
-from .base import Policy
+from .base import Policy, _idle_rank
 
 
 class DynamicProvisioningPolicy(Policy):
@@ -102,7 +102,7 @@ class DynamicProvisioningPolicy(Policy):
             excess = avg - self.cap_watts
             idle = sorted(
                 machine.nodes_in_state(NodeState.IDLE),
-                key=lambda n: (n.idle_since or 0.0, n.node_id),
+                key=_idle_rank,
             )
             shed = 0.0
             to_stop = []
@@ -125,7 +125,7 @@ class DynamicProvisioningPolicy(Policy):
             shortfall = instant + self._job_power_delta(head) - self.cap_watts
             idle = sorted(
                 machine.nodes_in_state(NodeState.IDLE),
-                key=lambda n: (n.idle_since or 0.0, n.node_id),
+                key=_idle_rank,
             )
             surplus = len(idle) - head.nodes
             if shortfall > 0 and surplus > 0:

@@ -14,8 +14,12 @@ from typing import List, Tuple
 
 from ..cluster.node import NodeState
 from ..core.epa import FunctionalCategory
+from ..power.vector import STATE_CODES
 from ..units import check_non_negative, check_positive
-from .base import Policy
+from .base import Policy, _idle_rank
+
+_IDLE = STATE_CODES[NodeState.IDLE]
+_BOOTING = STATE_CODES[NodeState.BOOTING]
 
 
 class IdleShutdownPolicy(Policy):
@@ -71,8 +75,45 @@ class IdleShutdownPolicy(Policy):
         if surplus <= 0:
             return
         candidates = rm.idle_nodes_longer_than(self.idle_threshold)
-        candidates.sort(key=lambda n: (n.idle_since or 0.0, n.node_id))
+        # Longest-idle first.  ``idle_since or 0.0`` would conflate a
+        # node idle since t=0 with one that has no idle timestamp; rank
+        # timestamped nodes first, oldest timestamp winning, node id
+        # breaking ties.
+        candidates.sort(key=_idle_rank)
         to_stop = candidates[:surplus]
+        for node in to_stop:
+            self.energy_saved_estimate += node.idle_power * self.control_interval
+        rm.shutdown_nodes(to_stop)
+
+    def on_tick_batch(self, now: float, view) -> None:
+        """SoA twin of :meth:`on_tick` for batched runs.
+
+        Decision-identical to the scalar hook: counts come off the
+        state-code array, candidate ranking is a lexsort on the same
+        ``(idle_since, node_id)`` key, and ``energy_saved_estimate``
+        accumulates in the same sequential order (it is captured in
+        ``repro.state`` snapshots, so even summation order matters).
+        """
+        if view is None:
+            self.on_tick(now)
+            return
+        rm = self.simulation.rm
+        demand = self._queue_demand()
+        supply = view.count_in_state(_IDLE) + view.count_in_state(_BOOTING)
+
+        if demand > supply:
+            deficit = demand - supply
+            nodes = view.nodes
+            rm.boot_nodes([nodes[row] for row in view.off_rows()[:deficit]])
+            return
+
+        keep = demand + self.min_spare
+        surplus = view.count_in_state(_IDLE) - keep
+        if surplus <= 0:
+            return
+        rows = view.idle_candidate_rows(self.idle_threshold)[:surplus]
+        nodes = view.nodes
+        to_stop = [nodes[row] for row in rows]
         for node in to_stop:
             self.energy_saved_estimate += node.idle_power * self.control_interval
         rm.shutdown_nodes(to_stop)

@@ -50,7 +50,7 @@ from ..cluster.machine import Machine
 from ..cluster.node import NodeState
 from .model import NodePowerModel
 
-__all__ = ["OperatingPoints", "VectorPowerMirror", "STATE_CODES"]
+__all__ = ["LifecycleView", "OperatingPoints", "VectorPowerMirror", "STATE_CODES"]
 
 #: NodeState -> small-int code used in the state-code array.
 STATE_CODES: Dict[NodeState, int] = {
@@ -81,6 +81,73 @@ class OperatingPoints:
     cap_violated: np.ndarray
 
 
+@dataclass(frozen=True)
+class LifecycleView:
+    """Read-only SoA view of the node lifecycle for batch-aware policy
+    ticks (:meth:`repro.policies.base.Policy.on_tick_batch`).
+
+    Rows are ``machine.nodes`` positions, same as the power arrays.
+    The arrays are the mirror's own (no copies): treat them as
+    immutable and never hold them across events.
+    """
+
+    now: float
+    node_id: np.ndarray
+    state_code: np.ndarray
+    #: Seconds-since-epoch a node went idle; NaN where the node has no
+    #: idle timestamp (``Node.idle_since is None``).
+    idle_since: np.ndarray
+    #: Jobs bound to each node (0 or 1 under whole-node allocation).
+    bound_jobs: np.ndarray
+    idle_power: np.ndarray
+    nodes: Sequence  # row -> Node, for materializing picks
+    #: Per-state-code node counts frozen at view creation (the mirror
+    #: maintains them incrementally, so reading one is O(1), not O(N)).
+    state_counts: tuple = ()
+    #: True when row order == node-id order (the common case): ordered
+    #: candidate kernels can then skip their id sorts entirely.
+    ids_monotone: bool = False
+
+    def count_in_state(self, code: int) -> int:
+        """Number of nodes whose state code equals *code*."""
+        if self.state_counts:
+            return self.state_counts[code]
+        return int(np.count_nonzero(self.state_code == code))
+
+    def idle_candidate_rows(self, threshold: float) -> np.ndarray:
+        """Rows idle for at least *threshold* seconds at ``self.now``,
+        ordered by ``(idle_since, node_id)`` — the vector twin of
+        sorting ``ResourceManager.idle_nodes_longer_than`` output by
+        the longest-idle-first policy key.  NaN ``idle_since`` rows
+        (no idle timestamp) never qualify, mirroring the scalar
+        ``None`` guard."""
+        idle_since = self.idle_since
+        with np.errstate(invalid="ignore"):
+            mask = (self.state_code == _IDLE) & (
+                self.now - idle_since >= threshold
+            )
+        rows = np.flatnonzero(mask)
+        if rows.size > 1:
+            if self.ids_monotone:
+                # flatnonzero rows are already id-ordered; a stable
+                # sort on idle_since alone yields the same
+                # (idle_since, node_id) order with one key.
+                order = np.argsort(idle_since[rows], kind="stable")
+            else:
+                order = np.lexsort((self.node_id[rows], idle_since[rows]))
+            rows = rows[order]
+        return rows
+
+    def off_rows(self) -> np.ndarray:
+        """Rows currently OFF, ordered by node id — the vector twin of
+        ``sorted(rm.off_nodes(), key=lambda n: n.node_id)``."""
+        rows = np.flatnonzero(self.state_code == _OFF)
+        if rows.size > 1 and not self.ids_monotone:
+            order = np.argsort(self.node_id[rows], kind="stable")
+            rows = rows[order]
+        return rows
+
+
 class VectorPowerMirror:
     """SoA mirror of one machine, bound to one :class:`NodePowerModel`.
 
@@ -109,6 +176,21 @@ class VectorPowerMirror:
         self.power_cap = np.full(n, np.inf)
         self.utilization = np.ones(n)
         self.sensitivity = np.ones(n)
+        # Lifecycle arrays (beyond power): idle timestamps (NaN encodes
+        # "no idle timestamp", mirroring the scalar None), bound-job
+        # counts, and node ids for id-ordered candidate ranking.
+        self.idle_since = np.full(n, np.nan)
+        self.bound_jobs = np.zeros(n, dtype=np.int32)
+        self.node_id = np.fromiter(
+            (node.node_id for node in self._nodes), dtype=np.intp, count=n
+        )
+        self._ids_monotone = bool(
+            n < 2 or np.all(np.diff(self.node_id) > 0)
+        )
+        #: Incremental per-state-code node counts (len == #codes):
+        #: refresh_row moves one unit between buckets, so policy ticks
+        #: read counts in O(1) instead of scanning the state array.
+        self._state_counts: List[int] = [0] * len(STATE_CODES)
 
         self._watts = np.zeros(n)
         self._total = 0.0
@@ -132,7 +214,11 @@ class VectorPowerMirror:
     def refresh_row(self, row: int) -> None:
         """Re-read one node's power-relevant fields into the arrays."""
         node = self._nodes[row]
-        self.state_code[row] = STATE_CODES[node.state]
+        code = STATE_CODES[node.state]
+        counts = self._state_counts
+        counts[self.state_code[row]] -= 1
+        counts[code] += 1
+        self.state_code[row] = code
         self.idle_power[row] = node.idle_power
         self.max_power[row] = node.max_power
         self.off_power[row] = node.off_power
@@ -142,6 +228,9 @@ class VectorPowerMirror:
         self.max_frequency[row] = node.max_frequency
         cap = node.power_cap
         self.power_cap[row] = np.inf if cap is None else cap
+        idle_since = node.idle_since
+        self.idle_since[row] = np.nan if idle_since is None else idle_since
+        self.bound_jobs[row] = 0 if node.running_job is None else 1
 
     def touch(self, node_id: int) -> None:
         """``Node.power_listener`` entry point: resync + mark dirty."""
@@ -165,6 +254,12 @@ class VectorPowerMirror:
         """Re-read every row (used at build time and by invalidate)."""
         for row in range(len(self._nodes)):
             self.refresh_row(row)
+        # Ground truth after a bulk resync (the incremental deltas in
+        # refresh_row assumed array/state consistency that an
+        # out-of-band mutation may have broken).
+        self._state_counts = np.bincount(
+            self.state_code, minlength=len(STATE_CODES)
+        ).tolist()
         self._all_dirty = True
         self._dirty.clear()
 
@@ -274,6 +369,34 @@ class VectorPowerMirror:
         """Per-node current draw, ``machine.nodes`` order (a copy)."""
         self.machine_watts()
         return self._watts.copy()
+
+    # ------------------------------------------------------------------
+    # Lifecycle kernels (batch policy helpers)
+    # ------------------------------------------------------------------
+    def lifecycle_view(self, now: float) -> LifecycleView:
+        """SoA lifecycle snapshot handed to ``Policy.on_tick_batch``."""
+        return LifecycleView(
+            now=now,
+            node_id=self.node_id,
+            state_code=self.state_code,
+            idle_since=self.idle_since,
+            bound_jobs=self.bound_jobs,
+            idle_power=self.idle_power,
+            nodes=self._nodes,
+            state_counts=tuple(self._state_counts),
+            ids_monotone=self._ids_monotone,
+        )
+
+    def idle_candidate_rows(self, now: float, threshold: float) -> np.ndarray:
+        """Rows idle for at least *threshold* seconds, ordered by
+        ``(idle_since, node_id)``; see
+        :meth:`LifecycleView.idle_candidate_rows`."""
+        return self.lifecycle_view(now).idle_candidate_rows(threshold)
+
+    def off_rows(self) -> np.ndarray:
+        """Rows currently OFF, ordered by node id; see
+        :meth:`LifecycleView.off_rows`."""
+        return self.lifecycle_view(0.0).off_rows()
 
     # ------------------------------------------------------------------
     # Prediction kernels (policy helpers)

@@ -9,12 +9,27 @@ and periodic callbacks.  Determinism guarantees:
 * cancellation is O(1) (tombstoning) and never perturbs ordering;
 * the clock never moves backwards — scheduling strictly in the past
   raises :class:`~repro.errors.EventOrderError`.
+
+Two execution paths share those guarantees:
+
+* :meth:`Simulator.step` / :meth:`Simulator.run` — the executable
+  spec: one heap pop per event;
+* :meth:`Simulator.run_batched` — drains the whole same-timestamp
+  cohort in one pass, grouping events into priority-tier buckets.
+  Events scheduled *at the current instant* from inside the batch
+  (the schedule-pass-at-now pattern) go straight into the buckets and
+  never touch the heap.  The dispatch order — ``(time, priority,
+  seq)`` with tier preemption when a batch event schedules a
+  lower-tier same-instant event — is event-for-event identical to
+  ``step()``-by-``step()`` execution, pinned by the property suite
+  and the ``repro.state`` first-divergence harness.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from bisect import insort
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import EventOrderError, SimulationError
 from .events import Event, EventPriority
@@ -55,6 +70,11 @@ class EventHandle:
         sim = self._sim
         if sim is not None:
             sim._live -= 1
+            if event.in_bucket:
+                # The event sits in a run_batched() same-instant bucket,
+                # not the heap: the dispatcher skips it in place, so it
+                # must not enter the heap tombstone accounting.
+                return
             sim._tombstones += 1
             sim._maybe_compact()
 
@@ -67,10 +87,18 @@ class PeriodicChain:
     state subsystem recognizes ``event.action.__self__`` as a
     :class:`PeriodicChain` and serializes the chain parameters instead
     of an opaque closure).
+
+    Firing times are *phase-locked*: the chain tracks the grid origin
+    ``epoch`` (the first firing time) and the index of the pending
+    tick, and computes every firing as ``epoch + index * interval``.
+    The naive ``now + interval`` recurrence accumulates one rounding
+    error per tick and drifts off the grid over multi-year runs (about
+    1e-8 s after 100k ticks at interval 0.1); the closed form stays
+    within one ulp of the exact grid forever.
     """
 
     __slots__ = ("sim", "interval", "action", "args", "priority", "name",
-                 "until", "cancelled", "handle")
+                 "until", "cancelled", "handle", "epoch", "index")
 
     def __init__(
         self,
@@ -81,6 +109,8 @@ class PeriodicChain:
         priority: int,
         name: str,
         until: Optional[float],
+        epoch: float = 0.0,
+        index: int = 0,
     ) -> None:
         self.sim = sim
         self.interval = interval
@@ -91,14 +121,26 @@ class PeriodicChain:
         self.until = until
         self.cancelled = False
         self.handle: Optional[EventHandle] = None
+        #: Grid origin: the time of tick 0.
+        self.epoch = epoch
+        #: Index of the pending (not yet fired) tick on the grid.
+        self.index = index
 
     def _tick(self) -> None:
         if self.cancelled:
             return
         self.action(*self.args)
-        next_time = self.sim._now + self.interval
+        if self.cancelled:
+            return  # the action cancelled its own chain
+        next_index = self.index + 1
+        next_time = self.epoch + next_index * self.interval
         if self.until is not None and next_time > self.until:
+            # Exhausted: mark the whole chain dead so handles over it
+            # report inactive (the final tick's event has done=True but
+            # cancelled=False, which alone would read as still-pending).
+            self.cancelled = True
             return
+        self.index = next_index
         self.handle = self.sim.at(
             next_time, self._tick, priority=self.priority, name=self.name
         )
@@ -154,6 +196,15 @@ class Simulator:
         # heap itself grew without bound.
         self._live = 0
         self._tombstones = 0
+        # Same-instant dispatch buckets for run_batched(): priority ->
+        # FIFO list of events at the current instant, plus the sorted
+        # active priorities and per-bucket consumed positions.  Only
+        # populated while run_batched() is dispatching one cohort; any
+        # early exit flushes survivors back into the heap.
+        self._in_batch = False
+        self._buckets: Dict[int, List[Event]] = {}
+        self._bucket_order: List[int] = []
+        self._bucket_pos: Dict[int, int] = {}
         #: Optional hook invoked as ``observer(event)`` after each event
         #: fires (post-state).  Used by repro.state.replay to record
         #: per-event fingerprint streams without perturbing ordering.
@@ -193,14 +244,19 @@ class Simulator:
         Rebuilding via ``heapify`` is O(H) and safe for determinism:
         events have a strict total order (time, priority, seq), so the
         pop sequence of a heap depends only on its multiset of events,
-        not on their internal arrangement.
+        not on their internal arrangement.  The compaction mutates the
+        heap list *in place* — ``run_batched`` holds a reference to it
+        across fired actions, and rebinding would silently orphan that
+        alias (events scheduled after a mid-batch compaction would land
+        in a heap the dispatch loop never reads).
         """
         if (
             self._tombstones > self._COMPACT_MIN_TOMBSTONES
             and 2 * self._tombstones > len(self._heap)
         ):
-            self._heap = [e for e in self._heap if not e.cancelled]
-            heapq.heapify(self._heap)
+            heap = self._heap
+            heap[:] = [e for e in heap if not e.cancelled]
+            heapq.heapify(heap)
             self._tombstones = 0
 
     # ------------------------------------------------------------------
@@ -222,7 +278,15 @@ class Simulator:
             )
         event = Event(float(time), int(priority), self._seq, action, args, name)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        if self._in_batch and event.time == self._now:
+            # Same-instant event scheduled from inside a batch: it
+            # belongs to the cohort being dispatched, so it goes
+            # straight into the priority buckets and never pays the
+            # heap round-trip.  FIFO within a bucket is automatic —
+            # seq numbers are monotone and appends happen in seq order.
+            self._enqueue_bucket(event)
+        else:
+            heapq.heappush(self._heap, event)
         self._live += 1
         return EventHandle(event, self)
 
@@ -267,7 +331,7 @@ class Simulator:
             return EventHandle(dummy, self)
         chain = PeriodicChain(
             self, float(interval), action, args, int(priority),
-            name or "periodic", until,
+            name or "periodic", until, epoch=float(first), index=0,
         )
         chain.handle = self.at(first, chain._tick, priority=priority, name=chain.name)
         return _ChainHandle(chain)
@@ -279,9 +343,15 @@ class Simulator:
         """Live (pending, not cancelled) events in firing order.
 
         Sorted by the event total order ``(time, priority, seq)`` —
-        exactly the order :meth:`step` would pop them.
+        exactly the order :meth:`step` would pop them.  Includes events
+        currently parked in same-instant batch buckets (only possible
+        when called from inside a :meth:`run_batched` event).
         """
-        return sorted(e for e in self._heap if not e.cancelled)
+        live = [e for e in self._heap if not e.cancelled]
+        for q in self._buckets.values():
+            live.extend(e for e in q if not e.cancelled and not e.done)
+        live.sort()
+        return live
 
     def clear_events(self) -> None:
         """Drop every pending event (restore support: the state
@@ -295,7 +365,15 @@ class Simulator:
         for event in self._heap:
             event.cancelled = True
             event.done = True
+        for q in self._buckets.values():
+            for event in q:
+                event.cancelled = True
+                event.done = True
+                event.in_bucket = False
         self._heap.clear()
+        self._buckets.clear()
+        self._bucket_order.clear()
+        self._bucket_pos.clear()
         self._live = 0
         self._tombstones = 0
 
@@ -340,12 +418,22 @@ class Simulator:
         until: Optional[float],
         next_time: float,
         seq: int,
+        epoch: Optional[float] = None,
+        index: int = 0,
     ) -> EventHandle:
         """Re-plant a periodic chain with its pending tick at *next_time*
-        carrying the captured *seq*.  Returns the chain handle."""
+        carrying the captured *seq*.  Returns the chain handle.
+
+        *epoch* and *index* restore the phase-locked grid so the chain
+        keeps firing at ``epoch + k * interval`` exactly as the
+        original run would have; with no epoch (legacy descriptions)
+        the grid re-anchors at *next_time*.
+        """
         chain = PeriodicChain(
             self, float(interval), action, tuple(args), int(priority),
             name or "periodic", until,
+            epoch=float(next_time if epoch is None else epoch),
+            index=int(index),
         )
         chain.handle = self.restore_event(
             next_time, priority, seq, chain._tick, (), chain.name
@@ -415,5 +503,157 @@ class Simulator:
             if until is not None and until > self._now:
                 self._now = float(until)
         finally:
+            self._running = False
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def _enqueue_bucket(self, event: Event) -> None:
+        """Park *event* in its same-instant priority bucket."""
+        event.in_bucket = True
+        q = self._buckets.get(event.priority)
+        if q is None:
+            self._buckets[event.priority] = [event]
+            insort(self._bucket_order, event.priority)
+        else:
+            q.append(event)
+
+    def _flush_buckets(self) -> None:
+        """Push undispatched bucket events back into the heap (early
+        exit from run_batched: stop condition, max_events, or an
+        exception inside an action).  Cancelled stragglers are dropped
+        outright — their cancel never entered the heap tombstone
+        counters, so nothing needs rebalancing."""
+        if not self._buckets:
+            return
+        for p, q in self._buckets.items():
+            for event in q[self._bucket_pos.get(p, 0):]:
+                event.in_bucket = False
+                if not event.cancelled and not event.done:
+                    heapq.heappush(self._heap, event)
+        self._buckets.clear()
+        self._bucket_order.clear()
+        self._bucket_pos.clear()
+
+    def _fire(self, event: Event, fired: int, max_events: Optional[int]) -> int:
+        """Execute one live event (shared by both batch paths)."""
+        event.done = True
+        self._live -= 1
+        self._events_fired += 1
+        event.action(*event.args)
+        if self.observer is not None:
+            self.observer(event)
+        fired += 1
+        if max_events is not None and fired >= max_events:
+            raise SimulationError(
+                f"exceeded max_events={max_events}; runaway simulation?"
+            )
+        return fired
+
+    def run_batched(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Run the event loop, draining same-timestamp cohorts in bulk.
+
+        Event-for-event identical to :meth:`run` — same firing order,
+        same observer stream, same counters — but each cohort of
+        events at one timestamp is pulled off the heap in a single
+        drain and dispatched through per-priority FIFO buckets:
+
+        * events scheduled *at the current instant* from inside the
+          cohort (coalesced schedule passes, control reactions) append
+          to the buckets directly and never pay a heap push/pop;
+        * a batch event scheduling a *lower*-tier same-instant event
+          preempts the remaining higher-tier events, exactly as the
+          heap order ``(time, priority, seq)`` demands;
+        * an event cancelled by an earlier event in its own cohort is
+          skipped in place.
+
+        Timestamps with a single pending event (sparse replay regions)
+        bypass the bucket machinery entirely.
+
+        Parameters match :meth:`run`, plus *stop*: an optional
+        zero-argument callable checked before the first event and
+        after every fired event; returning True ends the run
+        immediately (undispatched cohort events are flushed back into
+        the heap, so a later ``run``/``step`` continues correctly).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._in_batch = True
+        fired = 0
+        heap = self._heap
+        buckets = self._buckets
+        order = self._bucket_order
+        pos = self._bucket_pos
+        try:
+            if stop is not None and stop():
+                return self._now
+            while True:
+                # Next live cohort time.
+                while heap and heap[0].cancelled:
+                    heapq.heappop(heap)
+                    self._tombstones -= 1
+                if not heap:
+                    break
+                t = heap[0].time
+                if until is not None and t > until:
+                    break
+                self._now = t
+                first = heapq.heappop(heap)
+                if not heap or heap[0].time != t:
+                    # Singleton fast path: no bucket bookkeeping.  Any
+                    # same-instant events the action schedules land in
+                    # the buckets and are dispatched below.
+                    fired = self._fire(first, fired, max_events)
+                    if stop is not None and stop():
+                        return self._now
+                    if not order:
+                        continue
+                else:
+                    self._enqueue_bucket(first)
+                    while heap and heap[0].time == t:
+                        ev = heapq.heappop(heap)
+                        if ev.cancelled:
+                            self._tombstones -= 1
+                            continue
+                        self._enqueue_bucket(ev)
+                # Dispatch tier by tier.  New same-instant events keep
+                # appending while we iterate; a lower tier appearing
+                # mid-bucket preempts (heap order would fire it first).
+                while order:
+                    p = order[0]
+                    q = buckets[p]
+                    i = pos.get(p, 0)
+                    preempted = False
+                    while i < len(q):
+                        ev = q[i]
+                        i += 1
+                        if ev.cancelled:
+                            ev.in_bucket = False
+                            continue
+                        ev.in_bucket = False
+                        fired = self._fire(ev, fired, max_events)
+                        if stop is not None and stop():
+                            pos[p] = i
+                            return self._now
+                        if order[0] != p:
+                            pos[p] = i
+                            preempted = True
+                            break
+                    if not preempted:
+                        del buckets[p]
+                        pos.pop(p, None)
+                        order.remove(p)
+            if until is not None and until > self._now:
+                self._now = float(until)
+        finally:
+            self._flush_buckets()
+            self._in_batch = False
             self._running = False
         return self._now

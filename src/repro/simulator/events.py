@@ -38,13 +38,17 @@ class EventPriority(enum.IntEnum):
     DEFAULT = 20
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
     Instances are created by :class:`~repro.simulator.engine.Simulator`;
     user code normally only sees the opaque
     :class:`~repro.simulator.engine.EventHandle`.
+
+    ``slots=True`` matters here: the engine allocates and compares one
+    Event per scheduled callback, so dropping the per-instance dict
+    shrinks the hot loop on both execution paths.
     """
 
     time: float
@@ -58,6 +62,9 @@ class Event:
     #: Lets a late cancel() (e.g. from within the event's own action)
     #: be a no-op for the engine's live/tombstone bookkeeping.
     done: bool = field(compare=False, default=False)
+    #: True while the event sits in a run_batched() same-instant bucket
+    #: instead of the heap (cancellation accounting differs there).
+    in_bucket: bool = field(compare=False, default=False)
 
     def fire(self) -> None:
         """Invoke the callback unless the event was cancelled."""

@@ -161,6 +161,10 @@ def describe_event(event: Event, by_id: Dict[int, str]) -> Dict[str, Any]:
             "until": chain.until,
             "next_time": event.time,
             "seq": event.seq,
+            # Phase-locked grid: restored chains must keep firing at
+            # ``epoch + k * interval``, not re-anchor at next_time.
+            "epoch": chain.epoch,
+            "index": chain.index,
             "call": _describe_call(chain.action, chain.args, by_id, chain.name),
         }
     return {
@@ -183,6 +187,7 @@ def build_event(desc: Dict[str, Any], engine: Simulator, roots: Dict[str, Any],
             desc["interval"], action, args,
             priority=desc["priority"], name=desc["name"],
             until=desc["until"], next_time=desc["next_time"], seq=desc["seq"],
+            epoch=desc.get("epoch"), index=desc.get("index", 0),
         )
         return desc["name"], handle
     handle = engine.restore_event(

@@ -37,7 +37,10 @@ from ..errors import StateError
 
 MAGIC = b"RPST"
 #: Bump on any incompatible change to the capture tree layout.
-STATE_SCHEMA_VERSION = 1
+#: 2: periodic-chain descriptions carry the phase-locked grid
+#: (``epoch``/``index``); v1 checkpoints would silently re-anchor
+#: restored chains off-grid, breaking replay identity.
+STATE_SCHEMA_VERSION = 2
 
 
 @dataclass

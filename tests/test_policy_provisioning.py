@@ -78,6 +78,41 @@ class TestIdleShutdown:
         assert sim.rm.shutdowns_initiated == 0
         assert result.metrics.jobs_completed == 6
 
+    def test_t0_idle_nodes_shut_down_before_recently_idle(self):
+        # Regression for the `idle_since or 0.0` conflation: a node
+        # idle since t=0 carries a real timestamp and must rank first
+        # (longest idle) among shutdown candidates — it is not the
+        # same as "no idle timestamp", which ranks last.
+        machine = machine16()
+        policy = IdleShutdownPolicy(idle_threshold=100.0, min_spare=4,
+                                    check_interval=300.0)
+        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                                policies=[policy])
+        sim.prepare()
+        # Nodes 0-3 go idle at t=50; the other 12 are idle since t=0.
+        for node in machine.nodes[:4]:
+            node.assign("warm", 0.0)
+            node.release(50.0)
+        sim.run_batched(until=400.0)
+        # Surplus = 12 (16 idle - min_spare 4): the twelve t=0 nodes
+        # are the oldest candidates and shut down first, keeping the
+        # t=50 nodes as the spare margin.
+        for node in machine.nodes[:4]:
+            assert node.state is NodeState.IDLE
+        for node in machine.nodes[4:]:
+            assert node.state is not NodeState.IDLE
+
+    def test_idle_rank_orders_none_last_and_t0_first(self):
+        from repro.policies.base import _idle_rank
+
+        machine = machine16()
+        a, b, c = machine.nodes[:3]
+        a.idle_since = 0.0
+        b.idle_since = None
+        c.idle_since = 25.0
+        ranked = sorted([b, c, a], key=_idle_rank)
+        assert ranked == [a, c, b]
+
 
 class TestDynamicProvisioning:
     def _site(self, machine, mean=16.0):

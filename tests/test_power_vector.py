@@ -265,3 +265,100 @@ class TestEndToEndEquivalence:
         assert scalar.metrics.makespan == pytest.approx(
             vector.metrics.makespan, rel=1e-9
         )
+
+
+class TestLifecycleArrays:
+    """The mirror's lifecycle arrays track the node lifecycle push-sync."""
+
+    def _sim(self, n=16):
+        machine = Machine(MachineSpec(name="m", nodes=n, nodes_per_cabinet=8))
+        return ClusterSimulation(machine, FcfsScheduler(), []), machine
+
+    def test_arrays_track_transitions_and_bindings(self):
+        machine = Machine(MachineSpec(name="m", nodes=12, nodes_per_cabinet=4))
+        job = make_job(job_id="a", nodes=5, work=500.0, walltime=900.0)
+        csim = ClusterSimulation(machine, FcfsScheduler(), [job])
+        csim.prepare()
+        csim.sim.run(until=100.0)
+        mirror = csim.power_vector
+        from repro.power.vector import STATE_CODES
+        for row, node in enumerate(machine.nodes):
+            assert mirror.state_code[row] == STATE_CODES[node.state]
+            if node.idle_since is None:
+                assert np.isnan(mirror.idle_since[row])
+            else:
+                assert mirror.idle_since[row] == node.idle_since
+            assert mirror.bound_jobs[row] == (node.running_job is not None)
+            assert mirror.node_id[row] == node.node_id
+
+    def test_idle_candidate_rows_match_scalar_selection(self):
+        csim, machine = self._sim()
+        rm = csim.rm
+        csim.sim.run(until=50.0)
+        # Stagger idle_since: re-idle some nodes at distinct times.
+        for i, node in enumerate(machine.nodes[:6]):
+            node.assign("tmp", csim.sim.now)
+            node.release(csim.sim.now + 0.0)
+        mirror = csim.power_vector
+        now = csim.sim.now + 500.0
+        rows = mirror.idle_candidate_rows(now, 100.0)
+        scalar = sorted(
+            (n for n in machine.nodes
+             if n.state is NodeState.IDLE and n.idle_since is not None
+             and now - n.idle_since >= 100.0),
+            key=lambda n: (n.idle_since, n.node_id),
+        )
+        assert [machine.nodes[r].node_id for r in rows] == [
+            n.node_id for n in scalar
+        ]
+
+    def test_idle_candidates_exclude_nan_rows(self):
+        csim, machine = self._sim()
+        rm = csim.rm
+        rm.shutdown_nodes(machine.nodes[:4])
+        mirror = csim.power_vector
+        rows = mirror.idle_candidate_rows(1e9, 0.0)
+        assert all(machine.nodes[r].state is NodeState.IDLE for r in rows)
+        assert not np.isnan(mirror.idle_since[rows]).any()
+
+    def test_t0_idle_node_is_a_candidate(self):
+        # Regression companion to the `idle_since or 0.0` fix: a node
+        # idle since t=0 has a real timestamp and must rank *first*
+        # (longest idle), not be confused with "no timestamp".
+        csim, machine = self._sim(n=4)
+        mirror = csim.power_vector
+        rows = mirror.idle_candidate_rows(10.0, 5.0)
+        assert list(rows) == [0, 1, 2, 3]
+
+    def test_off_rows_sorted_by_node_id(self):
+        csim, machine = self._sim()
+        csim.rm.shutdown_nodes([machine.nodes[9], machine.nodes[2],
+                                machine.nodes[5]])
+        # Complete the shutdowns.
+        csim.sim.run(until=1e4)
+        rows = csim.power_vector.off_rows()
+        assert [machine.nodes[r].node_id for r in rows] == sorted(
+            machine.nodes[r].node_id for r in rows
+        )
+        assert all(
+            machine.nodes[r].state is NodeState.OFF for r in rows
+        )
+        assert len(rows) == 3
+
+    def test_lifecycle_view_counts(self):
+        from repro.cluster import NodeState as NS
+        from repro.power.vector import STATE_CODES
+        csim, machine = self._sim()
+        csim.rm.shutdown_nodes(machine.nodes[:3])
+        csim.sim.run(until=1e4)
+        view = csim.lifecycle_view()
+        assert view is not None
+        assert view.now == csim.sim.now
+        assert view.count_in_state(STATE_CODES[NS.OFF]) == 3
+        assert view.count_in_state(STATE_CODES[NS.IDLE]) == 13
+
+    def test_scalar_backend_has_no_view(self):
+        machine = Machine(MachineSpec(name="m", nodes=4))
+        csim = ClusterSimulation(machine, FcfsScheduler(), [],
+                                 power_backend="scalar")
+        assert csim.lifecycle_view() is None

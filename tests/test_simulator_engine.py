@@ -271,3 +271,228 @@ class TestHeapHygiene:
         sim.run(until=100.0)
         assert ticks == [10.0, 20.0, 30.0]
         assert sim.pending == 0
+
+
+class TestPeriodicChainCorrectness:
+    """Regression tests: chain exhaustion and phase-locked grids."""
+
+    def test_exhausted_until_chain_reports_inactive(self, sim):
+        # Regression: after the final tick of an until-bounded chain the
+        # event had done=True, cancelled=False, so handle.active stayed
+        # True forever.
+        handle = sim.every(10.0, lambda: None, until=25.0)
+        sim.run(until=100.0)
+        assert sim.events_fired == 2
+        assert not handle.active
+
+    def test_active_chain_still_reports_active(self, sim):
+        handle = sim.every(10.0, lambda: None, until=1000.0)
+        sim.run(until=100.0)
+        assert handle.active
+
+    def test_chain_self_cancel_inside_action_stops_chain(self, sim):
+        holder = {}
+        ticks = []
+
+        def action():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                holder["h"].cancel()
+
+        holder["h"] = sim.every(10.0, action)
+        sim.run(until=100.0)
+        assert ticks == [10.0, 20.0]
+        assert not holder["h"].active
+        assert sim.pending == 0
+
+    def test_periodic_times_stay_on_grid(self, sim):
+        # Regression: next_time = now + interval accumulates one
+        # rounding error per tick; 0.1 is not representable so the
+        # naive recurrence drifts off the k*0.1 grid within ~10 ticks.
+        times = []
+        sim.every(0.1, lambda: times.append(sim.now))
+        sim.run(until=1000.0)
+        assert len(times) == 9_999
+        for k in (1, 7, 99, 1234, 9999):
+            assert times[k - 1] == 0.1 * k
+
+    def test_grid_is_phase_locked_to_first_firing(self, sim):
+        times = []
+        sim.at(3.0, lambda: sim.every(0.1, lambda: times.append(sim.now)))
+        sim.run(until=50.0)
+        assert times[0] == 3.0 + 0.1
+        assert times[100] == 3.1 + 0.1 * 100
+
+
+class TestRunBatched:
+    """Unit tests for the cohort-dispatch execution path."""
+
+    def test_fires_everything_in_order(self, sim):
+        order = []
+        sim.at(1.0, lambda: order.append("c"), priority=EventPriority.CONTROL)
+        sim.at(1.0, lambda: order.append("s"), priority=EventPriority.STATE)
+        sim.at(1.0, lambda: order.append("m"), priority=EventPriority.MONITOR)
+        sim.at(2.0, lambda: order.append("late"))
+        sim.run_batched()
+        assert order == ["s", "m", "c", "late"]
+        assert sim.now == 2.0
+        assert sim.pending == 0
+
+    def test_same_instant_schedule_joins_cohort(self, sim):
+        order = []
+
+        def control():
+            order.append("control")
+            sim.at(sim.now, lambda: order.append("reaction"),
+                   priority=EventPriority.REPORT)
+
+        sim.at(1.0, control, priority=EventPriority.CONTROL)
+        sim.at(1.0, lambda: order.append("report"),
+               priority=EventPriority.REPORT)
+        sim.run_batched()
+        # FIFO within the REPORT tier: the pre-scheduled report has the
+        # lower seq.
+        assert order == ["control", "report", "reaction"]
+
+    def test_lower_tier_event_preempts_batch(self, sim):
+        order = []
+
+        def control_a():
+            order.append("control_a")
+            sim.at(sim.now, lambda: order.append("state"),
+                   priority=EventPriority.STATE)
+
+        sim.at(1.0, control_a, priority=EventPriority.CONTROL)
+        sim.at(1.0, lambda: order.append("control_b"),
+               priority=EventPriority.CONTROL)
+        sim.run_batched()
+        # Heap order (time, priority, seq): the STATE event outranks
+        # the remaining CONTROL event and must fire between them.
+        assert order == ["control_a", "state", "control_b"]
+
+    def test_cancel_later_event_in_own_batch(self, sim):
+        order = []
+        handles = {}
+
+        def canceller():
+            order.append("canceller")
+            handles["victim"].cancel()
+
+        sim.at(1.0, canceller, priority=EventPriority.STATE)
+        handles["victim"] = sim.at(1.0, lambda: order.append("victim"),
+                                   priority=EventPriority.CONTROL)
+        sim.at(1.0, lambda: order.append("survivor"),
+               priority=EventPriority.REPORT)
+        sim.run_batched()
+        assert order == ["canceller", "survivor"]
+        assert sim.pending == 0
+        assert sim.events_fired == 2
+
+    def test_until_advances_clock_exactly(self, sim):
+        sim.at(1.0, lambda: None)
+        sim.at(20.0, lambda: None)
+        assert sim.run_batched(until=10.0) == 10.0
+        assert sim.events_fired == 1
+        sim.run_batched()
+        assert sim.events_fired == 2
+
+    def test_max_events_guard(self, sim):
+        def reschedule():
+            sim.after(1.0, reschedule)
+
+        sim.at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run_batched(max_events=100)
+
+    def test_not_reentrant(self, sim):
+        def inner():
+            sim.run_batched()
+
+        sim.at(1.0, inner)
+        with pytest.raises(SimulationError):
+            sim.run_batched()
+
+    def test_stop_mid_batch_preserves_rest_of_cohort(self, sim):
+        order = []
+        for i in range(5):
+            sim.at(1.0, lambda i=i: order.append(i))
+        sim.run_batched(stop=lambda: len(order) >= 2)
+        assert order == [0, 1]
+        assert sim.pending == 3
+        # The survivors went back to the heap; a plain stepped run
+        # continues exactly where the batch left off.
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_stop_before_first_event(self, sim):
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.run_batched(stop=lambda: True)
+        assert fired == []
+        assert sim.pending == 1
+
+    def test_exception_mid_batch_flushes_survivors(self, sim):
+        order = []
+
+        def boom():
+            order.append("boom")
+            raise RuntimeError("action failed")
+
+        sim.at(1.0, lambda: order.append("first"))
+        sim.at(1.0, boom)
+        sim.at(1.0, lambda: order.append("last"))
+        with pytest.raises(RuntimeError):
+            sim.run_batched()
+        assert order == ["first", "boom"]
+        assert sim.pending == 1
+        sim.run()
+        assert order == ["first", "boom", "last"]
+
+    def test_counters_match_stepped_run(self, sim):
+        a = Simulator()
+        b = Simulator()
+        for s in (a, b):
+            for i in range(10):
+                s.at(1.0, lambda: None, priority=EventPriority.CONTROL)
+            h = [s.at(1.0, lambda: None) for _ in range(4)]
+            for handle in h[:2]:
+                handle.cancel()
+            s.every(5.0, lambda: None, until=50.0)
+        a.run(until=60.0)
+        b.run_batched(until=60.0)
+        assert a.events_fired == b.events_fired
+        assert a.pending == b.pending == 0
+        assert a.now == b.now
+
+    def test_periodic_chains_run_batched(self, sim):
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), until=45.0)
+        sim.run_batched(until=100.0)
+        assert times == [10.0, 20.0, 30.0, 40.0]
+
+    def test_compaction_mid_batch_keeps_heap_alive(self, sim):
+        # Regression: a fired action cancels enough future events to
+        # trigger tombstone compaction, then schedules new work.  The
+        # dispatch loop must keep seeing the (compacted) heap — the
+        # follow-up event and surviving victims all still fire.
+        fired = []
+        victims = [
+            sim.at(100.0, lambda i=i: fired.append(("victim", i)))
+            for i in range(40)
+        ]
+
+        def churn():
+            fired.append(("churn", sim.now))
+            for handle in victims[:30]:
+                handle.cancel()
+            sim.at(50.0, lambda: fired.append(("late", sim.now)))
+
+        sim.at(0.0, churn)
+        sim.run_batched()
+        assert sim._tombstones == 0  # compaction really ran
+        assert ("late", 50.0) in fired
+        assert [f for f in fired if f[0] == "victim"] == [
+            ("victim", i) for i in range(30, 40)
+        ]
+        assert sim.pending == 0 and sim.heap_size == 0
+        assert sim.events_fired == 12  # churn + late + 10 survivors
