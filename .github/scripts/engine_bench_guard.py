@@ -1,0 +1,70 @@
+"""Fail CI when a batched engine path loses its measured advantage.
+
+Compares the freshly produced ``benchmarks/out/BENCH_engine.json``
+against the committed baseline in ``benchmarks/baseline/``.  Wall
+clocks on shared CI runners are noisy, so the guard compares *speedup
+ratios* (batched vs scalar on the same host), not absolute seconds:
+for every section present in both files, the fresh speedup must be at
+least ``(1 - TOLERANCE)`` of the committed one.
+
+Usage: python .github/scripts/engine_bench_guard.py [fresh] [baseline]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+TOLERANCE = 0.20  # fail when the batched path regresses by more than 20%
+
+
+def main() -> int:
+    fresh_path = pathlib.Path(
+        sys.argv[1] if len(sys.argv) > 1 else "benchmarks/out/BENCH_engine.json"
+    )
+    base_path = pathlib.Path(
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else "benchmarks/baseline/BENCH_engine.json"
+    )
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(base_path.read_text())
+
+    failures = []
+    checked = 0
+    for section, base in sorted(baseline.items()):
+        base_speedup = base.get("speedup")
+        if base_speedup is None or section not in fresh:
+            continue
+        got = fresh[section].get("speedup")
+        if got is None:
+            failures.append(f"{section}: fresh run recorded no speedup")
+            continue
+        checked += 1
+        floor = base_speedup * (1.0 - TOLERANCE)
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(
+            f"{section}: speedup {got:.2f}x vs baseline {base_speedup:.2f}x "
+            f"(floor {floor:.2f}x) — {verdict}"
+        )
+        if got < floor:
+            failures.append(
+                f"{section}: {got:.2f}x < {floor:.2f}x "
+                f"(baseline {base_speedup:.2f}x - {TOLERANCE:.0%})"
+            )
+
+    if not checked:
+        print("no overlapping speedup sections — nothing to guard", file=sys.stderr)
+        return 1
+    if failures:
+        print("\nbatched-path regression:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"{checked} section(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,12 +10,12 @@ TSUBAME3 inter-system capping; CEA shifting budget between systems).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..errors import ClusterError
+from ..errors import ClusterError, NodeStateError
 from ..units import check_positive
 from .cabinet import Cabinet
-from .node import Node, NodeState
+from .node import TRANSITIONS, Node, NodeState
 from .topology import Topology
 
 
@@ -98,9 +98,82 @@ class Machine:
 
         self.topology = topology
 
+        #: Bulk power-accounting hook, the cohort twin of
+        #: ``Node.power_listener``: called once with
+        #: ``(node_ids, target, time)`` after :meth:`transition_bulk`
+        #: moved a whole cohort, instead of one per-node callback per
+        #: member.  Installed by the owning simulation; None outside
+        #: one (transition_bulk then falls back to the per-node
+        #: listeners, so the two channels are never both fired).
+        self.bulk_listener: Optional[callable] = None
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def transition_bulk(
+        self,
+        node_ids: Sequence[int],
+        target: NodeState,
+        time: float,
+        nodes: Optional[List[Node]] = None,
+    ) -> List[Node]:
+        """Move a cohort of nodes to *target* in one pass.
+
+        Semantically equivalent to calling ``node.transition(target,
+        time)`` on every member, with two differences that callers rely
+        on:
+
+        * **atomicity** — legality is validated for the whole cohort
+          *before* any node mutates, so a mixed-state cohort fails
+          cleanly instead of half-transitioning;
+        * **one listener firing** — when a :attr:`bulk_listener` is
+          installed it is called once with the whole cohort after all
+          nodes moved; per-node ``power_listener`` hooks are *not*
+          fired.  Without a bulk listener each node's ``power_listener``
+          fires in cohort order, exactly like the scalar loop.
+
+        *node_ids* must not contain duplicates (each node may make the
+        transition once).  Returns the transitioned nodes in cohort
+        order.  Callers that already hold the node objects may pass
+        them as *nodes* (same order as *node_ids*) to skip the id
+        lookup.
+        """
+        if nodes is None:
+            by_id = self._by_id
+            try:
+                nodes = [by_id[nid] for nid in node_ids]
+            except KeyError as exc:
+                raise ClusterError(
+                    f"machine {self.name!r}: no node {exc.args[0]}"
+                ) from None
+        # Validate with an identity-deduped legality check: cohorts are
+        # almost always homogeneous (all IDLE -> BUSY, all BUSY ->
+        # IDLE), so the enum hash for the TRANSITIONS lookup is paid
+        # once per distinct source state, not once per node.
+        checked = None
+        for node in nodes:
+            state = node.state
+            if state is checked:
+                continue
+            if target not in TRANSITIONS[state]:
+                raise NodeStateError(
+                    f"node {node.node_id}: illegal transition "
+                    f"{state.value} -> {target.value}"
+                )
+            checked = state
+        idle_since = time if target is NodeState.IDLE else None
+        for node in nodes:
+            node.state = target
+            node.last_state_change = time
+            node.idle_since = idle_since
+        if self.bulk_listener is not None:
+            self.bulk_listener(node_ids, target, time)
+        else:
+            for node in nodes:
+                if node.power_listener is not None:
+                    node.power_listener(node.node_id)
+        return nodes
 
     def node(self, node_id: int) -> Node:
         """Look up a node by id."""

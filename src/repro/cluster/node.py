@@ -38,7 +38,7 @@ class NodeState(enum.Enum):
 
 
 #: Legal state transitions.  Key: current state; value: allowed targets.
-_TRANSITIONS = {
+TRANSITIONS = {
     NodeState.OFF: {NodeState.BOOTING, NodeState.DOWN},
     NodeState.BOOTING: {NodeState.IDLE, NodeState.DOWN},
     NodeState.IDLE: {NodeState.BUSY, NodeState.SHUTTING_DOWN, NodeState.DOWN},
@@ -46,6 +46,10 @@ _TRANSITIONS = {
     NodeState.SHUTTING_DOWN: {NodeState.OFF, NodeState.DOWN},
     NodeState.DOWN: {NodeState.OFF, NodeState.IDLE},
 }
+
+# Backwards-compatible alias (the table predates Machine.transition_bulk
+# needing it from outside this module).
+_TRANSITIONS = TRANSITIONS
 
 
 class Node:
@@ -151,7 +155,7 @@ class Node:
         Tracks ``idle_since`` so idle-shutdown policies (Tokyo Tech,
         Mämmelä) can find long-idle nodes.
         """
-        allowed = _TRANSITIONS[self.state]
+        allowed = TRANSITIONS[self.state]
         if target not in allowed:
             raise NodeStateError(
                 f"node {self.node_id}: illegal transition "

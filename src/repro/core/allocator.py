@@ -9,23 +9,65 @@ from the surveyed material:
   application performance, resulting in reduced wallclock time)";
 * low-power-first — exploit manufacturing variability ([25], [39]) by
   preferring nodes that draw less power for the same work.
+
+Each strategy defines its semantics on the scalar object path
+(:meth:`Allocator.select`, Python lists + ``sorted``).  Strategies
+whose ordering is a pure key sort additionally implement
+:meth:`Allocator.select_rows` over a :class:`~repro.core.scheduler.RowPool`
+— one numpy kernel over the pool's row indices instead of a Python
+sort of node objects — flagged by ``supports_rows``.  Row selection is
+*decision-identical* to the scalar sort (same nodes, same order,
+including tie-breaking by node id); the equivalence is pinned by
+randomized tests in ``tests/test_core_allocator.py``.
 """
 
 from __future__ import annotations
 
 from operator import attrgetter
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
 
 from ..cluster.machine import Machine
 from ..cluster.node import Node
 from ..cluster.topology import Topology
 from ..errors import AllocationError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .scheduler import RowPool
+
+
+def check_pool(available: int, requested: int) -> None:
+    """Raise a structured :class:`AllocationError` unless *requested*
+    nodes can come out of a pool of *available*."""
+    if requested <= 0:
+        raise AllocationError(
+            f"cannot allocate {requested} nodes",
+            requested=requested,
+            available=available,
+        )
+    if available < requested:
+        raise AllocationError(
+            f"need {requested} nodes, only {available} available",
+            requested=requested,
+            available=available,
+        )
+
 
 class Allocator:
     """Base class: pick ``count`` nodes from the available pool."""
 
     name = "base"
+
+    #: True when :meth:`select_rows` is implemented; schedulers then
+    #: feed the allocator a RowPool instead of materialized node lists.
+    supports_rows = False
+
+    def begin_pass(self, now: float) -> None:
+        """Called once at the top of every scheduling pass, before any
+        ``select`` calls.  Stateful allocators reset/derive per-pass
+        state here (e.g. sampled-seed draws) so repeated selections
+        within one pass are deterministic.  Default: no-op."""
 
     def select(
         self, machine: Machine, available: Sequence[Node], count: int
@@ -37,25 +79,32 @@ class Allocator:
         """
         raise NotImplementedError
 
+    def select_rows(self, pool: "RowPool", count: int) -> np.ndarray:
+        """Row-index twin of :meth:`select` over a RowPool (only when
+        ``supports_rows``); must return the same nodes in the same
+        order as the scalar path."""
+        raise NotImplementedError(f"{self.name} has no row selection path")
+
     def _check(self, available: Sequence[Node], count: int) -> None:
-        if count <= 0:
-            raise AllocationError(f"cannot allocate {count} nodes")
-        if len(available) < count:
-            raise AllocationError(
-                f"need {count} nodes, only {len(available)} available"
-            )
+        check_pool(len(available), count)
 
 
 class FirstFitAllocator(Allocator):
     """Lowest node ids first — deterministic baseline."""
 
     name = "first-fit"
+    supports_rows = True
 
     def select(
         self, machine: Machine, available: Sequence[Node], count: int
     ) -> List[Node]:
         self._check(available, count)
         return sorted(available, key=attrgetter("node_id"))[:count]
+
+    def select_rows(self, pool: "RowPool", count: int) -> np.ndarray:
+        # Pool rows are already in ascending id order: first-fit is a
+        # monotone slice, no sort at all.
+        return pool.rows[:count]
 
 
 class LowPowerAllocator(Allocator):
@@ -66,6 +115,7 @@ class LowPowerAllocator(Allocator):
     """
 
     name = "low-power"
+    supports_rows = True
 
     def select(
         self, machine: Machine, available: Sequence[Node], count: int
@@ -75,6 +125,26 @@ class LowPowerAllocator(Allocator):
             available, key=attrgetter("effective_max_power", "node_id")
         )[:count]
 
+    def select_rows(self, pool: "RowPool", count: int) -> np.ndarray:
+        """Decision-identical to ``sorted(key=(eff_max_power, id))[:count]``
+        without sorting the whole pool: an O(n) argpartition bounds the
+        winning key, the boundary is resolved in id order (equal keys
+        cannot straddle the strict/equal split, and ``flatnonzero``
+        yields ascending rows == ascending ids), and only the *count*
+        winners are sorted."""
+        rows = pool.rows
+        keys = pool.selection.eff_max_power(rows)
+        if count >= rows.size:
+            pick = np.arange(rows.size)
+        else:
+            part = np.argpartition(keys, count - 1)[:count]
+            thresh = keys[part].max()
+            strict = np.flatnonzero(keys < thresh)
+            eq = np.flatnonzero(keys == thresh)
+            pick = np.concatenate((strict, eq[: count - strict.size]))
+        order = np.argsort(keys[pick], kind="stable")
+        return rows[pick[order]]
+
 
 class TopologyAwareAllocator(Allocator):
     """Greedy compact placement on the machine's topology.
@@ -83,12 +153,48 @@ class TopologyAwareAllocator(Allocator):
     and usually compact); fall back to a greedy nearest-neighbour
     expansion from the best seed.  Falls back to first-fit when the
     machine has no topology.
+
+    Seeds for the greedy expansion are deterministic stride positions
+    by default.  With ``rng_seed`` set they are *sampled* instead —
+    drawn once per scheduling pass in :meth:`begin_pass` and cached,
+    so repeated ``select()`` calls within one pass reuse the same
+    draws (and a ``select()`` call never advances RNG state: calling
+    it twice with the same pool yields the same placement).
     """
 
     name = "topology-aware"
 
-    def __init__(self, sample_seeds: int = 4) -> None:
+    def __init__(
+        self, sample_seeds: int = 4, rng_seed: Optional[int] = None
+    ) -> None:
         self.sample_seeds = max(1, int(sample_seeds))
+        self.rng_seed = rng_seed
+        #: Scheduling passes seen so far; the per-pass RNG is derived
+        #: from (rng_seed, pass number), so replaying a run re-derives
+        #: identical draws pass for pass.
+        self._passes = 0
+        #: Cached uniform [0, 1) draws for this pass (None in
+        #: stride-seed mode).
+        self._pass_draws: Optional[List[float]] = None
+
+    def begin_pass(self, now: float) -> None:
+        self._passes += 1
+        if self.rng_seed is not None:
+            rng = np.random.default_rng((self.rng_seed, self._passes))
+            self._pass_draws = rng.random(self.sample_seeds).tolist()
+
+    def _seed_indices(self, pool_size: int) -> List[int]:
+        """Greedy-expansion seed positions into the ordered pool."""
+        if self._pass_draws is not None:
+            # Map the cached fractions onto the current pool; dedupe
+            # while keeping ascending order for determinism.
+            last = pool_size - 1
+            return sorted({
+                min(last, int(draw * pool_size))
+                for draw in self._pass_draws
+            })
+        step = max(1, pool_size // self.sample_seeds)
+        return list(range(0, pool_size, step))
 
     def select(
         self, machine: Machine, available: Sequence[Node], count: int
@@ -117,8 +223,7 @@ class TopologyAwareAllocator(Allocator):
 
         # Greedy expansion from a few seeds.
         best_sel: Optional[List[Node]] = None
-        step = max(1, len(ordered) // self.sample_seeds)
-        for seed_idx in range(0, len(ordered), step):
+        for seed_idx in self._seed_indices(len(ordered)):
             seed = ordered[seed_idx]
             chosen = [seed]
             rest = [n for n in ordered if n is not seed]

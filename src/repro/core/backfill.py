@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from .profile import FreeNodeProfile
-from .scheduler import NodePool, Scheduler, SchedulingContext, StartDecision
+from .scheduler import Scheduler, SchedulingContext, StartDecision
 
 # Re-exported for prediction-assisted schedulers (fairshare module)
 # that run the EASY arithmetic over predicted runtimes.
@@ -42,17 +42,18 @@ class EasyBackfillScheduler(Scheduler):
     name = "easy"
 
     def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
+        self.allocator.begin_pass(ctx.now)
         decisions: List[StartDecision] = []
-        pool = NodePool(ctx.available)
+        pool = self._make_pool(ctx)
         pending = list(ctx.pending)
 
         # Phase 1: start jobs in order while they fit and are admitted.
         blocked_idx = None
         for i, job in enumerate(pending):
             if job.nodes <= len(pool) and ctx.admit(job):
-                nodes = self._allocate(ctx, job, pool)
-                pool.remove_ids(n.node_id for n in nodes)
-                decisions.append(StartDecision(job, nodes))
+                decisions.append(
+                    StartDecision(job, self._grant(ctx, job, pool))
+                )
             else:
                 blocked_idx = i
                 break
@@ -93,8 +94,7 @@ class EasyBackfillScheduler(Scheduler):
             ends_before_shadow = ctx.now + job.walltime_request <= shadow
             fits_spare = job.nodes <= spare
             if ends_before_shadow or fits_spare:
-                nodes = self._allocate(ctx, job, pool)
-                pool.remove_ids(n.node_id for n in nodes)
+                nodes = self._grant(ctx, job, pool)
                 if not ends_before_shadow:
                     spare -= job.nodes
                 decisions.append(StartDecision(job, nodes))
@@ -132,8 +132,9 @@ class ConservativeBackfillScheduler(Scheduler):
     name = "conservative"
 
     def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
+        self.allocator.begin_pass(ctx.now)
         decisions: List[StartDecision] = []
-        pool = NodePool(ctx.available)
+        pool = self._make_pool(ctx)
         now = ctx.now
 
         # Release events at or before now fold into the base count —
@@ -171,8 +172,7 @@ class ConservativeBackfillScheduler(Scheduler):
                     continue
 
             if start <= now and admitted and job.nodes <= len(pool):
-                nodes = self._allocate(ctx, job, pool)
-                pool.remove_ids(n.node_id for n in nodes)
+                nodes = self._grant(ctx, job, pool)
                 profile.reserve(now, now + job.walltime_request, job.nodes)
                 decisions.append(StartDecision(job, nodes))
             else:

@@ -34,8 +34,14 @@ from collections import deque
 from typing import Iterable, List, Optional, Tuple
 
 from ..errors import SchedulingError
+from ..power import kernels
 
 __all__ = ["FreeNodeProfile"]
+
+#: Breakpoint count above which the non-monotone earliest-fit scan is
+#: handed to the JIT kernel (when numba is available).  Below it the
+#: list->array conversion costs more than the pure-Python walk saves.
+_KERNEL_MIN_POINTS = 64
 
 
 class FreeNodeProfile:
@@ -173,12 +179,18 @@ class FreeNodeProfile:
         The general (reserved) profile is scanned once with a
         monotone-deque sliding-window minimum — O(T) amortized for the
         whole search instead of O(T²) point rescans per candidate.
+        Large profiles route through the JIT scan kernel when numba is
+        available (:mod:`repro.power.kernels`); counts are integers, so
+        both paths are exactly identical.
         """
         if self._monotone:
             start = self.earliest_at_least(needed, self.times[0])
             return start
         times, free = self.times, self.free
         n = len(times)
+        if kernels.HAVE_NUMBA and n >= _KERNEL_MIN_POINTS:
+            idx = kernels.earliest_fit_index(times, free, needed, duration)
+            return None if idx < 0 else times[idx]
         window: deque = deque()  # indices into free, values increasing
         j = 0
         for i in range(n):

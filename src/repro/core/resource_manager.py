@@ -110,22 +110,55 @@ class ResourceManager:
             self._notify_nodes_changed()
 
     def boot_nodes(self, nodes: Iterable[Node]) -> int:
-        """Boot all OFF nodes in *nodes*; returns how many were started."""
-        count = 0
-        for node in nodes:
-            if node.state is NodeState.OFF:
-                self.boot_node(node)
-                count += 1
-        return count
+        """Boot all OFF nodes in *nodes*; returns how many were started.
+
+        When the machine has a bulk listener installed (the owning
+        simulation enabled bulk ops) the whole cohort transitions in
+        one :meth:`Machine.transition_bulk` pass; trace records,
+        counters and the per-node boot-completion events are then
+        emitted in the same cohort order as the scalar loop, so traces
+        and the event sequence are identical either way.
+        """
+        eligible = [n for n in nodes if n.state is NodeState.OFF]
+        if len(eligible) > 1 and self.machine.bulk_listener is not None:
+            self.machine.transition_bulk(
+                [n.node_id for n in eligible], NodeState.BOOTING, self.sim.now
+            )
+            self.boots_initiated += len(eligible)
+            for node in eligible:
+                self._emit("rm.boot.start", node=node.node_id)
+                self._notify_power_changed(node.node_id)
+                self.sim.after(node.boot_time, self._finish_boot, node,
+                               priority=EventPriority.STATE,
+                               name=f"boot:{node.node_id}")
+            return len(eligible)
+        for node in eligible:
+            self.boot_node(node)
+        return len(eligible)
 
     def shutdown_nodes(self, nodes: Iterable[Node]) -> int:
-        """Shut down all IDLE nodes in *nodes*; returns the count."""
-        count = 0
-        for node in nodes:
-            if node.state is NodeState.IDLE:
-                self.shutdown_node(node)
-                count += 1
-        return count
+        """Shut down all IDLE nodes in *nodes*; returns the count.
+
+        Bulk-batched exactly like :meth:`boot_nodes`.
+        """
+        eligible = [n for n in nodes if n.state is NodeState.IDLE]
+        if len(eligible) > 1 and self.machine.bulk_listener is not None:
+            self.machine.transition_bulk(
+                [n.node_id for n in eligible],
+                NodeState.SHUTTING_DOWN,
+                self.sim.now,
+            )
+            self.shutdowns_initiated += len(eligible)
+            for node in eligible:
+                self._emit("rm.shutdown.start", node=node.node_id)
+                self._notify_power_changed(node.node_id)
+                self.sim.after(node.shutdown_time, self._finish_shutdown, node,
+                               priority=EventPriority.STATE,
+                               name=f"shutdown:{node.node_id}")
+            return len(eligible)
+        for node in eligible:
+            self.shutdown_node(node)
+        return len(eligible)
 
     # ------------------------------------------------------------------
     # Maintenance (CEA layout logic support)

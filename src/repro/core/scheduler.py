@@ -14,12 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from operator import attrgetter
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..cluster.machine import Machine
 from ..cluster.node import Node
 from ..workload.job import Job
-from .allocator import Allocator, FirstFitAllocator
+from .allocator import Allocator, FirstFitAllocator, check_pool
 
 #: C-speed node-id extraction for hot pool/sort paths.
 _node_id = attrgetter("node_id")
@@ -53,6 +55,76 @@ class NodePool:
         nodes = self._nodes
         for node_id in node_ids:
             del nodes[node_id]
+
+
+@dataclass(frozen=True)
+class NodeSelection:
+    """Vectorized node-selection arrays handed to batch-aware
+    allocators through :attr:`SchedulingContext.selection`.
+
+    The arrays are the simulation's *live* masks and the power mirror's
+    SoA columns (no copies); rows are ``machine.nodes`` positions, and
+    the owning simulation only builds a selection when row order equals
+    node-id order, so id-ordered allocator semantics reduce to row
+    slicing.  Schedulers never mutate these — :class:`RowPool` copies
+    the mask before drawing it down within a pass.
+    """
+
+    avail_mask: np.ndarray
+    nodes_arr: np.ndarray
+    max_power: np.ndarray
+    variability: np.ndarray
+
+    def eff_max_power(self, rows: np.ndarray) -> np.ndarray:
+        """Variability-adjusted max power per row — the vector twin of
+        ``Node.effective_max_power`` (same float64 product, so sort
+        keys are bit-identical to the scalar path)."""
+        return self.max_power[rows] * self.variability[rows]
+
+
+class RowPool:
+    """Row-mask twin of :class:`NodePool` for batch-aware allocators.
+
+    Holds a private copy of the availability mask; grants clear bits.
+    ``rows`` (the sorted indices of set bits) is materialized lazily
+    and cached until the next removal, so phases that only test
+    ``len(pool)`` never pay for it.  Because rows are id-ordered,
+    iteration order is identical to the insertion-ordered
+    :class:`NodePool` built from the same available list.
+    """
+
+    __slots__ = ("selection", "_mask", "_count", "_rows")
+
+    def __init__(self, selection: NodeSelection, count: Optional[int] = None) -> None:
+        self.selection = selection
+        self._mask = selection.avail_mask.copy()
+        self._count = (
+            int(np.count_nonzero(self._mask)) if count is None else int(count)
+        )
+        self._rows: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Row indices currently in the pool, ascending (== id order)."""
+        if self._rows is None:
+            self._rows = np.flatnonzero(self._mask)
+        return self._rows
+
+    def remove_rows(self, rows: np.ndarray) -> None:
+        """Drop the granted rows from the pool."""
+        self._mask[rows] = False
+        self._count -= int(rows.size)
+        self._rows = None
+
+    def materialize(self, rows: np.ndarray) -> List[Node]:
+        """Node objects for *rows* (the start-decision payload)."""
+        return self.selection.nodes_arr[rows].tolist()
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.selection.nodes_arr[self.rows].tolist())
 
 
 @dataclass(frozen=True)
@@ -95,6 +167,13 @@ class SchedulingContext:
         Number of nodes that can eventually become available (powered
         or bootable, not down/maintenance) — the capacity horizon for
         reservations.
+    selection:
+        Optional :class:`NodeSelection` with vectorized availability /
+        power arrays.  Present only when the owning simulation can
+        guarantee it matches ``available`` exactly (vector power
+        backend, id-ordered rows, no node-filter policies); schedulers
+        build a :class:`RowPool` from it instead of a
+        :class:`NodePool` when the allocator supports row selection.
     """
 
     now: float
@@ -104,6 +183,7 @@ class SchedulingContext:
     running: List[RunningJobInfo]
     admit: Callable[[Job], bool] = field(default=lambda job: True)
     usable_node_count: int = 0
+    selection: Optional[NodeSelection] = None
 
     def free_count(self) -> int:
         """Number of immediately usable nodes."""
@@ -144,6 +224,36 @@ class Scheduler:
         chosen = self.allocator.select(ctx.machine, list(pool), job.nodes)
         return tuple(chosen)
 
+    def _make_pool(
+        self, ctx: SchedulingContext
+    ) -> Union[NodePool, RowPool]:
+        """Pool of grantable nodes for one pass: a :class:`RowPool`
+        over the context's selection arrays when both the context and
+        the allocator support it, else the object :class:`NodePool`.
+        Both iterate in the same (id) order, and grants through
+        :meth:`_grant` are pinned decision-identical."""
+        selection = ctx.selection
+        if selection is not None and self.allocator.supports_rows:
+            return RowPool(selection, count=len(ctx.available))
+        return NodePool(ctx.available)
+
+    def _grant(
+        self,
+        ctx: SchedulingContext,
+        job: Job,
+        pool: Union[NodePool, RowPool],
+    ) -> Tuple[Node, ...]:
+        """Pick nodes for *job* and remove them from *pool*."""
+        if type(pool) is RowPool:
+            check_pool(len(pool), job.nodes)
+            rows = self.allocator.select_rows(pool, job.nodes)
+            nodes = tuple(pool.materialize(rows))
+            pool.remove_rows(rows)
+            return nodes
+        nodes = self._allocate(ctx, job, pool)
+        pool.remove_ids(n.node_id for n in nodes)
+        return nodes
+
 
 class FcfsScheduler(Scheduler):
     """Strict first-come-first-served.
@@ -156,6 +266,7 @@ class FcfsScheduler(Scheduler):
     name = "fcfs"
 
     def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
+        self.allocator.begin_pass(ctx.now)
         decisions: List[StartDecision] = []
         # Lazy pool: on a congested machine most passes block on the
         # head job, and keying every available node into a pool that is
@@ -163,7 +274,7 @@ class FcfsScheduler(Scheduler):
         # check only needs the count; the pool is built when the first
         # job actually clears both gates (preserving the exact
         # admit-call sequence — admission hooks count vetoes).
-        pool: Optional[NodePool] = None
+        pool: Optional[Union[NodePool, RowPool]] = None
         free = len(ctx.available)
         for job in ctx.pending:
             if job.nodes > (free if pool is None else len(pool)):
@@ -171,8 +282,6 @@ class FcfsScheduler(Scheduler):
             if not ctx.admit(job):
                 break
             if pool is None:
-                pool = NodePool(ctx.available)
-            nodes = self._allocate(ctx, job, pool)
-            pool.remove_ids(n.node_id for n in nodes)
-            decisions.append(StartDecision(job, nodes))
+                pool = self._make_pool(ctx)
+            decisions.append(StartDecision(job, self._grant(ctx, job, pool)))
         return decisions

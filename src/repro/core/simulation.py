@@ -31,7 +31,7 @@ from ..cluster.site import Site
 from ..errors import ConfigurationError, SchedulingError
 from ..power.meter import PowerMeter
 from ..power.model import NodePowerModel
-from ..power.vector import VectorPowerMirror
+from ..power.vector import STATE_CODES, VectorPowerMirror
 from ..simulator.engine import EventHandle, Simulator
 from ..simulator.events import EventPriority
 from ..simulator.rng import RngStreams
@@ -41,7 +41,12 @@ from .epa import EpaCoordinator, FunctionalCategory
 from .metrics import MetricsReport, compute_metrics
 from .queue import JobQueue, QueueConfig
 from .resource_manager import ResourceManager
-from .scheduler import RunningJobInfo, Scheduler, SchedulingContext
+from .scheduler import (
+    NodeSelection,
+    RunningJobInfo,
+    Scheduler,
+    SchedulingContext,
+)
 from ..policies.base import Policy
 
 
@@ -138,6 +143,14 @@ class ClusterSimulation:
         structure-of-arrays mirror (:mod:`repro.power.vector`);
         ``"scalar"`` keeps the original per-node loops — the reference
         implementation the equivalence tests pin the mirror against.
+    bulk_ops:
+        True (default) routes multi-node lifecycle changes — job
+        start/teardown and RM cohort boots/shutdowns — through
+        ``Machine.transition_bulk`` with one listener firing per
+        cohort; False keeps the scalar per-node ``Node.transition``
+        loops, the reference the bulk equivalence tests pin against.
+        Orthogonal to *power_backend* (bulk events fold into whichever
+        backend is active).
     """
 
     def __init__(
@@ -159,6 +172,7 @@ class ClusterSimulation:
         trace: Optional[TraceRecorder] = None,
         comm_penalty: float = 0.0,
         power_backend: str = "vector",
+        bulk_ops: bool = True,
     ) -> None:
         self.machine = machine
         self.scheduler = scheduler
@@ -235,6 +249,11 @@ class ClusterSimulation:
         self._node_row: Dict[int, int] = {
             node.node_id: row for row, node in enumerate(machine.nodes)
         }
+        #: True when node ids ARE row positions (the standard machine
+        #: layout): cohort row lookups then skip the per-id dict walk.
+        self._rows_are_ids = all(
+            node.node_id == row for row, node in enumerate(machine.nodes)
+        )
         #: Object array mirroring machine.nodes: lets build_context()
         #: materialize the available list with one fancy-index instead
         #: of a Python loop over the mask's set rows.
@@ -251,6 +270,9 @@ class ClusterSimulation:
         self._usable_count = len(machine.nodes) - int(self._down_mask.sum())
         for node in machine.nodes:
             node.power_listener = self._on_node_event
+        self._bulk_ops = bool(bulk_ops)
+        if self._bulk_ops:
+            machine.bulk_listener = self._on_bulk_event
 
         self.meter = PowerMeter(
             self.sim,
@@ -339,6 +361,45 @@ class ClusterSimulation:
             self.power_vector.touch(node_id)
         else:
             self._power_dirty.add(node_id)
+
+    def _on_bulk_event(
+        self, node_ids: Sequence[int], target: NodeState, time: float
+    ) -> None:
+        """``Machine.bulk_listener`` target: a whole cohort made the
+        same transition.  The SoA twin of ``len(node_ids)`` calls into
+        :meth:`_on_node_event`: masks update with one scatter and the
+        power backend absorbs the cohort in one pass (vector) or one
+        dirty-set union (scalar)."""
+        if self._rows_are_ids:
+            rows = np.asarray(node_ids, dtype=np.intp)
+        else:
+            node_row = self._node_row
+            rows = np.fromiter(
+                (node_row[nid] for nid in node_ids),
+                dtype=np.intp,
+                count=len(node_ids),
+            )
+        self._avail_mask[rows] = target is NodeState.IDLE
+        if target is NodeState.DOWN:
+            newly_down = int(np.count_nonzero(~self._down_mask[rows]))
+            if newly_down:
+                self._down_mask[rows] = True
+                self._usable_count -= newly_down
+        else:
+            was_down = int(np.count_nonzero(self._down_mask[rows]))
+            if was_down:
+                self._down_mask[rows] = False
+                self._usable_count += was_down
+        if self.power_vector is not None:
+            self.power_vector.transition_rows(rows, STATE_CODES[target], time)
+        else:
+            self._power_dirty.update(node_ids)
+
+    @property
+    def usable_node_count(self) -> int:
+        """Nodes not administratively DOWN (capacity ceiling for
+        feasibility checks; maintained incrementally, O(1) to read)."""
+        return self._usable_count
 
     def _node_operating_point(self, node: Node):
         execution = self._node_exec.get(node.node_id)
@@ -541,7 +602,8 @@ class ClusterSimulation:
         now = self.sim.now
         self.queue.remove(job.job_id)
         node_list = list(nodes)
-        job.start(now, [n.node_id for n in node_list])
+        node_ids = [n.node_id for n in node_list]
+        job.start(now, node_ids)
 
         # Policies see the machine *before* this job occupies it: a
         # budget policy's configure_start reads machine_power() to size
@@ -551,21 +613,24 @@ class ClusterSimulation:
         for policy in self.policies:
             policy.configure_start(job, node_list, now)
 
-        for node in node_list:
-            node.running_job = job.job_id
-            node.transition(NodeState.BUSY, now)
+        if self._bulk_ops and len(node_list) > 1:
+            for node in node_list:
+                node.running_job = job.job_id
+            self.machine.transition_bulk(
+                node_ids, NodeState.BUSY, now, nodes=node_list
+            )
+        else:
+            for node in node_list:
+                node.running_job = job.job_id
+                node.transition(NodeState.BUSY, now)
 
         execution = JobExecution(job, node_list)
         execution.last_update = now
-        execution.placement_penalty = self._placement_penalty(
-            job, [n.node_id for n in node_list]
-        )
+        execution.placement_penalty = self._placement_penalty(job, node_ids)
         # Binding changes the nodes' billed draw (job intensity); it
         # must land in the power backend before _compute_operating.
         if self.power_vector is not None:
-            execution.rows = self.power_vector.rows_for(
-                n.node_id for n in node_list
-            )
+            execution.rows = self.power_vector.rows_for(node_ids)
             self.power_vector.bind(
                 execution.rows, job.mean_power_intensity, job.mean_sensitivity
             )
@@ -601,12 +666,28 @@ class ClusterSimulation:
         if execution.timeout_handle is not None:
             execution.timeout_handle.cancel()
         now = self.sim.now
-        for node in execution.nodes:
-            if node.state is NodeState.BUSY:
-                node.release(now)
-            self._node_exec.pop(node.node_id, None)
-            if self.power_vector is None:
-                self._power_dirty.add(node.node_id)
+        if self._bulk_ops and len(execution.nodes) > 1:
+            # Nodes that left BUSY out of band (failure -> DOWN) are
+            # skipped exactly like the scalar loop's release guard.
+            busy = [n for n in execution.nodes if n.state is NodeState.BUSY]
+            for node in busy:
+                node.running_job = None
+            if busy:
+                self.machine.transition_bulk(
+                    [n.node_id for n in busy], NodeState.IDLE, now,
+                    nodes=busy,
+                )
+            for node in execution.nodes:
+                self._node_exec.pop(node.node_id, None)
+                if self.power_vector is None:
+                    self._power_dirty.add(node.node_id)
+        else:
+            for node in execution.nodes:
+                if node.state is NodeState.BUSY:
+                    node.release(now)
+                self._node_exec.pop(node.node_id, None)
+                if self.power_vector is None:
+                    self._power_dirty.add(node.node_id)
         if self.power_vector is not None and execution.rows is not None:
             self.power_vector.unbind(execution.rows)
         self._executions.pop(execution.job.job_id, None)
@@ -734,6 +815,27 @@ class ClusterSimulation:
         def admit(job: Job) -> bool:
             return all(p.admit(job, now) for p in self.policies)
 
+        # Vectorized selection arrays for batch-aware allocators: only
+        # when they are guaranteed to agree with the available list —
+        # vector backend (the mirror carries the power columns), row
+        # order == id order, no filter policy rewriting the list, and
+        # bulk ops enabled (one switch flips the whole batched engine,
+        # which is what the equivalence tests and benches compare).
+        mirror = self.power_vector
+        selection = None
+        if (
+            self._bulk_ops
+            and mirror is not None
+            and mirror._ids_monotone
+            and not self._filter_policies
+        ):
+            selection = NodeSelection(
+                avail_mask=self._avail_mask,
+                nodes_arr=self._nodes_arr,
+                max_power=mirror.max_power,
+                variability=mirror.variability,
+            )
+
         usable = self._usable_count
         return SchedulingContext(
             now=now,
@@ -743,6 +845,7 @@ class ClusterSimulation:
             running=running,
             admit=admit,
             usable_node_count=usable,
+            selection=selection,
         )
 
     def _schedule_pass(self) -> None:
@@ -753,24 +856,49 @@ class ClusterSimulation:
         decisions = self.scheduler.schedule(ctx)
         granted = set()
         now = self.sim.now
+        # Mask-based twin of the per-node grant guards for the bulk
+        # engine: the availability mask is fed by the same listeners
+        # `is_available` reflects, and double-booking within the pass
+        # is caught by each cohort clearing its own mask rows when the
+        # job starts — so one vectorized read per decision replaces
+        # two Python scans over a (possibly 16k-wide) cohort.
+        vector_guard = self._bulk_ops and self._rows_are_ids
         for decision in decisions:
             # Re-check admission at apply time: earlier starts in this
             # same pass have already raised machine power, and the
             # snapshot the scheduler saw does not reflect that.
             if not all(p.admit(decision.job, now) for p in self.policies):
                 continue
-            ids = {n.node_id for n in decision.nodes}
-            if ids & granted:
-                raise SchedulingError(
-                    f"scheduler double-booked nodes for {decision.job.job_id}"
+            if vector_guard and len(decision.nodes) > 1:
+                rows = np.fromiter(
+                    (n.node_id for n in decision.nodes),
+                    dtype=np.intp,
+                    count=len(decision.nodes),
                 )
-            granted |= ids
-            for node in decision.nodes:
-                if not node.is_available:
-                    raise SchedulingError(
-                        f"scheduler picked unavailable node {node.node_id} "
-                        f"for {decision.job.job_id}"
+                if not self._avail_mask[rows].all():
+                    bad = next(
+                        (n.node_id for n in decision.nodes
+                         if not n.is_available),
+                        int(rows[np.argmin(self._avail_mask[rows])]),
                     )
+                    raise SchedulingError(
+                        "scheduler picked unavailable node "
+                        f"{bad} for {decision.job.job_id}"
+                    )
+            else:
+                ids = {n.node_id for n in decision.nodes}
+                if ids & granted:
+                    raise SchedulingError(
+                        "scheduler double-booked nodes for "
+                        f"{decision.job.job_id}"
+                    )
+                granted |= ids
+                for node in decision.nodes:
+                    if not node.is_available:
+                        raise SchedulingError(
+                            f"scheduler picked unavailable node {node.node_id} "
+                            f"for {decision.job.job_id}"
+                        )
             self._start_job(decision.job, decision.nodes)
 
     # ------------------------------------------------------------------

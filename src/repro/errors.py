@@ -30,7 +30,39 @@ class NodeStateError(ClusterError):
 
 
 class AllocationError(ClusterError):
-    """A resource allocation request could not be honoured."""
+    """A resource allocation request could not be honoured.
+
+    Carries the shortfall in structured attributes so fallback logic
+    (requeue capacity checks, moldable reshaping) can reason about
+    *how* the request failed instead of parsing the message:
+
+    Attributes
+    ----------
+    requested:
+        Number of nodes the failed request asked for (None when the
+        raiser had no count in hand).
+    available:
+        Size of the pool the request was checked against (None when
+        unknown).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested: "int | None" = None,
+        available: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+
+    @property
+    def shortfall(self) -> "int | None":
+        """Nodes missing (``requested - available``), when both known."""
+        if self.requested is None or self.available is None:
+            return None
+        return self.requested - self.available
 
 
 class TopologyError(ClusterError):

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..core.allocator import check_pool
 from ..core.epa import FunctionalCategory
+from ..errors import AllocationError
 from ..workload.job import Job
 from .base import Policy
 
@@ -45,6 +47,10 @@ class MoldablePolicy(Policy):
         self.budget_watts = budget_watts
         self.prefer_speed = prefer_speed
         self.reshaped = 0
+        #: Shaping attempts where even the smallest configuration
+        #: exceeds the machine's usable capacity (reshaping cannot
+        #: make the job schedulable).
+        self.infeasible = 0
 
     # ------------------------------------------------------------------
     def _estimated_draw(self, nodes: int, intensity: float) -> float:
@@ -70,8 +76,16 @@ class MoldablePolicy(Policy):
             feasible.append(cfg)
         if not feasible:
             # Nothing fits right now; fall back to the smallest config so
-            # the job eventually becomes schedulable.
+            # the job eventually becomes schedulable — but only if that
+            # config can *ever* run (the structured shortfall from the
+            # capacity check distinguishes "congested now" from "wider
+            # than the surviving machine", where reshaping is futile).
             smallest = min(job.moldable, key=lambda c: c.nodes)
+            try:
+                check_pool(self.simulation.usable_node_count, smallest.nodes)
+            except AllocationError:
+                self.infeasible += 1
+                return job
             if smallest.nodes != job.nodes:
                 self._reshape(job, smallest.nodes, smallest.work_seconds)
             return job

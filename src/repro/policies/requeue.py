@@ -19,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..core.allocator import check_pool
 from ..core.epa import FunctionalCategory
-from ..errors import PolicyError
+from ..errors import AllocationError, PolicyError
 from ..units import DAY, check_non_negative, check_positive
 from ..workload.job import Job, JobState
 from .base import Policy
@@ -64,6 +65,9 @@ class RequeuePolicy(Policy):
         self.delay = check_non_negative("delay", delay)
         self.requeued = 0
         self.work_salvaged = 0.0
+        #: Kills not requeued because the surviving machine can never
+        #: fit the job again (nodes drained/failed below its size).
+        self.dropped = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -98,11 +102,36 @@ class RequeuePolicy(Policy):
         base, retry = self._retry_index(job.job_id)
         if retry >= self.max_retries:
             return
+        # Capacity sanity before resubmitting: a copy wider than the
+        # surviving machine would sit in the queue forever (nodes may
+        # have been drained or failed since the original started).
+        nodes = job.nodes
+        work = None
+        walltime = job.walltime_request
+        try:
+            check_pool(self.simulation.usable_node_count, nodes)
+        except AllocationError as exc:
+            # The structured shortfall tells us how much capacity is
+            # left: fall back to a moldable configuration that fits
+            # it, or drop the job instead of queueing it unrunnably.
+            fitting = [
+                cfg for cfg in job.moldable if cfg.nodes <= exc.available
+            ]
+            if not fitting:
+                self.dropped += 1
+                return
+            chosen = min(fitting, key=lambda c: (c.work_seconds, c.nodes))
+            nodes = chosen.nodes
+            # A reshaped restart redoes the chosen configuration's full
+            # work (checkpoints of the old shape do not transfer).
+            work = chosen.work_seconds
+            scale = chosen.work_seconds / job.work_seconds
+            walltime = max(chosen.work_seconds, job.walltime_request * scale)
         copy = Job(
             job_id=f"{base}-r{retry + 1}",
-            nodes=job.nodes,
-            work_seconds=self._remaining_work(job),
-            walltime_request=job.walltime_request,
+            nodes=nodes,
+            work_seconds=self._remaining_work(job) if work is None else work,
+            walltime_request=walltime,
             submit_time=now + self.delay,
             user=job.user,
             profile=job.profile,

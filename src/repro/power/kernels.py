@@ -1,0 +1,326 @@
+"""Optional numba kernel layer for the three hottest engine loops.
+
+The engine's hot paths — the ``machine_watts`` dirty fold, the
+earliest-fit window scan in :class:`~repro.core.profile.FreeNodeProfile`
+and bulk transition application in
+:class:`~repro.power.vector.VectorPowerMirror` — are numpy-vectorized
+already; this module adds JIT-compiled twins for deployments that have
+numba installed, and *identical-output* numpy fallbacks everywhere else.
+
+Gating contract
+---------------
+* ``HAVE_NUMBA`` is True only when ``import numba`` succeeds **and**
+  the ``REPRO_NO_NUMBA`` environment variable is unset/empty.  The
+  env override exists so CI can exercise the fallback path on hosts
+  that do have numba.
+* Every public function dispatches on ``HAVE_NUMBA`` internally;
+  callers never branch.  The ``*_np`` twins stay importable so the
+  equivalence tests can pin ``nb == np`` bit-for-bit when numba is
+  present.
+* Bit-identity discipline: the JIT loops perform the *same float64
+  operations in the same order* as the numpy expressions (both resolve
+  to the platform libm for ``pow``), and reductions are **never**
+  performed inside a kernel — totals go through ``np.sum`` on the
+  caller side so pairwise summation order is shared by both paths.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "node_watts",
+    "node_watts_np",
+    "earliest_fit_index",
+    "earliest_fit_index_py",
+    "apply_transition",
+    "apply_transition_np",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    if os.environ.get("REPRO_NO_NUMBA"):
+        raise ImportError("numba disabled via REPRO_NO_NUMBA")
+    from numba import njit  # type: ignore
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default in this image
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore
+        """No-op decorator standing in for ``numba.njit``."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(func):
+            return func
+
+        return decorate
+
+
+# Small-int state codes, kept in sync with ``vector.STATE_CODES`` (the
+# mirror asserts the mapping at import time; see power/vector.py).
+_OFF = 0
+_DOWN = 1
+_BOOTING = 2
+_SHUTTING_DOWN = 3
+_IDLE = 4
+_BUSY = 5
+
+
+# ----------------------------------------------------------------------
+# Kernel 1: per-node watts (the machine_watts dirty-fold inner kernel)
+# ----------------------------------------------------------------------
+def node_watts_np(
+    state: np.ndarray,
+    idle: np.ndarray,
+    max_p: np.ndarray,
+    off_p: np.ndarray,
+    var: np.ndarray,
+    freq: np.ndarray,
+    min_f: np.ndarray,
+    max_f: np.ndarray,
+    cap: np.ndarray,
+    util: np.ndarray,
+    alpha: float,
+    boot_frac: float,
+    shut_frac: float,
+) -> np.ndarray:
+    """Watts per row — the watts column of
+    :meth:`VectorPowerMirror.operating_points`, extracted so the JIT
+    twin and the mirror share one reference expression."""
+    off = (state == _OFF) | (state == _DOWN)
+    boot = state == _BOOTING
+    shut = state == _SHUTTING_DOWN
+    idle_m = state == _IDLE
+
+    f_set = freq / max_f
+    f_min = min_f / max_f
+    dyn = (max_p - idle) * var * util
+
+    capped = np.isfinite(cap)
+    over = capped & (dyn > 0.0) & (idle + dyn * f_set**alpha > cap)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        f_cap = (
+            np.maximum(cap - idle, 0.0) / np.where(dyn > 0.0, dyn, 1.0)
+        ) ** (1.0 / alpha)
+    f_eff = np.where(over, np.minimum(f_set, f_cap), f_set)
+    f_eff = np.where(over & (f_cap < f_min), f_min, f_eff)
+
+    return np.select(
+        [off, boot, shut, idle_m],
+        [
+            off_p,
+            off_p + boot_frac * (max_p * var),
+            idle * shut_frac,
+            idle,
+        ],
+        default=idle + dyn * f_eff**alpha,
+    )
+
+
+@njit(cache=False)
+def _node_watts_nb(
+    state, idle, max_p, off_p, var, freq, min_f, max_f, cap, util,
+    alpha, boot_frac, shut_frac,
+):  # pragma: no cover - compiled only where numba is installed
+    n = state.shape[0]
+    out = np.empty(n, dtype=np.float64)
+    inv_alpha = 1.0 / alpha
+    for i in range(n):
+        s = state[i]
+        if s == _OFF or s == _DOWN:
+            out[i] = off_p[i]
+        elif s == _BOOTING:
+            out[i] = off_p[i] + boot_frac * (max_p[i] * var[i])
+        elif s == _SHUTTING_DOWN:
+            out[i] = idle[i] * shut_frac
+        elif s == _IDLE:
+            out[i] = idle[i]
+        else:
+            # BUSY: same op order as the numpy expression above.
+            f_set = freq[i] / max_f[i]
+            dyn = (max_p[i] - idle[i]) * var[i] * util[i]
+            f_eff = f_set
+            c = cap[i]
+            if np.isfinite(c) and dyn > 0.0:
+                if idle[i] + dyn * f_set**alpha > c:
+                    budget = c - idle[i]
+                    if budget < 0.0:
+                        budget = 0.0
+                    f_cap = (budget / dyn) ** inv_alpha
+                    f_eff = min(f_set, f_cap)
+                    if f_cap < min_f[i] / max_f[i]:
+                        f_eff = min_f[i] / max_f[i]
+            out[i] = idle[i] + dyn * f_eff**alpha
+    return out
+
+
+def node_watts(
+    state: np.ndarray,
+    idle: np.ndarray,
+    max_p: np.ndarray,
+    off_p: np.ndarray,
+    var: np.ndarray,
+    freq: np.ndarray,
+    min_f: np.ndarray,
+    max_f: np.ndarray,
+    cap: np.ndarray,
+    util: np.ndarray,
+    alpha: float,
+    boot_frac: float,
+    shut_frac: float,
+) -> np.ndarray:
+    """Per-row watts; JIT loop when numba is available, numpy otherwise.
+
+    Callers sum the result themselves (``np.sum`` pairwise order) so
+    totals are bit-identical across both paths.
+    """
+    if HAVE_NUMBA:
+        return _node_watts_nb(
+            state, idle, max_p, off_p, var, freq, min_f, max_f, cap,
+            util, alpha, boot_frac, shut_frac,
+        )
+    return node_watts_np(
+        state, idle, max_p, off_p, var, freq, min_f, max_f, cap, util,
+        alpha, boot_frac, shut_frac,
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel 2: earliest-fit window scan over a reserved free-node profile
+# ----------------------------------------------------------------------
+def earliest_fit_index_py(
+    times: Sequence[float],
+    free: Sequence[int],
+    needed: int,
+    duration: float,
+) -> int:
+    """Reference implementation of the sliding-window-minimum scan:
+    index of the earliest breakpoint from which *needed* nodes stay
+    free for *duration*, or -1.  Mirrors
+    :meth:`FreeNodeProfile.earliest_fit` (non-monotone branch) with a
+    ring buffer instead of a deque so the JIT twin is line-for-line."""
+    n = len(times)
+    win = [0] * n
+    head = 0
+    tail = 0
+    j = 0
+    for i in range(n):
+        end = times[i] + duration
+        while j < n and times[j] < end:
+            while tail > head and free[win[tail - 1]] >= free[j]:
+                tail -= 1
+            win[tail] = j
+            tail += 1
+            j += 1
+        while tail > head and win[head] < i:
+            head += 1
+        low = free[win[head]] if tail > head else free[i]
+        if low >= needed:
+            return i
+    return -1
+
+
+@njit(cache=False)
+def _earliest_fit_nb(
+    times, free, needed, duration
+):  # pragma: no cover - compiled only where numba is installed
+    n = times.shape[0]
+    win = np.empty(n, dtype=np.int64)
+    head = 0
+    tail = 0
+    j = 0
+    for i in range(n):
+        end = times[i] + duration
+        while j < n and times[j] < end:
+            while tail > head and free[win[tail - 1]] >= free[j]:
+                tail -= 1
+            win[tail] = j
+            tail += 1
+            j += 1
+        while tail > head and win[head] < i:
+            head += 1
+        if tail > head:
+            low = free[win[head]]
+        else:
+            low = free[i]
+        if low >= needed:
+            return i
+    return -1
+
+
+def earliest_fit_index(
+    times: Sequence[float],
+    free: Sequence[int],
+    needed: int,
+    duration: float,
+) -> int:
+    """Dispatching earliest-fit scan; integer counts make the result
+    exact, so both paths are trivially identical."""
+    if HAVE_NUMBA:
+        return int(
+            _earliest_fit_nb(
+                np.asarray(times, dtype=np.float64),
+                np.asarray(free, dtype=np.int64),
+                needed,
+                float(duration),
+            )
+        )
+    return earliest_fit_index_py(times, free, needed, duration)
+
+
+# ----------------------------------------------------------------------
+# Kernel 3: bulk transition application (SoA scatter)
+# ----------------------------------------------------------------------
+def apply_transition_np(
+    state_code: np.ndarray,
+    idle_since: np.ndarray,
+    bound_jobs: np.ndarray,
+    rows: np.ndarray,
+    code: int,
+    idle_ts: float,
+    bound: int,
+) -> None:
+    """Scatter one lifecycle transition onto *rows* in place:
+    ``state_code[rows] = code``, ``idle_since[rows] = idle_ts`` (NaN
+    for non-idle targets) and ``bound_jobs[rows] = bound``."""
+    state_code[rows] = code
+    idle_since[rows] = idle_ts
+    bound_jobs[rows] = bound
+
+
+@njit(cache=False)
+def _apply_transition_nb(
+    state_code, idle_since, bound_jobs, rows, code, idle_ts, bound
+):  # pragma: no cover - compiled only where numba is installed
+    for k in range(rows.shape[0]):
+        r = rows[k]
+        state_code[r] = code
+        idle_since[r] = idle_ts
+        bound_jobs[r] = bound
+
+
+def apply_transition(
+    state_code: np.ndarray,
+    idle_since: np.ndarray,
+    bound_jobs: np.ndarray,
+    rows: np.ndarray,
+    code: int,
+    idle_ts: float,
+    bound: int,
+) -> None:
+    """Dispatching bulk-transition scatter (pure assignments, so both
+    paths are exactly identical)."""
+    if HAVE_NUMBA:
+        _apply_transition_nb(
+            state_code, idle_since, bound_jobs, rows,
+            np.int8(code), float(idle_ts), np.int32(bound),
+        )
+        return
+    apply_transition_np(
+        state_code, idle_since, bound_jobs, rows, code, idle_ts, bound
+    )

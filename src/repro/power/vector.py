@@ -48,6 +48,7 @@ import numpy as np
 
 from ..cluster.machine import Machine
 from ..cluster.node import NodeState
+from . import kernels
 from .model import NodePowerModel
 
 __all__ = ["LifecycleView", "OperatingPoints", "VectorPowerMirror", "STATE_CODES"]
@@ -61,6 +62,15 @@ STATE_CODES: Dict[NodeState, int] = {
     NodeState.IDLE: 4,
     NodeState.BUSY: 5,
 }
+
+# The kernel layer hard-codes the codes (numba cannot close over the
+# enum); fail loudly if the two tables ever drift.
+assert STATE_CODES[NodeState.OFF] == kernels._OFF
+assert STATE_CODES[NodeState.DOWN] == kernels._DOWN
+assert STATE_CODES[NodeState.BOOTING] == kernels._BOOTING
+assert STATE_CODES[NodeState.SHUTTING_DOWN] == kernels._SHUTTING_DOWN
+assert STATE_CODES[NodeState.IDLE] == kernels._IDLE
+assert STATE_CODES[NodeState.BUSY] == kernels._BUSY
 
 _OFF = STATE_CODES[NodeState.OFF]
 _DOWN = STATE_CODES[NodeState.DOWN]
@@ -187,6 +197,11 @@ class VectorPowerMirror:
         self._ids_monotone = bool(
             n < 2 or np.all(np.diff(self.node_id) > 0)
         )
+        #: Stronger than monotone: ids ARE row positions, so cohort
+        #: row lookups reduce to an array conversion.
+        self._rows_are_ids = bool(
+            np.array_equal(self.node_id, np.arange(n, dtype=np.intp))
+        )
         #: Incremental per-state-code node counts (len == #codes):
         #: refresh_row moves one unit between buckets, so policy ticks
         #: read counts in O(1) instead of scanning the state array.
@@ -206,6 +221,10 @@ class VectorPowerMirror:
     # ------------------------------------------------------------------
     def rows_for(self, node_ids: Iterable[int]) -> np.ndarray:
         """Row indices for *node_ids* (machine.nodes positions)."""
+        if self._rows_are_ids:
+            if not isinstance(node_ids, (list, tuple, np.ndarray)):
+                node_ids = list(node_ids)
+            return np.asarray(node_ids, dtype=np.intp)
         row_of = self._row_of
         return np.fromiter(
             (row_of[nid] for nid in node_ids), dtype=np.intp
@@ -248,6 +267,38 @@ class VectorPowerMirror:
         """Drop a job binding: rows fall back to the unbound defaults."""
         self.utilization[rows] = 1.0
         self.sensitivity[rows] = 1.0
+        self._dirty.update(rows.tolist())
+
+    def transition_rows(self, rows: np.ndarray, code: int, time: float) -> None:
+        """Apply one lifecycle transition to *rows* in a single SoA pass.
+
+        The bulk twin of per-row :meth:`touch` after
+        ``Node.transition``: state codes, idle timestamps (NaN for
+        non-idle targets, mirroring the scalar ``None``), bound-job
+        counts and the incremental state-count buckets all move in one
+        scatter, and the rows join the dirty set for the next
+        ``machine_watts`` fold.  Power-relevant fields other than state
+        never change during a transition, so nothing else is re-read.
+
+        Precondition (holds at every bulk call site): the scalar nodes
+        were already moved to the same target state, with
+        ``running_job`` set on every row iff the target is BUSY —
+        bound-job counts are derived from the target code, exactly as
+        :meth:`refresh_row` would derive them from ``running_job``.
+        """
+        counts = self._state_counts
+        old_codes, old_counts = np.unique(
+            self.state_code[rows], return_counts=True
+        )
+        for old, cnt in zip(old_codes.tolist(), old_counts.tolist()):
+            counts[old] -= cnt
+        counts[code] += int(rows.size)
+        idle_ts = time if code == _IDLE else np.nan
+        bound = 1 if code == _BUSY else 0
+        kernels.apply_transition(
+            self.state_code, self.idle_since, self.bound_jobs,
+            rows, code, idle_ts, bound,
+        )
         self._dirty.update(rows.tolist())
 
     def refresh_all(self) -> None:
@@ -312,7 +363,7 @@ class VectorPowerMirror:
         # guarded f_cap (0 when the budget is gone) covers both.
         capped = np.isfinite(cap)
         over = capped & (dyn > 0.0) & (idle + dyn * f_set**alpha > cap)
-        with np.errstate(divide="ignore", invalid="ignore"):
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
             f_cap = (
                 np.maximum(cap - idle, 0.0) / np.where(dyn > 0.0, dyn, 1.0)
             ) ** (1.0 / alpha)
@@ -342,16 +393,39 @@ class VectorPowerMirror:
         violated = idle_violated | (busy & busy_violated)
         return OperatingPoints(watts, ratio, speed, violated)
 
+    def _watts_kernel(self, sel) -> np.ndarray:
+        """Watts for the selected rows via the kernel layer (JIT when
+        numba is available, else a numpy expression bit-identical to
+        ``operating_points(sel).watts``)."""
+        model = self.model
+        return kernels.node_watts(
+            self.state_code[sel],
+            self.idle_power[sel],
+            self.max_power[sel],
+            self.off_power[sel],
+            self.variability[sel],
+            self.frequency[sel],
+            self.min_frequency[sel],
+            self.max_frequency[sel],
+            self.power_cap[sel],
+            self.utilization[sel],
+            model.alpha,
+            model.boot_power_fraction,
+            model.shutdown_power_fraction,
+        )
+
     def machine_watts(self) -> float:
         """Total machine draw; folds dirty rows into the cached total.
 
         O(1) when clean; one kernel over the dirty rows otherwise; a
         full vectorized re-sum when at least half the rows are dirty.
+        Totals are reduced with ``np.sum`` on the caller side of the
+        kernel, so the JIT and numpy paths share one summation order.
         """
         n = len(self._watts)
         dirty = self._dirty
         if self._all_dirty or 2 * len(dirty) >= n:
-            watts = self.operating_points().watts
+            watts = self._watts_kernel(slice(None))
             self._watts = watts
             self._total = float(watts.sum())
             self._all_dirty = False
@@ -359,7 +433,7 @@ class VectorPowerMirror:
         elif dirty:
             rows = np.fromiter(dirty, dtype=np.intp, count=len(dirty))
             rows.sort()
-            fresh = self.operating_points(rows).watts
+            fresh = self._watts_kernel(rows)
             self._total += float(fresh.sum() - self._watts[rows].sum())
             self._watts[rows] = fresh
             dirty.clear()

@@ -68,6 +68,12 @@ _FAIL = object()
 # Config signature
 # ----------------------------------------------------------------------
 def _config_signature(sim_obj) -> Dict[str, Any]:
+    # ``bulk_ops`` is deliberately NOT part of the signature: the bulk
+    # cohort engine is bit-identical to the scalar per-node spec (same
+    # decisions, same float accumulation order, same mirror dirty-set
+    # contents — the bulk teardown path even marks non-BUSY execution
+    # nodes dirty to match the scalar loop), so checkpoints taken under
+    # either mode restore interchangeably into the other.
     machine = sim_obj.machine
     node_statics = [
         (n.node_id, n.cores, n.memory_gb, n.idle_power, n.max_power,

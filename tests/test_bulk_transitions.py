@@ -1,0 +1,295 @@
+"""Bulk node transitions: unit contract + randomized equivalence.
+
+``Machine.transition_bulk`` and the vectorized allocator selection
+must be *decision-identical* to the scalar per-node paths — same
+nodes, same order, same floats, same snapshots.  The scalar state
+machine stays the executable spec; these tests pin the batched engine
+against it the same way PRs 2–5 pinned the vector power mirror and
+batched dispatch.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, MachineSpec, NodeState
+from repro.core import (
+    ClusterSimulation,
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    FirstFitAllocator,
+    LowPowerAllocator,
+)
+from repro.errors import NodeStateError
+from repro.power.vector import STATE_CODES, VectorPowerMirror
+from repro.power.model import NodePowerModel
+from repro.policies import DynamicProvisioningPolicy, IdleShutdownPolicy
+from repro.simulator.rng import RngStreams
+from repro.state import (
+    restore,
+    result_fingerprint,
+    run_checkpointed,
+    sim_fingerprint,
+    snapshot,
+)
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+from .state_scenarios import step_until
+
+
+def small_machine(n: int = 16) -> Machine:
+    return Machine(MachineSpec(name="m", nodes=n, nodes_per_cabinet=4))
+
+
+# ----------------------------------------------------------------------
+# Machine.transition_bulk contract
+# ----------------------------------------------------------------------
+class TestTransitionBulk:
+    def test_matches_scalar_loop(self):
+        bulk, scalar = small_machine(), small_machine()
+        ids = [3, 1, 7]
+        bulk.transition_bulk(ids, NodeState.SHUTTING_DOWN, 50.0)
+        for nid in ids:
+            scalar.node(nid).transition(NodeState.SHUTTING_DOWN, 50.0)
+        for m in (bulk, scalar):
+            for nid in ids:
+                node = m.node(nid)
+                assert node.state is NodeState.SHUTTING_DOWN
+                assert node.last_state_change == 50.0
+                assert node.idle_since is None
+
+    def test_idle_target_stamps_idle_since(self):
+        machine = small_machine()
+        machine.transition_bulk([0, 1], NodeState.BUSY, 10.0)
+        machine.transition_bulk([0, 1], NodeState.IDLE, 25.0)
+        assert all(machine.node(i).idle_since == 25.0 for i in (0, 1))
+
+    def test_atomic_on_illegal_member(self):
+        machine = small_machine()
+        machine.node(2).transition(NodeState.SHUTTING_DOWN, 5.0)
+        # Node 2 cannot go BUSY: the whole cohort must fail untouched.
+        with pytest.raises(NodeStateError):
+            machine.transition_bulk([0, 1, 2], NodeState.BUSY, 10.0)
+        assert machine.node(0).state is NodeState.IDLE
+        assert machine.node(1).state is NodeState.IDLE
+        assert machine.node(2).state is NodeState.SHUTTING_DOWN
+
+    def test_unknown_id_fails_before_mutating(self):
+        machine = small_machine()
+        with pytest.raises(Exception):
+            machine.transition_bulk([0, 999], NodeState.BUSY, 1.0)
+        assert machine.node(0).state is NodeState.IDLE
+
+    def test_fallback_fires_per_node_listeners_in_order(self):
+        machine = small_machine()
+        fired = []
+        for node in machine.nodes:
+            node.power_listener = fired.append
+        machine.transition_bulk([5, 2, 9], NodeState.BUSY, 1.0)
+        assert fired == [5, 2, 9]
+
+    def test_bulk_listener_fires_once_instead(self):
+        machine = small_machine()
+        per_node = []
+        for node in machine.nodes:
+            node.power_listener = per_node.append
+        calls = []
+        machine.bulk_listener = lambda ids, target, time: calls.append(
+            (list(ids), target, time)
+        )
+        machine.transition_bulk([4, 6], NodeState.BUSY, 2.0)
+        assert calls == [([4, 6], NodeState.BUSY, 2.0)]
+        assert per_node == []
+
+
+# ----------------------------------------------------------------------
+# VectorPowerMirror.transition_rows == per-row touch
+# ----------------------------------------------------------------------
+class TestTransitionRows:
+    def test_matches_touch_path(self):
+        rng = np.random.default_rng(9)
+        bulk_m, scalar_m = small_machine(), small_machine()
+        bulk = VectorPowerMirror(bulk_m, NodePowerModel())
+        scalar = VectorPowerMirror(scalar_m, NodePowerModel())
+        bulk.machine_watts()
+        scalar.machine_watts()
+
+        legal = {
+            NodeState.IDLE: [NodeState.BUSY, NodeState.SHUTTING_DOWN],
+            NodeState.BUSY: [NodeState.IDLE],
+            NodeState.SHUTTING_DOWN: [NodeState.OFF],
+            NodeState.OFF: [NodeState.BOOTING],
+            NodeState.BOOTING: [NodeState.IDLE],
+        }
+        for step in range(40):
+            time = float(step)
+            state = bulk_m.node(0).state  # cohorts share one state here
+            pool = [
+                n.node_id for n in bulk_m.nodes if n.state is state
+            ]
+            k = int(rng.integers(1, max(2, len(pool))))
+            ids = list(rng.choice(pool, size=min(k, len(pool)), replace=False))
+            target = legal[state][int(rng.integers(len(legal[state])))]
+            busy = target is NodeState.BUSY
+
+            for nid in ids:
+                node = bulk_m.node(nid)
+                node.state = target
+                node.last_state_change = time
+                node.idle_since = time if target is NodeState.IDLE else None
+                node.running_job = "j" if busy else None
+            bulk.transition_rows(
+                bulk.rows_for(ids), STATE_CODES[target], time
+            )
+
+            for nid in ids:
+                node = scalar_m.node(nid)
+                node.state = target
+                node.last_state_change = time
+                node.idle_since = time if target is NodeState.IDLE else None
+                node.running_job = "j" if busy else None
+                scalar.touch(nid)
+
+            assert bulk._dirty == scalar._dirty
+            assert bulk._state_counts == scalar._state_counts
+            np.testing.assert_array_equal(bulk.state_code, scalar.state_code)
+            np.testing.assert_array_equal(bulk.idle_since, scalar.idle_since)
+            np.testing.assert_array_equal(bulk.bound_jobs, scalar.bound_jobs)
+            assert bulk.machine_watts() == scalar.machine_watts()
+
+            # Keep every node in lockstep so cohorts stay same-state.
+            for m, mirror in ((bulk_m, bulk), (scalar_m, scalar)):
+                rest = [n.node_id for n in m.nodes if n.node_id not in ids]
+                for nid in rest:
+                    node = m.node(nid)
+                    node.state = target
+                    node.idle_since = (
+                        time if target is NodeState.IDLE else None
+                    )
+                    node.running_job = "j" if busy else None
+                    mirror.touch(nid)
+
+
+# ----------------------------------------------------------------------
+# End-to-end equivalence: bulk engine vs scalar spec
+# ----------------------------------------------------------------------
+def churn_sim(
+    bulk_ops: bool,
+    backend: str = "vector",
+    scheduler: str = "easy",
+    allocator: str = "low-power",
+    seed: int = 13,
+) -> ClusterSimulation:
+    """64-node machine under wide-job churn with lifecycle policies:
+    job starts/teardowns, cohort shutdowns and boots all exercised."""
+    sched_cls = {
+        "easy": EasyBackfillScheduler,
+        "conservative": ConservativeBackfillScheduler,
+    }[scheduler]
+    alloc_cls = {
+        "first-fit": FirstFitAllocator,
+        "low-power": LowPowerAllocator,
+    }[allocator]
+    machine = Machine(MachineSpec(name="churn", nodes=64, nodes_per_cabinet=8))
+    # Variability with deliberate ties: the low-power tie-break by id
+    # must agree between the scalar sort and the argpartition path.
+    rng = np.random.default_rng(seed + 1)
+    for node, v in zip(
+        machine.nodes,
+        rng.choice([0.94, 0.97, 1.0, 1.03], size=len(machine.nodes)),
+    ):
+        node.variability = float(v)
+    spec = WorkloadSpec(
+        arrival_rate=80.0 / 3600.0,
+        duration=8 * 3600.0,
+        min_nodes=4,
+        max_nodes=32,
+        mean_work=1800.0,
+    )
+    jobs = WorkloadGenerator(spec, RngStreams(seed).stream("wl")).generate(
+        count=60
+    )
+    return ClusterSimulation(
+        machine,
+        sched_cls(alloc_cls()),
+        jobs,
+        policies=[
+            IdleShutdownPolicy(
+                idle_threshold=300.0, min_spare=4, check_interval=120.0
+            ),
+        ],
+        seed=seed,
+        power_backend=backend,
+        bulk_ops=bulk_ops,
+    )
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("scheduler", ["easy", "conservative"])
+    @pytest.mark.parametrize("allocator", ["first-fit", "low-power"])
+    def test_results_identical(self, scheduler, allocator):
+        ref = result_fingerprint(
+            churn_sim(False, scheduler=scheduler, allocator=allocator).run()
+        )
+        got = result_fingerprint(
+            churn_sim(True, scheduler=scheduler, allocator=allocator).run()
+        )
+        assert got == ref
+
+    @pytest.mark.parametrize("backend", ["vector", "scalar"])
+    def test_backends_agree_under_bulk(self, backend):
+        ref = result_fingerprint(churn_sim(False, backend=backend).run())
+        got = result_fingerprint(churn_sim(True, backend=backend).run())
+        assert got == ref
+
+    def test_midrun_state_fingerprints_match(self):
+        # Listener-order-sensitive power cache state: the canonical
+        # snapshot includes the mirror's per-row watts cache, cached
+        # total and dirty set, so any divergence in how bulk events
+        # fold into the cache shows up here, not just in end results.
+        cuts = (3600.0, 10800.0, 21600.0)
+        scalar = churn_sim(False)
+        bulk = churn_sim(True)
+        scalar.prepare()
+        bulk.prepare()
+        for cut in cuts:
+            step_until(scalar, cut)
+            step_until(bulk, cut)
+            assert sim_fingerprint(bulk) == sim_fingerprint(scalar), cut
+
+    def test_batched_run_matches(self):
+        ref = result_fingerprint(churn_sim(False).run())
+        got = result_fingerprint(churn_sim(True).run_batched())
+        assert got == ref
+
+    def test_provisioning_policy_equivalent(self):
+        def build(bulk_ops):
+            sim_obj = churn_sim(bulk_ops, seed=29)
+            sim_obj.add_policy(
+                DynamicProvisioningPolicy(
+                    cap_watts=12000.0, check_interval=240.0
+                )
+            )
+            return sim_obj
+
+        assert result_fingerprint(build(True).run()) == result_fingerprint(
+            build(False).run()
+        )
+
+
+class TestSnapshotRoundTrip:
+    def test_bulk_run_restores_bit_identical(self):
+        ref = result_fingerprint(churn_sim(True).run())
+        donor = step_until(churn_sim(True), 7200.0)
+        st = snapshot(donor)
+        restored = restore(st, functools.partial(churn_sim, True))
+        assert result_fingerprint(run_checkpointed(restored)) == ref
+        assert result_fingerprint(run_checkpointed(donor)) == ref
+
+    def test_bulk_snapshot_equals_scalar_snapshot(self):
+        scalar = step_until(churn_sim(False), 7200.0)
+        bulk = step_until(churn_sim(True), 7200.0)
+        assert sim_fingerprint(bulk) == sim_fingerprint(scalar)

@@ -1,0 +1,225 @@
+"""Kernel layer equivalence: numpy references vs mirror vs JIT twins.
+
+Each kernel in :mod:`repro.power.kernels` ships three faces — the
+``*_np`` reference, the ``@njit`` twin and a dispatcher.  These tests
+pin the reference against the engine code it was extracted from
+(``operating_points``, the profile's deque scan) and, where numba is
+installed, the JIT twin bit-for-bit against the reference.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.core.profile import FreeNodeProfile
+from repro.power import kernels
+from repro.power.model import NodePowerModel
+from repro.power.vector import VectorPowerMirror
+
+
+def random_mirror(seed: int, n: int = 96) -> VectorPowerMirror:
+    """A mirror whose SoA columns cover every kernel branch: all six
+    states, finite and +inf caps (including caps below idle power),
+    heterogeneous variability, clamped frequencies, zero utilization."""
+    rng = np.random.default_rng(seed)
+    machine = Machine(MachineSpec(name="k", nodes=n, nodes_per_cabinet=8))
+    mirror = VectorPowerMirror(machine, NodePowerModel())
+    mirror.state_code[:] = rng.integers(0, 6, size=n).astype(np.int8)
+    mirror.variability[:] = rng.uniform(0.9, 1.1, size=n)
+    mirror.utilization[:] = np.where(
+        rng.random(n) < 0.2, 0.0, rng.uniform(0.2, 1.0, size=n)
+    )
+    mirror.frequency[:] = rng.uniform(
+        mirror.min_frequency, mirror.max_frequency
+    )
+    cap = np.full(n, np.inf)
+    capped = rng.random(n) < 0.5
+    cap[capped] = rng.uniform(
+        0.8 * mirror.idle_power[capped],  # some caps below idle power
+        1.1 * mirror.max_power[capped],
+    )
+    mirror.power_cap[:] = cap
+    mirror.invalidate()
+    return mirror
+
+
+class TestNodeWatts:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_reference_matches_operating_points(self, seed):
+        mirror = random_mirror(seed)
+        model = mirror.model
+        got = kernels.node_watts_np(
+            mirror.state_code,
+            mirror.idle_power,
+            mirror.max_power,
+            mirror.off_power,
+            mirror.variability,
+            mirror.frequency,
+            mirror.min_frequency,
+            mirror.max_frequency,
+            mirror.power_cap,
+            mirror.utilization,
+            model.alpha,
+            model.boot_power_fraction,
+            model.shutdown_power_fraction,
+        )
+        ref = mirror.operating_points().watts
+        # Bitwise: the kernel is the extracted watts column, not an
+        # approximation of it.
+        np.testing.assert_array_equal(got, ref)
+
+    def test_machine_watts_uses_kernel(self, seed=5):
+        mirror = random_mirror(seed)
+        total = mirror.machine_watts()
+        assert total == float(np.sum(mirror.operating_points().watts))
+
+
+class TestEarliestFit:
+    @staticmethod
+    def random_profile(rng) -> FreeNodeProfile:
+        profile = FreeNodeProfile.from_releases(
+            0.0,
+            int(rng.integers(0, 8)),
+            [
+                (float(t), int(c))
+                for t, c in zip(
+                    np.cumsum(rng.uniform(1.0, 50.0, size=40)),
+                    rng.integers(0, 6, size=40),
+                )
+            ],
+        )
+        for _ in range(int(rng.integers(1, 8))):
+            start = float(rng.uniform(0.0, profile.tail_time))
+            end = start + float(rng.uniform(1.0, 400.0))
+            profile.reserve(start, end, int(rng.integers(1, 4)))
+        return profile
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ring_buffer_matches_deque_scan(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = self.random_profile(rng)
+        assert not profile._monotone
+        for _ in range(25):
+            needed = int(rng.integers(1, 12))
+            duration = float(rng.uniform(0.0, 600.0))
+            ref = profile.earliest_fit(needed, duration)
+            idx = kernels.earliest_fit_index_py(
+                profile.times, profile.free, needed, duration
+            )
+            got = None if idx < 0 else profile.times[idx]
+            assert got == ref, (needed, duration)
+
+    def test_dispatcher_accepts_lists(self):
+        times = [0.0, 10.0, 20.0, 30.0]
+        free = [4, 1, 6, 6]
+        assert kernels.earliest_fit_index(times, free, 5, 15.0) == 2
+        assert kernels.earliest_fit_index(times, free, 9, 1.0) == -1
+
+
+class TestApplyTransition:
+    def test_scatters_in_place(self):
+        state = np.zeros(8, dtype=np.int8)
+        idle_since = np.full(8, np.nan)
+        bound = np.zeros(8, dtype=np.int32)
+        rows = np.array([1, 4, 6], dtype=np.intp)
+        kernels.apply_transition_np(
+            state, idle_since, bound, rows, kernels._BUSY, np.nan, 1
+        )
+        assert list(state) == [0, 5, 0, 0, 5, 0, 5, 0]
+        assert list(bound) == [0, 1, 0, 0, 1, 0, 1, 0]
+        assert np.isnan(idle_since).all()
+        kernels.apply_transition_np(
+            state, idle_since, bound, rows, kernels._IDLE, 42.0, 0
+        )
+        assert list(state[rows]) == [4, 4, 4]
+        assert list(idle_since[rows]) == [42.0, 42.0, 42.0]
+        assert bound.sum() == 0
+
+
+class TestGating:
+    def test_env_override_disables_numba(self):
+        # In a fresh interpreter REPRO_NO_NUMBA must force the numpy
+        # fallback whether or not numba is installed.
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.power import kernels; print(kernels.HAVE_NUMBA)",
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "REPRO_NO_NUMBA": "1"},
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "False"
+
+
+needs_numba = pytest.mark.skipif(
+    not kernels.HAVE_NUMBA, reason="numba not installed"
+)
+
+
+@needs_numba
+class TestNumbaBitIdentity:  # pragma: no cover - needs numba
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_node_watts(self, seed):
+        mirror = random_mirror(seed)
+        model = mirror.model
+        cols = (
+            mirror.state_code,
+            mirror.idle_power,
+            mirror.max_power,
+            mirror.off_power,
+            mirror.variability,
+            mirror.frequency,
+            mirror.min_frequency,
+            mirror.max_frequency,
+            mirror.power_cap,
+            mirror.utilization,
+            model.alpha,
+            model.boot_power_fraction,
+            model.shutdown_power_fraction,
+        )
+        nb = kernels._node_watts_nb(*cols)
+        ref = kernels.node_watts_np(*cols)
+        np.testing.assert_array_equal(nb, ref)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_earliest_fit(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = TestEarliestFit.random_profile(rng)
+        times = np.asarray(profile.times, dtype=np.float64)
+        free = np.asarray(profile.free, dtype=np.int64)
+        for _ in range(25):
+            needed = int(rng.integers(1, 12))
+            duration = float(rng.uniform(0.0, 600.0))
+            assert int(
+                kernels._earliest_fit_nb(times, free, needed, duration)
+            ) == kernels.earliest_fit_index_py(
+                profile.times, profile.free, needed, duration
+            )
+
+    def test_apply_transition(self):
+        rng = np.random.default_rng(3)
+        state_a = rng.integers(0, 6, size=32).astype(np.int8)
+        state_b = state_a.copy()
+        idle_a = rng.uniform(0, 100, size=32)
+        idle_b = idle_a.copy()
+        bound_a = rng.integers(0, 2, size=32).astype(np.int32)
+        bound_b = bound_a.copy()
+        rows = np.flatnonzero(rng.random(32) < 0.4).astype(np.intp)
+        kernels._apply_transition_nb(
+            state_a, idle_a, bound_a, rows,
+            np.int8(kernels._IDLE), 7.0, np.int32(0),
+        )
+        kernels.apply_transition_np(
+            state_b, idle_b, bound_b, rows, kernels._IDLE, 7.0, 0
+        )
+        np.testing.assert_array_equal(state_a, state_b)
+        np.testing.assert_array_equal(idle_a, idle_b)
+        np.testing.assert_array_equal(bound_a, bound_b)
