@@ -1,13 +1,27 @@
-"""Fail CI when a batched engine path loses its measured advantage.
+"""Fail CI when a measured performance advantage regresses.
 
-Compares the freshly produced ``benchmarks/out/BENCH_engine.json``
-against the committed baseline in ``benchmarks/baseline/``.  Wall
+Compares the freshly produced ``benchmarks/out/BENCH_*.json`` files
+against the committed baselines in ``benchmarks/baseline/``.  Wall
 clocks on shared CI runners are noisy, so the guard compares *speedup
-ratios* (batched vs scalar on the same host), not absolute seconds:
-for every section present in both files, the fresh speedup must be at
-least ``(1 - TOLERANCE)`` of the committed one.
+ratios* (fast path vs reference on the same host), not absolute
+seconds: for every speedup present in both files, the fresh value must
+be at least ``(1 - TOLERANCE)`` of the committed one.  Speedups may sit
+at a section's top level (``congested_64k.speedup``) or one level down
+in per-size sub-sections (``full_resum.16384.speedup``).
 
-Usage: python .github/scripts/engine_bench_guard.py [fresh] [baseline]
+``BENCH_state.json`` records no speedups; its noise-free guardable
+metric is the checkpoint size (``snapshot_cost.<nodes>.checkpoint_bytes``
+must not balloon past ``SIZE_TOLERANCE``) plus the ``resume.identical``
+replay bit.
+
+Speedup ratios are blind to a slowdown that hits both engines equally
+(e.g. a profile-kernel regression shifts scalar *and* bulk walls, so
+``deep_queue_backfill.speedup`` stays ~1.0).  The fast-path wall clocks
+(``bulk_s`` / ``batched_s``) therefore also carry a *coarse* ceiling:
+``WALL_CEILING``× the committed baseline, loose enough for runner
+variance but tight enough to catch an algorithmic blow-up.
+
+Usage: python .github/scripts/engine_bench_guard.py [fresh_dir] [baseline_dir]
 """
 
 from __future__ import annotations
@@ -16,53 +30,138 @@ import json
 import pathlib
 import sys
 
-TOLERANCE = 0.20  # fail when the batched path regresses by more than 20%
+TOLERANCE = 0.20  # fail when a fast path regresses by more than 20%
+SIZE_TOLERANCE = 0.25  # fail when a checkpoint grows by more than 25%
+WALL_CEILING = 3.0  # fail when a fast-path wall blows past 3x baseline
+
+#: Fast-path wall-clock keys guarded by the coarse ceiling.
+_WALL_KEYS = ("bulk_s", "batched_s")
+
+BENCH_FILES = ("BENCH_engine.json", "BENCH_power.json", "BENCH_state.json")
+
+
+def _iter_speedups(section_name: str, payload: dict):
+    """Yield ``(label, speedup)`` for a section: top-level or per-size."""
+    if "speedup" in payload:
+        yield section_name, payload["speedup"]
+        return
+    for key, sub in sorted(payload.items()):
+        if isinstance(sub, dict) and "speedup" in sub:
+            yield f"{section_name}.{key}", sub["speedup"]
+
+
+def check_speedups(name: str, fresh: dict, baseline: dict,
+                   failures: list) -> int:
+    checked = 0
+    for section, base in sorted(baseline.items()):
+        if section not in fresh:
+            continue
+        fresh_map = dict(_iter_speedups(section, fresh[section]))
+        for label, base_speedup in _iter_speedups(section, base):
+            got = fresh_map.get(label)
+            if got is None:
+                failures.append(f"{name} {label}: fresh run recorded no speedup")
+                continue
+            checked += 1
+            floor = base_speedup * (1.0 - TOLERANCE)
+            verdict = "ok" if got >= floor else "REGRESSED"
+            print(
+                f"{name} {label}: speedup {got:.2f}x vs baseline "
+                f"{base_speedup:.2f}x (floor {floor:.2f}x) — {verdict}"
+            )
+            if got < floor:
+                failures.append(
+                    f"{name} {label}: {got:.2f}x < {floor:.2f}x "
+                    f"(baseline {base_speedup:.2f}x - {TOLERANCE:.0%})"
+                )
+        for key in _WALL_KEYS:
+            base_wall = base.get(key)
+            got_wall = fresh[section].get(key)
+            if not isinstance(base_wall, (int, float)) or not isinstance(
+                got_wall, (int, float)
+            ):
+                continue
+            checked += 1
+            ceiling = base_wall * WALL_CEILING
+            verdict = "ok" if got_wall <= ceiling else "BLEW UP"
+            print(
+                f"{name} {section}.{key}: {got_wall:.2f}s vs baseline "
+                f"{base_wall:.2f}s (ceiling {ceiling:.2f}s) — {verdict}"
+            )
+            if got_wall > ceiling:
+                failures.append(
+                    f"{name} {section}.{key}: {got_wall:.2f}s > "
+                    f"{WALL_CEILING:.0f}x baseline {base_wall:.2f}s"
+                )
+    return checked
+
+
+def check_state(name: str, fresh: dict, baseline: dict,
+                failures: list) -> int:
+    """State-file metrics: deterministic checkpoint size + replay bit."""
+    checked = 0
+    base_cost = baseline.get("snapshot_cost", {})
+    fresh_cost = fresh.get("snapshot_cost", {})
+    for nodes, base in sorted(base_cost.items()):
+        base_bytes = base.get("checkpoint_bytes")
+        got = fresh_cost.get(nodes, {}).get("checkpoint_bytes")
+        if base_bytes is None or got is None:
+            continue
+        checked += 1
+        ceiling = base_bytes * (1.0 + SIZE_TOLERANCE)
+        verdict = "ok" if got <= ceiling else "BALLOONED"
+        print(
+            f"{name} snapshot_cost.{nodes}: {got} bytes vs baseline "
+            f"{base_bytes} (ceiling {ceiling:.0f}) — {verdict}"
+        )
+        if got > ceiling:
+            failures.append(
+                f"{name} snapshot_cost.{nodes}: checkpoint grew to {got} "
+                f"bytes (> baseline {base_bytes} + {SIZE_TOLERANCE:.0%})"
+            )
+    if "resume" in baseline and "resume" in fresh:
+        checked += 1
+        identical = fresh["resume"].get("identical")
+        print(f"{name} resume.identical: {identical}")
+        if identical is not True:
+            failures.append(f"{name} resume: restored run not identical")
+    return checked
 
 
 def main() -> int:
-    fresh_path = pathlib.Path(
-        sys.argv[1] if len(sys.argv) > 1 else "benchmarks/out/BENCH_engine.json"
-    )
-    base_path = pathlib.Path(
-        sys.argv[2]
-        if len(sys.argv) > 2
-        else "benchmarks/baseline/BENCH_engine.json"
-    )
-    fresh = json.loads(fresh_path.read_text())
-    baseline = json.loads(base_path.read_text())
+    fresh_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                             else "benchmarks/out")
+    base_dir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2
+                            else "benchmarks/baseline")
 
-    failures = []
+    failures: list = []
     checked = 0
-    for section, base in sorted(baseline.items()):
-        base_speedup = base.get("speedup")
-        if base_speedup is None or section not in fresh:
+    for filename in BENCH_FILES:
+        base_path = base_dir / filename
+        fresh_path = fresh_dir / filename
+        if not base_path.exists():
+            print(f"{filename}: no committed baseline — skipped")
             continue
-        got = fresh[section].get("speedup")
-        if got is None:
-            failures.append(f"{section}: fresh run recorded no speedup")
+        if not fresh_path.exists():
+            failures.append(f"{filename}: baseline committed but no fresh run")
             continue
-        checked += 1
-        floor = base_speedup * (1.0 - TOLERANCE)
-        verdict = "ok" if got >= floor else "REGRESSED"
-        print(
-            f"{section}: speedup {got:.2f}x vs baseline {base_speedup:.2f}x "
-            f"(floor {floor:.2f}x) — {verdict}"
-        )
-        if got < floor:
-            failures.append(
-                f"{section}: {got:.2f}x < {floor:.2f}x "
-                f"(baseline {base_speedup:.2f}x - {TOLERANCE:.0%})"
-            )
+        fresh = json.loads(fresh_path.read_text())
+        baseline = json.loads(base_path.read_text())
+        if filename == "BENCH_state.json":
+            checked += check_state(filename, fresh, baseline, failures)
+        else:
+            checked += check_speedups(filename, fresh, baseline, failures)
 
     if not checked:
-        print("no overlapping speedup sections — nothing to guard", file=sys.stderr)
+        print("no overlapping guarded metrics — nothing to guard",
+              file=sys.stderr)
         return 1
     if failures:
-        print("\nbatched-path regression:", file=sys.stderr)
+        print("\nbench regression:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"{checked} section(s) within tolerance")
+    print(f"{checked} metric(s) within tolerance")
     return 0
 
 

@@ -82,9 +82,10 @@ class FailureInjector:
         if candidates:
             node = candidates[int(self.rng.integers(0, len(candidates)))]
             now = self.simulation.sim.now
-            if node.state is NodeState.BUSY and node.running_job:
+            victim = self.simulation.execution_on(node.node_id)
+            if node.state is NodeState.BUSY and victim is not None:
                 # The job dies with the node.
-                if self.simulation.kill_job(node.running_job, "node failure"):
+                if self.simulation.kill_job(victim.job.job_id, "node failure"):
                     self.jobs_lost += 1
             # kill_job released the node to IDLE; take it DOWN.
             if node.state is NodeState.IDLE:

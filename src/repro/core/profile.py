@@ -8,40 +8,48 @@ rebuilt and re-scanned that function from a raw delta dict for every
 candidate start time, which made conservative backfill roughly
 O(P·T³) at queue depth P with T profile breakpoints.
 
-:class:`FreeNodeProfile` keeps the function materialized instead:
+:class:`FreeNodeProfile` keeps the function materialized on flat
+numpy arrays (amortized-doubling capacity, so breakpoint insertion is
+one memmove instead of a list ``insert``):
 
 * sorted breakpoint times plus the free-node count on each segment,
-  so point queries are one ``bisect`` — O(log T);
-* earliest-fit search that walks the profile once with a monotone
-  sliding-window minimum (O(T) amortized for the general reserved
-  profile), collapsing to a single binary search over the cumulative
-  release curve — O(log T) — while the profile is still monotone
-  (no reservations inserted, the EASY shadow-time case);
+  so point queries are one ``searchsorted`` — O(log T);
+* earliest-fit search over the reserved profile through the kernel
+  layer (:mod:`repro.power.kernels`): a JIT sliding-window-minimum
+  walk when numba is available, an early-exit skip scan otherwise —
+  both exactly identical because counts are integers — collapsing
+  to a single binary search over the cumulative release curve while
+  the profile is still monotone (the EASY shadow case);
 * incremental reservation insertion (subtract capacity over
   ``[start, end)``) that touches only the affected segments instead
   of re-deriving the whole profile.
 
 Counts are integers throughout (nodes are indivisible), so profile
 arithmetic is exact and decision-for-decision equivalent to the seed
-delta-dict implementations (see ``repro.core.reference_backfill`` and
-the property tests pinning that equivalence).
+delta-dict implementations (see ``repro.core.reference_backfill``) and
+to the preserved list-based rewrite
+(:class:`repro.core.reference_profile.ReferenceFreeNodeProfile`, the
+oracle for the randomized equivalence sweep).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from collections import deque
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
 
 from ..errors import SchedulingError
 from ..power import kernels
 
 __all__ = ["FreeNodeProfile"]
 
-#: Breakpoint count above which the non-monotone earliest-fit scan is
-#: handed to the JIT kernel (when numba is available).  Below it the
-#: list->array conversion costs more than the pure-Python walk saves.
-_KERNEL_MIN_POINTS = 64
+#: Initial breakpoint capacity; doubles on demand.
+_INITIAL_CAPACITY = 8
+
+#: Release count above which ``from_releases`` builds the cumulative
+#: curve vectorized (unique + scatter-add + cumsum).  Below it the
+#: array round-trips cost more than the python fold saves.
+_VECTOR_MIN_RELEASES = 16
 
 
 class FreeNodeProfile:
@@ -63,18 +71,33 @@ class FreeNodeProfile:
     Invariants: ``times`` is strictly increasing with
     ``times[0] == origin``; ``free[i]`` is the count on
     ``[times[i], times[i+1])``, and the final segment extends to
-    infinity.
+    infinity.  ``times``/``free`` are live views over the first
+    ``len(self)`` entries of the backing arrays — valid until the next
+    mutation, like any numpy view.
     """
 
-    __slots__ = ("times", "free", "_monotone")
+    __slots__ = ("_times", "_free", "_n", "_monotone")
 
     def __init__(self, origin: float, free: int) -> None:
-        self.times: List[float] = [float(origin)]
-        self.free: List[int] = [int(free)]
+        self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._free = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._times[0] = origin
+        self._free[0] = int(free)
+        self._n = 1
         #: True while only releases (positive steps) were applied; the
         #: profile is then non-decreasing and earliest-fit is a binary
         #: search over the cumulative curve.
         self._monotone = True
+
+    @property
+    def times(self) -> np.ndarray:
+        """Breakpoint times, ascending (float64 view)."""
+        return self._times[: self._n]
+
+    @property
+    def free(self) -> np.ndarray:
+        """Free count per segment (int64 view)."""
+        return self._free[: self._n]
 
     # ------------------------------------------------------------------
     # Construction
@@ -91,23 +114,51 @@ class FreeNodeProfile:
         Equal release times are consolidated into one breakpoint; the
         profile is the cumulative sum, so it starts monotone.
         """
-        merged: dict = {}
-        base = int(free_now)
-        for time, count in releases:
-            if count < 0:
-                raise SchedulingError(
-                    f"release of {count} nodes at t={time}: counts must be >= 0"
-                )
-            if time <= origin:
-                base += count
-            else:
-                merged[time] = merged.get(time, 0) + count
-        profile = cls(origin, base)
-        running = base
-        for time in sorted(merged):
-            running += merged[time]
-            profile.times.append(float(time))
-            profile.free.append(running)
+        events = releases if isinstance(releases, list) else list(releases)
+        profile = cls(origin, free_now)
+        if not events:
+            return profile
+        if len(events) < _VECTOR_MIN_RELEASES:
+            merged: dict = {}
+            base = int(free_now)
+            for time, count in events:
+                if count < 0:
+                    raise SchedulingError(
+                        f"release of {count} nodes at t={time}: "
+                        "counts must be >= 0"
+                    )
+                if time <= origin:
+                    base += count
+                else:
+                    merged[time] = merged.get(time, 0) + count
+            profile._free[0] = base
+            running = base
+            for time in sorted(merged):
+                running += merged[time]
+                profile._append(float(time), running)
+            return profile
+        t = np.array([e[0] for e in events], dtype=np.float64)
+        c = np.array([e[1] for e in events], dtype=np.int64)
+        if np.any(c < 0):
+            for time, count in events:
+                if count < 0:
+                    raise SchedulingError(
+                        f"release of {count} nodes at t={time}: "
+                        "counts must be >= 0"
+                    )
+        fold = t <= origin
+        base = int(free_now) + int(c[fold].sum())
+        t, c = t[~fold], c[~fold]
+        uniq, inverse = np.unique(t, return_inverse=True)
+        steps = np.zeros(uniq.size, dtype=np.int64)
+        np.add.at(steps, inverse, c)
+        curve = base + np.cumsum(steps)
+        n = 1 + uniq.size
+        profile._reserve_capacity(n)
+        profile._times[1:n] = uniq
+        profile._free[0] = base
+        profile._free[1:n] = curve
+        profile._n = n
         return profile
 
     def add_release(self, time: float, count: int) -> None:
@@ -118,14 +169,11 @@ class FreeNodeProfile:
             )
         if count == 0:
             return
-        times, free = self.times, self.free
-        if time <= times[0]:
-            for i in range(len(free)):
-                free[i] += count
+        if time <= self._times[0]:
+            self._free[: self._n] += count
             return
         idx = self._ensure_point(time)
-        for i in range(idx, len(free)):
-            free[i] += count
+        self._free[idx: self._n] += count
 
     # ------------------------------------------------------------------
     # Queries
@@ -133,12 +181,12 @@ class FreeNodeProfile:
     @property
     def tail_time(self) -> float:
         """Time of the last breakpoint (profile is constant after it)."""
-        return self.times[-1]
+        return float(self._times[self._n - 1])
 
     def free_at(self, time: float) -> int:
         """Free-node count at *time* (``time >= origin``).  O(log T)."""
-        idx = bisect_right(self.times, time) - 1
-        return self.free[idx] if idx >= 0 else self.free[0]
+        idx = int(self._times[: self._n].searchsorted(time, side="right")) - 1
+        return int(self._free[idx]) if idx >= 0 else int(self._free[0])
 
     def earliest_at_least(self, needed: int, not_before: float) -> Optional[float]:
         """Earliest time the free count reaches *needed*, ignoring how
@@ -158,17 +206,11 @@ class FreeNodeProfile:
             raise SchedulingError(
                 "earliest_at_least needs a monotone profile; use earliest_fit"
             )
-        free = self.free
-        lo, hi = 0, len(free)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if free[mid] >= needed:
-                hi = mid
-            else:
-                lo = mid + 1
-        if lo == len(free):
+        n = self._n
+        lo = int(self._free[:n].searchsorted(needed, side="left"))
+        if lo == n:
             return None
-        return not_before if lo == 0 else self.times[lo]
+        return not_before if lo == 0 else float(self._times[lo])
 
     def earliest_fit(self, needed: int, duration: float) -> Optional[float]:
         """Earliest breakpoint from which *needed* nodes stay free for
@@ -176,38 +218,19 @@ class FreeNodeProfile:
         (the caller may still check the constant tail segment).
 
         Monotone profiles short-circuit to :meth:`earliest_at_least`.
-        The general (reserved) profile is scanned once with a
-        monotone-deque sliding-window minimum — O(T) amortized for the
-        whole search instead of O(T²) point rescans per candidate.
-        Large profiles route through the JIT scan kernel when numba is
-        available (:mod:`repro.power.kernels`); counts are integers, so
-        both paths are exactly identical.
+        The general (reserved) profile goes through the kernel layer
+        (:mod:`repro.power.kernels`): a JIT sliding-window-minimum
+        walk when numba is available, an early-exit skip scan
+        otherwise; counts are integers, so both paths are exactly
+        identical to the reference deque walk.
         """
         if self._monotone:
-            start = self.earliest_at_least(needed, self.times[0])
-            return start
-        times, free = self.times, self.free
-        n = len(times)
-        if kernels.HAVE_NUMBA and n >= _KERNEL_MIN_POINTS:
-            idx = kernels.earliest_fit_index(times, free, needed, duration)
-            return None if idx < 0 else times[idx]
-        window: deque = deque()  # indices into free, values increasing
-        j = 0
-        for i in range(n):
-            end = times[i] + duration
-            while j < n and times[j] < end:
-                while window and free[window[-1]] >= free[j]:
-                    window.pop()
-                window.append(j)
-                j += 1
-            while window and window[0] < i:
-                window.popleft()
-            # Degenerate zero-length window (duration <= 0): the seed
-            # semantics still require the level to hold at the start.
-            low = free[window[0]] if window else free[i]
-            if low >= needed:
-                return times[i]
-        return None
+            return self.earliest_at_least(needed, float(self._times[0]))
+        n = self._n
+        idx = kernels.earliest_fit_index_arr(
+            self._times[:n], self._free[:n], needed, duration
+        )
+        return None if idx < 0 else float(self._times[idx])
 
     # ------------------------------------------------------------------
     # Reservations
@@ -223,35 +246,60 @@ class FreeNodeProfile:
             )
         if end <= start:
             return  # empty window: nothing to subtract
-        if start < self.times[0]:
+        if start < self._times[0]:
             raise SchedulingError(
-                f"reservation at t={start} before profile origin {self.times[0]}"
+                f"reservation at t={start} before profile origin "
+                f"{self._times[0]}"
             )
         lo = self._ensure_point(start)
         hi = self._ensure_point(end)
-        free = self.free
-        for i in range(lo, hi):
-            free[i] -= count
+        self._free[lo:hi] -= count
         self._monotone = False
 
     # ------------------------------------------------------------------
     def _ensure_point(self, time: float) -> int:
         """Index of the breakpoint at *time*, inserting it (with the
         enclosing segment's count) when absent."""
-        times = self.times
-        idx = bisect_left(times, time)
-        if idx < len(times) and times[idx] == time:
+        n = self._n
+        times = self._times
+        idx = int(times[:n].searchsorted(time, side="left"))
+        if idx < n and times[idx] == time:
             return idx
-        times.insert(idx, time)
-        self.free.insert(idx, self.free[idx - 1])
+        if n == times.shape[0]:
+            self._reserve_capacity(n + 1)
+        kernels.insert_point(self._times, self._free, n, idx, float(time))
+        self._n = n + 1
         return idx
 
+    def _append(self, time: float, free: int) -> None:
+        """Append a breakpoint past the current tail (construction)."""
+        n = self._n
+        if n == self._times.shape[0]:
+            self._reserve_capacity(n + 1)
+        self._times[n] = time
+        self._free[n] = free
+        self._n = n + 1
+
+    def _reserve_capacity(self, need: int) -> None:
+        """Grow the backing arrays (doubling) to hold *need* entries."""
+        capacity = self._times.shape[0]
+        if capacity >= need:
+            return
+        while capacity < need:
+            capacity *= 2
+        times = np.empty(capacity, dtype=np.float64)
+        free = np.empty(capacity, dtype=np.int64)
+        times[: self._n] = self._times[: self._n]
+        free[: self._n] = self._free[: self._n]
+        self._times = times
+        self._free = free
+
     def __len__(self) -> int:
-        return len(self.times)
+        return self._n
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         steps = ", ".join(
             f"{t:g}:{f}" for t, f in zip(self.times[:8], self.free[:8])
         )
-        more = "..." if len(self.times) > 8 else ""
+        more = "..." if self._n > 8 else ""
         return f"FreeNodeProfile({steps}{more})"

@@ -1,0 +1,175 @@
+"""Reference list-based free-node profile — executable spec.
+
+This is the PR-2 pure-Python :class:`FreeNodeProfile` (bisect +
+monotone-deque sliding-window minimum over plain lists), preserved
+verbatim so the array-backed rewrite in :mod:`repro.core.profile` has
+a decision-for-decision oracle.  The hypothesis sweep in
+``tests/test_profile_equivalence.py`` drives randomized
+release/reserve/query sequences through both implementations and pins
+them identical; keep this module free of numpy and kernel dispatch so
+it stays trivially auditable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import deque
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import SchedulingError
+
+__all__ = ["ReferenceFreeNodeProfile"]
+
+
+class ReferenceFreeNodeProfile:
+    """Step function of free-node counts over ``[origin, +inf)``.
+
+    Same contract as :class:`repro.core.profile.FreeNodeProfile`;
+    see that class for the full parameter documentation.
+    """
+
+    __slots__ = ("times", "free", "_monotone")
+
+    def __init__(self, origin: float, free: int) -> None:
+        self.times: List[float] = [float(origin)]
+        self.free: List[int] = [int(free)]
+        self._monotone = True
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_releases(
+        cls,
+        origin: float,
+        free_now: int,
+        releases: Iterable[Tuple[float, int]],
+    ) -> "ReferenceFreeNodeProfile":
+        """Build a profile from ``(time, nodes_released)`` events."""
+        merged: dict = {}
+        base = int(free_now)
+        for time, count in releases:
+            if count < 0:
+                raise SchedulingError(
+                    f"release of {count} nodes at t={time}: counts must be >= 0"
+                )
+            if time <= origin:
+                base += count
+            else:
+                merged[time] = merged.get(time, 0) + count
+        profile = cls(origin, base)
+        running = base
+        for time in sorted(merged):
+            running += merged[time]
+            profile.times.append(float(time))
+            profile.free.append(running)
+        return profile
+
+    def add_release(self, time: float, count: int) -> None:
+        """Add *count* nodes becoming free at *time* (and ever after)."""
+        if count < 0:
+            raise SchedulingError(
+                f"release of {count} nodes at t={time}: counts must be >= 0"
+            )
+        if count == 0:
+            return
+        times, free = self.times, self.free
+        if time <= times[0]:
+            for i in range(len(free)):
+                free[i] += count
+            return
+        idx = self._ensure_point(time)
+        for i in range(idx, len(free)):
+            free[i] += count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def tail_time(self) -> float:
+        return self.times[-1]
+
+    def free_at(self, time: float) -> int:
+        idx = bisect_right(self.times, time) - 1
+        return self.free[idx] if idx >= 0 else self.free[0]
+
+    def earliest_at_least(self, needed: int, not_before: float) -> Optional[float]:
+        if not self._monotone:
+            raise SchedulingError(
+                "earliest_at_least needs a monotone profile; use earliest_fit"
+            )
+        free = self.free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid] >= needed:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo == len(free):
+            return None
+        return not_before if lo == 0 else self.times[lo]
+
+    def earliest_fit(self, needed: int, duration: float) -> Optional[float]:
+        if self._monotone:
+            return self.earliest_at_least(needed, self.times[0])
+        times, free = self.times, self.free
+        n = len(times)
+        window: deque = deque()  # indices into free, values increasing
+        j = 0
+        for i in range(n):
+            end = times[i] + duration
+            while j < n and times[j] < end:
+                while window and free[window[-1]] >= free[j]:
+                    window.pop()
+                window.append(j)
+                j += 1
+            while window and window[0] < i:
+                window.popleft()
+            # Degenerate zero-length window (duration <= 0): the seed
+            # semantics still require the level to hold at the start.
+            low = free[window[0]] if window else free[i]
+            if low >= needed:
+                return times[i]
+        return None
+
+    # ------------------------------------------------------------------
+    # Reservations
+    # ------------------------------------------------------------------
+    def reserve(self, start: float, end: float, count: int) -> None:
+        if count <= 0:
+            raise SchedulingError(
+                f"reservation of {count} nodes: counts must be > 0"
+            )
+        if end <= start:
+            return  # empty window: nothing to subtract
+        if start < self.times[0]:
+            raise SchedulingError(
+                f"reservation at t={start} before profile origin {self.times[0]}"
+            )
+        lo = self._ensure_point(start)
+        hi = self._ensure_point(end)
+        free = self.free
+        for i in range(lo, hi):
+            free[i] -= count
+        self._monotone = False
+
+    # ------------------------------------------------------------------
+    def _ensure_point(self, time: float) -> int:
+        times = self.times
+        idx = bisect_left(times, time)
+        if idx < len(times) and times[idx] == time:
+            return idx
+        times.insert(idx, time)
+        self.free.insert(idx, self.free[idx - 1])
+        return idx
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        steps = ", ".join(
+            f"{t:g}:{f}" for t, f in zip(self.times[:8], self.free[:8])
+        )
+        more = "..." if len(self.times) > 8 else ""
+        return f"ReferenceFreeNodeProfile({steps}{more})"

@@ -12,7 +12,7 @@ deterministic and unit-testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from operator import attrgetter
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -142,9 +142,18 @@ class RunningJobInfo:
     expected_end: float
 
 
-@dataclass
 class SchedulingContext:
     """Snapshot handed to :meth:`Scheduler.schedule`.
+
+    ``available`` and ``running`` are *lazy*: a caller may pass the
+    materialized lists (tests, reference paths) or zero-argument
+    factories that build them on first access (the owning simulation's
+    hot path).  Batch-aware schedulers that work on ``selection`` rows
+    and :meth:`free_count` then never pay the object-list build — the
+    dominant per-pass cost on a congested large machine.  Factories
+    must be pure reads of live simulation state; they are only valid
+    until the scheduling pass applies its decisions (the simulation
+    never mutates node state while a scheduler is deciding).
 
     Attributes
     ----------
@@ -156,9 +165,11 @@ class SchedulingContext:
         Queued jobs in merged priority order.
     available:
         Idle nodes usable right now (already filtered by policies,
-        e.g. maintenance-affected nodes removed).
+        e.g. maintenance-affected nodes removed).  Materialized on
+        first access when backed by a factory.
     running:
         Running-job views with conservative end estimates.
+        Materialized on first access when backed by a factory.
     admit:
         EPA admission predicate: policies veto job starts (power
         budget exceeded, prediction says too hungry, ...).  Schedulers
@@ -176,18 +187,76 @@ class SchedulingContext:
         :class:`NodePool` when the allocator supports row selection.
     """
 
-    now: float
-    machine: Machine
-    pending: List[Job]
-    available: List[Node]
-    running: List[RunningJobInfo]
-    admit: Callable[[Job], bool] = field(default=lambda job: True)
-    usable_node_count: int = 0
-    selection: Optional[NodeSelection] = None
+    __slots__ = (
+        "now",
+        "machine",
+        "pending",
+        "admit",
+        "usable_node_count",
+        "selection",
+        "_available",
+        "_running",
+        "_available_factory",
+        "_running_factory",
+        "_avail_count",
+    )
+
+    def __init__(
+        self,
+        now: float,
+        machine: Machine,
+        pending: List[Job],
+        available: Optional[List[Node]] = None,
+        running: Optional[List[RunningJobInfo]] = None,
+        admit: Callable[[Job], bool] = lambda job: True,
+        usable_node_count: int = 0,
+        selection: Optional[NodeSelection] = None,
+        available_factory: Optional[Callable[[], List[Node]]] = None,
+        running_factory: Optional[Callable[[], List[RunningJobInfo]]] = None,
+        avail_count: Optional[int] = None,
+    ) -> None:
+        if available is None and available_factory is None:
+            raise TypeError(
+                "SchedulingContext needs available or available_factory"
+            )
+        self.now = now
+        self.machine = machine
+        self.pending = pending
+        self.admit = admit
+        self.usable_node_count = usable_node_count
+        self.selection = selection
+        self._available = available
+        self._available_factory = available_factory
+        self._running = running if running is not None else (
+            [] if running_factory is None else None
+        )
+        self._running_factory = running_factory
+        self._avail_count = (
+            len(available) if avail_count is None else int(avail_count)
+        )
+
+    @property
+    def available(self) -> List[Node]:
+        """Idle usable nodes (id order); materialized on first access."""
+        nodes = self._available
+        if nodes is None:
+            nodes = self._available_factory()
+            self._available = nodes
+        return nodes
+
+    @property
+    def running(self) -> List[RunningJobInfo]:
+        """Running-job views; materialized on first access."""
+        jobs = self._running
+        if jobs is None:
+            jobs = self._running_factory()
+            self._running = jobs
+        return jobs
 
     def free_count(self) -> int:
-        """Number of immediately usable nodes."""
-        return len(self.available)
+        """Number of immediately usable nodes — O(1), never
+        materializes the ``available`` list."""
+        return self._avail_count
 
 
 @dataclass(frozen=True)
@@ -234,7 +303,7 @@ class Scheduler:
         :meth:`_grant` are pinned decision-identical."""
         selection = ctx.selection
         if selection is not None and self.allocator.supports_rows:
-            return RowPool(selection, count=len(ctx.available))
+            return RowPool(selection, count=ctx.free_count())
         return NodePool(ctx.available)
 
     def _grant(
@@ -275,7 +344,7 @@ class FcfsScheduler(Scheduler):
         # job actually clears both gates (preserving the exact
         # admit-call sequence — admission hooks count vetoes).
         pool: Optional[Union[NodePool, RowPool]] = None
-        free = len(ctx.available)
+        free = ctx.free_count()
         for job in ctx.pending:
             if job.nodes > (free if pool is None else len(pool)):
                 break

@@ -49,6 +49,10 @@ from .scheduler import (
 )
 from ..policies.base import Policy
 
+#: Small-int BUSY code (teardown filters its cohort on the SoA state
+#: column instead of a per-node state scan).
+_BUSY_CODE = STATE_CODES[NodeState.BUSY]
+
 
 class JobExecution:
     """Runtime state of one running job."""
@@ -58,6 +62,7 @@ class JobExecution:
         "nodes",
         "node_ids",
         "rows",
+        "slot",
         "work_done",
         "speed",
         "power_watts",
@@ -77,6 +82,10 @@ class JobExecution:
         self.node_ids: Tuple[int, ...] = tuple(n.node_id for n in nodes)
         #: Mirror row indices of ``nodes`` (vector power backend only).
         self.rows: Optional[np.ndarray] = None
+        #: Execution-slot id (vector power backend only): index into
+        #: ``ClusterSimulation._exec_slots``, stamped into the mirror's
+        #: ``exec_slot`` rows; -1 while not running on that backend.
+        self.slot: int = -1
         self.work_done = 0.0
         self.speed = 1.0
         self.power_watts = 0.0
@@ -206,7 +215,16 @@ class ClusterSimulation:
         )
 
         self._executions: Dict[str, JobExecution] = {}
+        #: Per-node execution map — scalar backend only.  The vector
+        #: backend keeps membership in the mirror's ``exec_slot`` row
+        #: column plus the slot table below (see :meth:`execution_on`).
         self._node_exec: Dict[int, JobExecution] = {}
+        #: Slot -> JobExecution (vector backend); freed slots recycle
+        #: through the freelist.  Slot numbers are pure identities —
+        #: nothing orders or hashes on them, so snapshot/restore may
+        #: renumber freely without perturbing replay.
+        self._exec_slots: List[Optional[JobExecution]] = []
+        self._free_slots: List[int] = []
         self._pass_pending = False
         self._started_count = 0
         self._terminal_count = 0
@@ -268,6 +286,7 @@ class ClusterSimulation:
             count=len(machine.nodes),
         )
         self._usable_count = len(machine.nodes) - int(self._down_mask.sum())
+        self._avail_count = int(self._avail_mask.sum())
         for node in machine.nodes:
             node.power_listener = self._on_node_event
         self._bulk_ops = bool(bulk_ops)
@@ -352,7 +371,10 @@ class ClusterSimulation:
         routes the change into the active power backend."""
         row = self._node_row[node_id]
         state = self.machine.nodes[row].state
-        self._avail_mask[row] = state is NodeState.IDLE
+        avail = state is NodeState.IDLE
+        if avail != bool(self._avail_mask[row]):
+            self._avail_mask[row] = avail
+            self._avail_count += 1 if avail else -1
         is_down = state is NodeState.DOWN
         if is_down != bool(self._down_mask[row]):
             self._down_mask[row] = is_down
@@ -379,7 +401,16 @@ class ClusterSimulation:
                 dtype=np.intp,
                 count=len(node_ids),
             )
-        self._avail_mask[rows] = target is NodeState.IDLE
+        if target is NodeState.IDLE:
+            newly_avail = int(np.count_nonzero(~self._avail_mask[rows]))
+            if newly_avail:
+                self._avail_mask[rows] = True
+                self._avail_count += newly_avail
+        else:
+            was_avail = int(np.count_nonzero(self._avail_mask[rows]))
+            if was_avail:
+                self._avail_mask[rows] = False
+                self._avail_count -= was_avail
         if target is NodeState.DOWN:
             newly_down = int(np.count_nonzero(~self._down_mask[rows]))
             if newly_down:
@@ -401,8 +432,37 @@ class ClusterSimulation:
         feasibility checks; maintained incrementally, O(1) to read)."""
         return self._usable_count
 
+    def execution_on(self, node_id: int) -> Optional[JobExecution]:
+        """Execution occupying *node_id*, or None.  O(1) on both
+        backends: an ``exec_slot`` row read on the vector backend, the
+        ``_node_exec`` dict on the scalar reference path."""
+        mirror = self.power_vector
+        if mirror is not None:
+            slot = mirror.exec_slot[self._node_row[node_id]]
+            return self._exec_slots[slot] if slot >= 0 else None
+        return self._node_exec.get(node_id)
+
+    def _alloc_slot(self, execution: JobExecution) -> int:
+        """Assign a slot id to *execution* (vector backend)."""
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = len(self._exec_slots)
+            self._exec_slots.append(None)
+        self._exec_slots[slot] = execution
+        execution.slot = slot
+        return slot
+
+    def _release_slot(self, execution: JobExecution) -> None:
+        """Return *execution*'s slot to the freelist (vector backend)."""
+        slot = execution.slot
+        if slot >= 0:
+            self._exec_slots[slot] = None
+            self._free_slots.append(slot)
+            execution.slot = -1
+
     def _node_operating_point(self, node: Node):
-        execution = self._node_exec.get(node.node_id)
+        execution = self.execution_on(node.node_id)
         if execution is not None:
             job = execution.job
             return self.power_model.operating_point(
@@ -468,6 +528,7 @@ class ClusterSimulation:
             count=len(nodes),
         )
         self._usable_count = len(nodes) - int(self._down_mask.sum())
+        self._avail_count = int(self._avail_mask.sum())
 
     def node_watts(self) -> np.ndarray:
         """Per-node instantaneous draw, ``machine.nodes`` order.
@@ -567,27 +628,47 @@ class ClusterSimulation:
             name=f"end:{execution.job.job_id}",
         )
 
+    def _reevaluate_execution(self, execution: JobExecution) -> None:
+        """Bank work at the old speed, recompute the operating point
+        and reschedule the completion event."""
+        self._update_execution(execution)
+        speed, power, violated = self._compute_operating(execution)
+        execution.speed = speed
+        execution.power_watts = power
+        if violated and not execution.cap_violated:
+            execution.cap_violated = True
+            self.trace.emit(self.sim.now, "power.cap_violation",
+                            job=execution.job.job_id)
+        self._schedule_end(execution)
+
     def _on_speed_changed(self, node_ids: List[int]) -> None:
         """RM changed caps/frequency: re-evaluate affected executions.
 
         (The nodes marked themselves power-dirty via their listener
-        hook when the cap/frequency was written.)
+        hook when the cap/frequency was written.)  Affected executions
+        are visited in first-occurrence order of *node_ids* on both
+        backends — the vector path dedups slot ids with one gather
+        instead of a per-node dict probe, then restores that order.
         """
+        mirror = self.power_vector
+        if mirror is not None:
+            rows = mirror.rows_for(node_ids)
+            slots = mirror.exec_slot[rows]
+            slots = slots[slots >= 0]
+            if slots.size == 0:
+                return
+            uniq, first = np.unique(slots, return_index=True)
+            exec_slots = self._exec_slots
+            for slot in uniq[np.argsort(first, kind="stable")].tolist():
+                self._reevaluate_execution(exec_slots[slot])
+            return
         seen = set()
         for nid in node_ids:
             execution = self._node_exec.get(nid)
             if execution is None or execution.job.job_id in seen:
                 continue
             seen.add(execution.job.job_id)
-            self._update_execution(execution)
-            speed, power, violated = self._compute_operating(execution)
-            execution.speed = speed
-            execution.power_watts = power
-            if violated and not execution.cap_violated:
-                execution.cap_violated = True
-                self.trace.emit(self.sim.now, "power.cap_violation",
-                                job=execution.job.job_id)
-            self._schedule_end(execution)
+            self._reevaluate_execution(execution)
 
     # ------------------------------------------------------------------
     # Job life-cycle
@@ -613,12 +694,21 @@ class ClusterSimulation:
         for policy in self.policies:
             policy.configure_start(job, node_list, now)
 
+        # Execution membership: on the vector backend it lives in the
+        # mirror's exec_slot column (stamped below in one scatter), so
+        # neither ``node.running_job`` nor a per-node dict is written —
+        # the scalar backend keeps both as the reference path.
+        vector = self.power_vector is not None
         if self._bulk_ops and len(node_list) > 1:
-            for node in node_list:
-                node.running_job = job.job_id
+            if not vector:
+                for node in node_list:
+                    node.running_job = job.job_id
             self.machine.transition_bulk(
                 node_ids, NodeState.BUSY, now, nodes=node_list
             )
+        elif vector:
+            for node in node_list:
+                node.transition(NodeState.BUSY, now)
         else:
             for node in node_list:
                 node.running_job = job.job_id
@@ -629,10 +719,13 @@ class ClusterSimulation:
         execution.placement_penalty = self._placement_penalty(job, node_ids)
         # Binding changes the nodes' billed draw (job intensity); it
         # must land in the power backend before _compute_operating.
-        if self.power_vector is not None:
+        if vector:
             execution.rows = self.power_vector.rows_for(node_ids)
-            self.power_vector.bind(
-                execution.rows, job.mean_power_intensity, job.mean_sensitivity
+            self.power_vector.bind_execution(
+                execution.rows,
+                self._alloc_slot(execution),
+                job.mean_power_intensity,
+                job.mean_sensitivity,
             )
         speed, power, violated = self._compute_operating(execution)
         execution.speed = speed
@@ -641,9 +734,9 @@ class ClusterSimulation:
         if violated:
             self.trace.emit(now, "power.cap_violation", job=job.job_id)
         self._executions[job.job_id] = execution
-        for node in node_list:
-            self._node_exec[node.node_id] = execution
-            if self.power_vector is None:
+        if not vector:
+            for node in node_list:
+                self._node_exec[node.node_id] = execution
                 self._power_dirty.add(node.node_id)
 
         self._schedule_end(execution)
@@ -666,9 +759,26 @@ class ClusterSimulation:
         if execution.timeout_handle is not None:
             execution.timeout_handle.cancel()
         now = self.sim.now
-        if self._bulk_ops and len(execution.nodes) > 1:
+        mirror = self.power_vector
+        if mirror is not None and execution.rows is not None:
             # Nodes that left BUSY out of band (failure -> DOWN) are
-            # skipped exactly like the scalar loop's release guard.
+            # skipped exactly like the scalar loop's release guard —
+            # filtered on the SoA state column instead of a node scan.
+            rows = execution.rows
+            busy_rows = rows[mirror.state_code[rows] == _BUSY_CODE]
+            if self._bulk_ops and len(execution.nodes) > 1:
+                if busy_rows.size:
+                    busy = self._nodes_arr[busy_rows].tolist()
+                    self.machine.transition_bulk(
+                        [n.node_id for n in busy], NodeState.IDLE, now,
+                        nodes=busy,
+                    )
+            else:
+                for node in self._nodes_arr[busy_rows].tolist():
+                    node.transition(NodeState.IDLE, now)
+            mirror.unbind_execution(rows)
+            self._release_slot(execution)
+        elif self._bulk_ops and len(execution.nodes) > 1:
             busy = [n for n in execution.nodes if n.state is NodeState.BUSY]
             for node in busy:
                 node.running_job = None
@@ -679,17 +789,13 @@ class ClusterSimulation:
                 )
             for node in execution.nodes:
                 self._node_exec.pop(node.node_id, None)
-                if self.power_vector is None:
-                    self._power_dirty.add(node.node_id)
+                self._power_dirty.add(node.node_id)
         else:
             for node in execution.nodes:
                 if node.state is NodeState.BUSY:
                     node.release(now)
                 self._node_exec.pop(node.node_id, None)
-                if self.power_vector is None:
-                    self._power_dirty.add(node.node_id)
-        if self.power_vector is not None and execution.rows is not None:
-            self.power_vector.unbind(execution.rows)
+                self._power_dirty.add(node.node_id)
         self._executions.pop(execution.job.job_id, None)
 
     def _finish(self, job_id: str, outcome: str, reason: str = "") -> None:
@@ -777,18 +883,32 @@ class ClusterSimulation:
     def build_context(self) -> SchedulingContext:
         """Snapshot the current state for the scheduler.
 
-        The available list and the usable-node count come from masks
-        maintained on node state transitions (see ``_on_node_event``),
-        not from scanning all N nodes: the cost per pass is
-        proportional to the number of available nodes, which is what a
-        congested center-scale machine actually has few of.  The mask
-        is walked in row (== node id) order, so the list is identical
-        to the seed's full scan.
+        The availability count and the usable-node count come from
+        masks maintained on node state transitions (see
+        ``_on_node_event``), not from scanning all N nodes.  The
+        ``available`` and ``running`` object lists are *lazy*: the
+        context carries factories, and batch-aware schedulers that
+        decide on selection rows and :meth:`SchedulingContext.free_count`
+        never materialize either list — the dominant per-pass cost on
+        a congested large machine.  The factories read live state, which
+        is safe because nothing mutates nodes or executions while a
+        scheduler is deciding.  The mask is walked in row (== node id)
+        order on materialization, so the list is identical to the
+        seed's full scan.  Filter policies rewrite the available list,
+        so that path stays eager.
         """
         now = self.sim.now
-        available = self._nodes_arr[self._avail_mask].tolist()
-        for policy in self._filter_policies:
-            available = policy.filter_nodes(available, now)
+        available: Optional[List[Node]] = None
+        if self._filter_policies:
+            available = self._nodes_arr[self._avail_mask].tolist()
+            for policy in self._filter_policies:
+                available = policy.filter_nodes(available, now)
+            avail_count = len(available)
+        else:
+            avail_count = self._avail_count
+
+        def available_factory() -> List[Node]:
+            return self._nodes_arr[self._avail_mask].tolist()
 
         pending = self.queue.pending()
         if self._shaping_policies:
@@ -802,15 +922,16 @@ class ClusterSimulation:
         # A start_time of exactly 0.0 is a legitimate start (the first
         # jobs of most workloads), not a missing value — only None
         # means "not started".
-        running = [
-            RunningJobInfo(
-                e.job,
-                e.node_ids,
-                (now if e.job.start_time is None else e.job.start_time)
-                + e.job.walltime_request,
-            )
-            for e in self._executions.values()
-        ]
+        def running_factory() -> List[RunningJobInfo]:
+            return [
+                RunningJobInfo(
+                    e.job,
+                    e.node_ids,
+                    (now if e.job.start_time is None else e.job.start_time)
+                    + e.job.walltime_request,
+                )
+                for e in self._executions.values()
+            ]
 
         def admit(job: Job) -> bool:
             return all(p.admit(job, now) for p in self.policies)
@@ -842,14 +963,21 @@ class ClusterSimulation:
             machine=self.machine,
             pending=pending,
             available=available,
-            running=running,
             admit=admit,
             usable_node_count=usable,
             selection=selection,
+            available_factory=available_factory,
+            running_factory=running_factory,
+            avail_count=avail_count,
         )
 
     def _schedule_pass(self) -> None:
         self._pass_pending = False
+        # Empty-queue fast path: no pending work means no decisions, so
+        # skip the context build entirely.  Gated on having no filter
+        # policies, whose per-pass filter_nodes call is observable.
+        if not self.queue._jobs and not self._filter_policies:
+            return
         ctx = self.build_context()
         if not ctx.pending:
             return

@@ -74,7 +74,7 @@ class DynamicPowerSharingPolicy(Policy):
             if not node.is_on:
                 continue
             if node.state is NodeState.BUSY:
-                execution = self.simulation._node_exec.get(node.node_id)
+                execution = self.simulation.execution_on(node.node_id)
                 job = execution.job if execution is not None else None
                 intensity = job.mean_power_intensity if job else 1.0
                 f_ratio_min = node.min_frequency / node.max_frequency

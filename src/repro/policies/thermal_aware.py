@@ -117,7 +117,7 @@ class ThermalAwarePolicy(Policy):
                 # Release only if the node would stay safe at FULL
                 # frequency — releasing on the throttled-power forecast
                 # causes thermostat oscillation around t_max.
-                execution = self.simulation._node_exec.get(node.node_id)
+                execution = self.simulation.execution_on(node.node_id)
                 utilization = (
                     execution.job.mean_power_intensity
                     if execution is not None else 0.0

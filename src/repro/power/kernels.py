@@ -36,9 +36,13 @@ __all__ = [
     "node_watts",
     "node_watts_np",
     "earliest_fit_index",
+    "earliest_fit_index_arr",
+    "earliest_fit_index_np",
     "earliest_fit_index_py",
     "apply_transition",
     "apply_transition_np",
+    "insert_point",
+    "insert_point_np",
 ]
 
 try:  # pragma: no cover - exercised only where numba is installed
@@ -253,6 +257,53 @@ def _earliest_fit_nb(
     return -1
 
 
+def earliest_fit_index_np(
+    times: np.ndarray,
+    free: np.ndarray,
+    needed: int,
+    duration: float,
+) -> int:
+    """Skip-scan earliest fit over the free curve.
+
+    For breakpoint *i* the window is ``[i, e_i)`` with ``e_i =
+    searchsorted(times, times[i] + duration, 'left')`` — exactly the
+    indices the deque walk admits (``times[j] < times[i] + duration``).
+    A candidate head *i* is walked forward until its window closes
+    (fit: return *i*) or a *bad* index ``j`` (``free[j] < needed``)
+    appears.  Window ends are nondecreasing in *i*, so every start in
+    ``(i, j]`` still sees ``j`` inside its window and fails with it —
+    the scan restarts at ``j + 1``, visiting each index at most twice
+    overall.  Empty windows (``duration <= 0``) close before admitting
+    any ``j`` and reduce to the head test ``free[i] >= needed``.
+    Profiles here are a few hundred breakpoints with early answers, so
+    this plain-python walk over ``tolist()`` data beats a vectorized
+    formulation (a dozen full-array dispatches per call) by an order
+    of magnitude.  Comparisons are on the same float64 values in the
+    same order, so the result is identical to
+    :func:`earliest_fit_index_py` bit for bit.
+    """
+    n = int(times.shape[0])
+    if n == 0:
+        return -1
+    t = times.tolist()
+    f = free.tolist()
+    i = 0
+    while i < n:
+        if f[i] < needed:
+            i += 1
+            continue
+        end = t[i] + duration
+        j = i + 1
+        while j < n and t[j] < end:
+            if f[j] < needed:
+                break
+            j += 1
+        else:
+            return i
+        i = j + 1
+    return -1
+
+
 def earliest_fit_index(
     times: Sequence[float],
     free: Sequence[int],
@@ -260,17 +311,32 @@ def earliest_fit_index(
     duration: float,
 ) -> int:
     """Dispatching earliest-fit scan; integer counts make the result
-    exact, so both paths are trivially identical."""
+    exact, so all three paths are trivially identical."""
+    times_arr = np.asarray(times, dtype=np.float64)
+    free_arr = np.asarray(free, dtype=np.int64)
     if HAVE_NUMBA:
         return int(
-            _earliest_fit_nb(
-                np.asarray(times, dtype=np.float64),
-                np.asarray(free, dtype=np.int64),
-                needed,
-                float(duration),
-            )
+            _earliest_fit_nb(times_arr, free_arr, needed, float(duration))
         )
-    return earliest_fit_index_py(times, free, needed, duration)
+    return earliest_fit_index_np(times_arr, free_arr, needed, float(duration))
+
+
+if HAVE_NUMBA:  # pragma: no cover - bound only where numba is installed
+
+    def earliest_fit_index_arr(
+        times: np.ndarray,
+        free: np.ndarray,
+        needed: int,
+        duration: float,
+    ) -> int:
+        """Array-input twin of :func:`earliest_fit_index` for callers
+        that already hold float64/int64 arrays (the dispatcher's
+        ``asarray`` round-trip is pure overhead at ~400k calls per
+        backfill-heavy run)."""
+        return int(_earliest_fit_nb(times, free, needed, float(duration)))
+
+else:
+    earliest_fit_index_arr = earliest_fit_index_np
 
 
 # ----------------------------------------------------------------------
@@ -324,3 +390,52 @@ def apply_transition(
     apply_transition_np(
         state_code, idle_since, bound_jobs, rows, code, idle_ts, bound
     )
+
+
+# ----------------------------------------------------------------------
+# Kernel 4: breakpoint insertion shift (FreeNodeProfile._ensure_point)
+# ----------------------------------------------------------------------
+def insert_point_np(
+    times: np.ndarray,
+    free: np.ndarray,
+    n: int,
+    idx: int,
+    time: float,
+) -> None:
+    """Open a gap at *idx* in the first *n* live entries of the profile
+    arrays and write the new breakpoint: ``times[idx] = time`` with the
+    enclosing segment's count ``free[idx - 1]``.  The caller guarantees
+    capacity for ``n + 1`` entries and ``idx >= 1`` (the origin
+    breakpoint is never displaced).  The suffix is copied before the
+    shifted store — overlapping numpy slice assignment is not
+    guaranteed memmove-safe."""
+    times[idx + 1:n + 1] = times[idx:n].copy()
+    free[idx + 1:n + 1] = free[idx:n].copy()
+    times[idx] = time
+    free[idx] = free[idx - 1]
+
+
+@njit(cache=False)
+def _insert_point_nb(
+    times, free, n, idx, time
+):  # pragma: no cover - compiled only where numba is installed
+    for k in range(n, idx, -1):
+        times[k] = times[k - 1]
+        free[k] = free[k - 1]
+    times[idx] = time
+    free[idx] = free[idx - 1]
+
+
+def insert_point(
+    times: np.ndarray,
+    free: np.ndarray,
+    n: int,
+    idx: int,
+    time: float,
+) -> None:
+    """Dispatching breakpoint insertion (pure moves, so both paths are
+    exactly identical)."""
+    if HAVE_NUMBA:
+        _insert_point_nb(times, free, np.int64(n), np.int64(idx), float(time))
+        return
+    insert_point_np(times, free, n, idx, time)

@@ -26,7 +26,8 @@ The mirror is *push*-synchronized:
   ``Node.power_listener``, which the owning simulation routes into
   :meth:`touch` — the row is re-read from the node and marked dirty;
 * job (un)binding does not fire the hook; the simulation calls
-  :meth:`bind`/:meth:`unbind` where it updates its ``_node_exec`` map;
+  :meth:`bind_execution`/:meth:`unbind_execution` where it allocates or
+  frees the job's execution slot (``exec_slot`` row membership);
 * anything else (re-drawing variability on a live machine, rewriting
   ``idle_power`` in place) bypasses both channels and requires an
   explicit :meth:`invalidate` — surfaced to users as
@@ -191,6 +192,12 @@ class VectorPowerMirror:
         # counts, and node ids for id-ordered candidate ranking.
         self.idle_since = np.full(n, np.nan)
         self.bound_jobs = np.zeros(n, dtype=np.int32)
+        #: Execution-slot id per row, -1 when no execution occupies the
+        #: node.  The owning simulation maps slots to JobExecution
+        #: objects (``ClusterSimulation._exec_slots``), which replaces
+        #: its per-node ``_node_exec`` dict on this backend: membership
+        #: moves in one scatter per cohort instead of a Python loop.
+        self.exec_slot = np.full(n, -1, dtype=np.int32)
         self.node_id = np.fromiter(
             (node.node_id for node in self._nodes), dtype=np.intp, count=n
         )
@@ -249,7 +256,15 @@ class VectorPowerMirror:
         self.power_cap[row] = np.inf if cap is None else cap
         idle_since = node.idle_since
         self.idle_since[row] = np.nan if idle_since is None else idle_since
-        self.bound_jobs[row] = 0 if node.running_job is None else 1
+        # Execution membership lives in exec_slot on this backend (the
+        # simulation no longer stamps ``running_job`` per node); rows
+        # touched outside a simulation (bare mirror tests, node.assign)
+        # still derive their binding from the scalar field.
+        self.bound_jobs[row] = (
+            1
+            if self.exec_slot[row] >= 0 or node.running_job is not None
+            else 0
+        )
 
     def touch(self, node_id: int) -> None:
         """``Node.power_listener`` entry point: resync + mark dirty."""
@@ -269,6 +284,32 @@ class VectorPowerMirror:
         self.sensitivity[rows] = 1.0
         self._dirty.update(rows.tolist())
 
+    def bind_execution(
+        self,
+        rows: np.ndarray,
+        slot: int,
+        utilization: float,
+        sensitivity: float,
+    ) -> None:
+        """:meth:`bind` plus SoA execution membership: stamp *slot*
+        into ``exec_slot`` and mark the rows bound, replacing the
+        owning simulation's per-node dict/attribute loops with one
+        scatter per cohort."""
+        self.exec_slot[rows] = slot
+        self.bound_jobs[rows] = 1
+        self.utilization[rows] = min(1.0, max(0.0, float(utilization)))
+        self.sensitivity[rows] = min(1.0, max(0.0, float(sensitivity)))
+        self._dirty.update(rows.tolist())
+
+    def unbind_execution(self, rows: np.ndarray) -> None:
+        """:meth:`unbind` plus membership teardown: clear ``exec_slot``
+        and the bound-job counts in the same scatter."""
+        self.exec_slot[rows] = -1
+        self.bound_jobs[rows] = 0
+        self.utilization[rows] = 1.0
+        self.sensitivity[rows] = 1.0
+        self._dirty.update(rows.tolist())
+
     def transition_rows(self, rows: np.ndarray, code: int, time: float) -> None:
         """Apply one lifecycle transition to *rows* in a single SoA pass.
 
@@ -281,10 +322,11 @@ class VectorPowerMirror:
         never change during a transition, so nothing else is re-read.
 
         Precondition (holds at every bulk call site): the scalar nodes
-        were already moved to the same target state, with
-        ``running_job`` set on every row iff the target is BUSY —
-        bound-job counts are derived from the target code, exactly as
-        :meth:`refresh_row` would derive them from ``running_job``.
+        were already moved to the same target state.  Bound-job counts
+        are derived from the target code (BUSY rows are exactly the
+        execution cohorts being started), matching what
+        :meth:`refresh_row` derives from ``exec_slot`` once
+        ``bind_execution`` lands in the same event.
         """
         counts = self._state_counts
         old_codes, old_counts = np.unique(

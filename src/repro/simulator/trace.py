@@ -22,7 +22,11 @@ from __future__ import annotations
 import bisect
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Pending-buffer auto-flush threshold: bounds deferred memory while
+#: keeping the per-emit cost a plain tuple append for long stretches.
+_FLUSH_THRESHOLD = 8192
 
 
 @dataclass(frozen=True)
@@ -72,9 +76,15 @@ class TraceRecorder:
         # retention never degrades emit() to O(window).
         self._records: List[TraceRecord] = []
         self._dead = 0
-        #: Total records ever emitted; the absolute index of
+        #: Total *flushed* records; the absolute index of
         #: ``_records[i]`` is ``_emitted - len(_records) + i``.
         self._emitted = 0
+        #: Deferred-flush buffer: with no live subscribers, ``emit``
+        #: is a plain tuple append here and record construction plus
+        #: bucket indexing happen in one batch at the next read (or at
+        #: the auto-flush threshold).  Every query path flushes first,
+        #: so readers never observe the buffer.
+        self._pending: List[Tuple[float, str, Dict[str, Any]]] = []
         self._subscribers: List[Callable[[TraceRecord], None]] = []
         # Per-category bucket index: category -> *absolute* emission
         # indices (each list ascending by construction).  Category
@@ -85,12 +95,14 @@ class TraceRecorder:
         self._buckets: Dict[str, List[int]] = {}
 
     def __len__(self) -> int:
-        return len(self._records) - self._dead
+        if self._pending and self.max_records is not None:
+            self._flush()
+        return len(self._records) - self._dead + len(self._pending)
 
     @property
     def total_emitted(self) -> int:
         """Records ever emitted, including any dropped by retention."""
-        return self._emitted
+        return self._emitted + len(self._pending)
 
     @property
     def _first_abs(self) -> int:
@@ -98,11 +110,26 @@ class TraceRecorder:
         return self._emitted - (len(self._records) - self._dead)
 
     def emit(self, time: float, category: str, **data: Any) -> None:
-        """Record an event at *time* under *category* with payload *data*."""
+        """Record an event at *time* under *category* with payload *data*.
+
+        With no live subscribers this defers record construction and
+        bucket indexing to the next flush; a subscriber forces the
+        eager path so delivery order stays emission order.
+        """
         if not self.enabled:
             return
+        if not self._subscribers:
+            self._pending.append((time, category, data))
+            if len(self._pending) >= _FLUSH_THRESHOLD:
+                self._flush()
+            return
+        self._flush()
         record = TraceRecord(time, category, data)
-        self._buckets.setdefault(category, []).append(self._emitted)
+        bucket = self._buckets.get(category)
+        if bucket is None:
+            self._buckets[category] = [self._emitted]
+        else:
+            bucket.append(self._emitted)
         self._records.append(record)
         self._emitted += 1
         if (
@@ -114,6 +141,30 @@ class TraceRecorder:
         for sub in self._subscribers:
             sub(record)
 
+    def _flush(self) -> None:
+        """Materialize the pending buffer into storage and buckets."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        records = self._records
+        buckets = self._buckets
+        emitted = self._emitted
+        for time, category, data in pending:
+            records.append(TraceRecord(time, category, data))
+            bucket = buckets.get(category)
+            if bucket is None:
+                buckets[category] = [emitted]
+            else:
+                bucket.append(emitted)
+            emitted += 1
+        self._emitted = emitted
+        if self.max_records is not None:
+            over = len(records) - self._dead - self.max_records
+            if over > 0:
+                self._dead += over
+                self._compact()
+
     def _compact(self) -> None:
         """Physically delete the dead prefix once it dominates storage."""
         if self._dead > 256 and 2 * self._dead >= len(self._records):
@@ -121,7 +172,11 @@ class TraceRecorder:
             self._dead = 0
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
-        """Register a live subscriber invoked for every new record."""
+        """Register a live subscriber invoked for every new record.
+
+        Records already emitted (including any still pending) predate
+        the registration and are not delivered."""
+        self._flush()
         self._subscribers.append(callback)
 
     def _record_at(self, abs_index: int) -> TraceRecord:
@@ -151,6 +206,7 @@ class TraceRecorder:
         record positions, so a k-way merge restores the global order
         without touching non-matching records.
         """
+        self._flush()
         if category is None:
             return self._records[self._dead:]
         buckets = self._matching_buckets(category)
@@ -166,6 +222,12 @@ class TraceRecorder:
         self, start: float, end: float, category: Optional[str] = None
     ) -> Iterator[TraceRecord]:
         """Yield records with ``start <= time < end`` (prefix-filtered)."""
+        self._flush()
+        return self._iter_between(start, end, category)
+
+    def _iter_between(
+        self, start: float, end: float, category: Optional[str]
+    ) -> Iterator[TraceRecord]:
         prefix = None if category is None else category + "."
         for i in range(self._dead, len(self._records)):
             r = self._records[i]
@@ -182,10 +244,13 @@ class TraceRecorder:
         """
         if category is None:
             return len(self)
+        self._flush()
         return sum(len(b) for b in self._matching_buckets(category))
 
     def clear(self) -> None:
         """Drop all records (subscribers stay registered)."""
+        self._emitted += len(self._pending)
+        self._pending.clear()
         self._records.clear()
         self._buckets.clear()
         self._dead = 0

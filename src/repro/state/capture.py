@@ -565,6 +565,7 @@ def restore(state: SimState, factory: Callable[[], Any],
         (n.state is NodeState.DOWN for n in nodes), dtype=bool, count=len(nodes)
     )
     sim_obj._usable_count = len(nodes) - int(sim_obj._down_mask.sum())
+    sim_obj._avail_count = int(sim_obj._avail_mask.sum())
 
     # --- queue -------------------------------------------------------
     sim_obj.queue._jobs = {jid: job_by_id[jid] for jid in data["queue"]}
@@ -607,6 +608,17 @@ def restore(state: SimState, factory: Callable[[], Any],
 
     sim_obj._executions = {}
     sim_obj._node_exec = {}
+    sim_obj._exec_slots = []
+    sim_obj._free_slots = []
+    mirror = sim_obj.power_vector
+    if mirror is not None:
+        # SoA membership is rebuilt from the executions, not captured:
+        # slot numbers are pure identities (nothing orders on them), so
+        # renumbering on restore cannot perturb replay.  Direct array
+        # scatter — not bind_execution — keeps the bit-exact dirty set
+        # restored above untouched.
+        mirror.exec_slot.fill(-1)
+        mirror.bound_jobs.fill(0)
     for entry in data["executions"]:
         job = job_by_id[entry["job_id"]]
         exec_nodes = [sim_obj.machine.node(nid) for nid in entry["node_ids"]]
@@ -617,11 +629,15 @@ def restore(state: SimState, factory: Callable[[], Any],
         execution.last_update = entry["last_update"]
         execution.cap_violated = entry["cap_violated"]
         execution.placement_penalty = entry["placement_penalty"]
-        if sim_obj.power_vector is not None:
-            execution.rows = sim_obj.power_vector.rows_for(entry["node_ids"])
         sim_obj._executions[job.job_id] = execution
-        for node in exec_nodes:
-            sim_obj._node_exec[node.node_id] = execution
+        if mirror is not None:
+            execution.rows = mirror.rows_for(entry["node_ids"])
+            slot = sim_obj._alloc_slot(execution)
+            mirror.exec_slot[execution.rows] = slot
+            mirror.bound_jobs[execution.rows] = 1
+        else:
+            for node in exec_nodes:
+                sim_obj._node_exec[node.node_id] = execution
 
     # --- meter -------------------------------------------------------
     meter = sim_obj.meter
@@ -643,6 +659,7 @@ def restore(state: SimState, factory: Callable[[], Any],
     ]
     trace._dead = 0
     trace._emitted = tr["emitted"]
+    trace._pending = []
     trace._buckets = {}
     first = tr["emitted"] - len(trace._records)
     for i, record in enumerate(trace._records):

@@ -40,7 +40,12 @@ MAGIC = b"RPST"
 #: 2: periodic-chain descriptions carry the phase-locked grid
 #: (``epoch``/``index``); v1 checkpoints would silently re-anchor
 #: restored chains off-grid, breaking replay identity.
-STATE_SCHEMA_VERSION = 2
+#: 3: vector-backend execution membership is SoA (``exec_slot`` rows
+#: rebuilt from the executions section; per-node ``running_job`` is
+#: None on that backend), so v2 vector checkpoints — whose node
+#: states carry job ids the restore path would re-stamp — are
+#: rejected instead of silently diverging.
+STATE_SCHEMA_VERSION = 3
 
 
 @dataclass

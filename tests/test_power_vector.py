@@ -288,7 +288,16 @@ class TestLifecycleArrays:
                 assert np.isnan(mirror.idle_since[row])
             else:
                 assert mirror.idle_since[row] == node.idle_since
-            assert mirror.bound_jobs[row] == (node.running_job is not None)
+            # Execution membership is SoA on this backend: bound_jobs
+            # and exec_slot derive from the simulation's execution
+            # table, not from per-node running_job stamps.
+            execution = csim.execution_on(node.node_id)
+            assert mirror.bound_jobs[row] == (execution is not None)
+            if execution is not None:
+                assert mirror.exec_slot[row] == execution.slot
+                assert node.node_id in execution.node_ids
+            else:
+                assert mirror.exec_slot[row] == -1
             assert mirror.node_id[row] == node.node_id
 
     def test_idle_candidate_rows_match_scalar_selection(self):
