@@ -18,7 +18,6 @@ import copy
 from repro.analysis.report import render_columns
 from repro.core import ClusterSimulation, EasyBackfillScheduler
 from repro.policies import DynamicProvisioningPolicy, IdleShutdownPolicy
-from repro.units import HOUR
 
 from .conftest import bench_machine, bench_workload, write_artifact
 

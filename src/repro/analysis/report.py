@@ -6,7 +6,7 @@ that formatting in one place (and out of the science code).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 
 def format_quantity(value: float, unit: str = "") -> str:

@@ -11,7 +11,7 @@ streams, so failure scenarios replay exactly.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ TSUBAME3 inter-system capping; CEA shifting budget between systems).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..errors import ClusterError, NodeStateError

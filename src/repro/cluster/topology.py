@@ -17,7 +17,7 @@ Trinity, LANL).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 from ..prediction.runtime_predictor import UserRuntimePredictor
 from ..units import check_positive
 from ..workload.job import Job
-from .backfill import EasyBackfillScheduler, _earliest_fit, _release_profile
+from .backfill import EasyBackfillScheduler, _earliest_fit
 from .scheduler import NodePool, SchedulingContext, StartDecision
 
 

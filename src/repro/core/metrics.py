@@ -13,7 +13,7 @@ work reports, plus the compliance metrics specific to power capping:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 

@@ -23,7 +23,7 @@ expose a ``budget_watts``/``cap_watts`` attribute).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError

@@ -257,6 +257,23 @@ class FreeNodeProfile:
         self._monotone = False
 
     # ------------------------------------------------------------------
+    def detach_arrays(
+        self, extra: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray, int, bool]:
+        """Hand the backing arrays to a caller that takes ownership,
+        grown to hold *extra* more breakpoints.
+
+        The whole-pass backfill planner
+        (:func:`repro.power.kernels.plan_conservative`) mutates the
+        profile as flat arrays and caches them across scheduler
+        passes; this accessor avoids a copy at the handoff.  Returns
+        ``(times, free, n, monotone)``; the profile must not be used
+        afterwards.
+        """
+        self._reserve_capacity(self._n + extra)
+        return self._times, self._free, self._n, self._monotone
+
+    # ------------------------------------------------------------------
     def _ensure_point(self, time: float) -> int:
         """Index of the breakpoint at *time*, inserting it (with the
         enclosing segment's count) when absent."""

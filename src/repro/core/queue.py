@@ -12,10 +12,13 @@ scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..errors import QueueError
 from ..workload.job import Job, JobState
+from .jobtable import JobTable
 
 
 @dataclass(frozen=True)
@@ -67,10 +70,15 @@ class JobQueue:
                 raise QueueError(f"duplicate queue name {cfg.name!r}")
             self._configs[cfg.name] = cfg
         self._jobs: Dict[str, Job] = {}
-        #: Memoized scheduling order; priorities and submit times are
-        #: immutable while queued, so the order only changes when the
-        #: membership does (submit/remove invalidate).
+        #: Memoized scheduling order, invalidated whenever the
+        #: membership changes (submit/remove) *or* a queued job is
+        #: mutated in place (moldable reshaping goes through
+        #: :meth:`notify_job_changed` — sort keys are not immutable
+        #: while queued, despite what earlier revisions assumed).
         self._order: Optional[List[Job]] = None
+        #: SoA mirror of the queued jobs, kept in sync through the
+        #: mutation hooks below (see ``repro.core.jobtable``).
+        self._table = JobTable()
 
     # ------------------------------------------------------------------
     @property
@@ -108,6 +116,7 @@ class JobQueue:
                 f"job {job.job_id} violates limits of queue {cfg.name!r}"
             )
         self._jobs[job.job_id] = job
+        self._table.add(job, cfg.priority)
         self._order = None
 
     def remove(self, job_id: str) -> Job:
@@ -116,8 +125,53 @@ class JobQueue:
             job = self._jobs.pop(job_id)
         except KeyError:
             raise QueueError(f"job {job_id} not in queue") from None
+        self._table.discard(job_id)
         self._order = None
         return job
+
+    def notify_job_changed(self, job_id: str) -> None:
+        """Invalidate the memoized order after an in-place mutation.
+
+        Moldable reshaping rewrites ``job.nodes`` and
+        ``job.walltime_request`` on *queued* jobs; priority edits are
+        possible through the same route.  Both feed the merged sort
+        key and the SoA columns, so every such mutation must pass
+        through here — the memo otherwise serves a stale order (and
+        the table stale rows) until the next submit/remove.
+        """
+        try:
+            job = self._jobs[job_id]
+        except KeyError:
+            raise QueueError(f"job {job_id} not in queue") from None
+        self._table.refresh(job)
+        self._order = None
+
+    def restore_jobs(self, jobs: Dict[str, Job]) -> None:
+        """Replace the queue contents wholesale (state restore).
+
+        Rebuilds the SoA mirror through the same per-job hook that
+        submissions use, so a restored queue is indistinguishable from
+        one grown by ``submit`` calls — required for the schema-v4
+        round-trip contract.
+        """
+        self._jobs = dict(jobs)
+        self._order = None
+        self._table.clear()
+        for job in self._jobs.values():
+            cfg = self._configs.get(job.queue) or self._configs.get("default")
+            self._table.add(job, cfg.priority if cfg else 0)
+
+    def _ensure_order(self) -> List[Job]:
+        if self._order is None:
+
+            def sort_key(job: Job):
+                cfg = self._configs.get(job.queue) or self._configs.get("default")
+                qprio = cfg.priority if cfg else 0
+                return (-qprio, -job.priority, job.submit_time, job.job_id)
+
+            self._order = sorted(self._jobs.values(), key=sort_key)
+            self._table.set_order(self._order)
+        return self._order
 
     def pending(self) -> List[Job]:
         """Jobs in merged scheduling order.
@@ -127,15 +181,14 @@ class JobQueue:
         cached until the queue membership changes.  Returns a fresh
         list — callers may slice or mutate it freely.
         """
-        if self._order is None:
+        return list(self._ensure_order())
 
-            def sort_key(job: Job):
-                cfg = self._configs.get(job.queue) or self._configs.get("default")
-                qprio = cfg.priority if cfg else 0
-                return (-qprio, -job.priority, job.submit_time, job.job_id)
-
-            self._order = sorted(self._jobs.values(), key=sort_key)
-        return list(self._order)
+    def pending_arrays(self) -> "Tuple[np.ndarray, np.ndarray]":
+        """``(nodes_required, walltime)`` columns in ``pending()``
+        order — the SoA view scheduler passes consume.  Cached with the
+        order memo; treat as read-only."""
+        self._ensure_order()
+        return self._table.order_columns()
 
     def backlog_nodes(self) -> int:
         """Total nodes requested by queued jobs (Q3b's backlog size)."""

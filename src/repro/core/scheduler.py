@@ -185,6 +185,17 @@ class SchedulingContext:
         backend, id-ordered rows, no node-filter policies); schedulers
         build a :class:`RowPool` from it instead of a
         :class:`NodePool` when the allocator supports row selection.
+    trivial_admit:
+        True when the owning simulation has **zero** policies, so the
+        ``admit`` predicate is the vacuous ``all(() )`` and calling it
+        is unobservable.  Batched scheduler paths may then skip the
+        per-job admission call entirely; any policy (even one that
+        always admits) forces the hook-visiting reference path.
+    pending_arrays:
+        Optional ``(nodes_required, walltime)`` SoA columns aligned
+        with ``pending`` (the :class:`~repro.core.jobtable.JobTable`
+        gather).  Present only when no shaping policy may rewrite jobs
+        during the pass; read-only.
     """
 
     __slots__ = (
@@ -194,6 +205,8 @@ class SchedulingContext:
         "admit",
         "usable_node_count",
         "selection",
+        "trivial_admit",
+        "pending_arrays",
         "_available",
         "_running",
         "_available_factory",
@@ -214,6 +227,8 @@ class SchedulingContext:
         available_factory: Optional[Callable[[], List[Node]]] = None,
         running_factory: Optional[Callable[[], List[RunningJobInfo]]] = None,
         avail_count: Optional[int] = None,
+        trivial_admit: bool = False,
+        pending_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
         if available is None and available_factory is None:
             raise TypeError(
@@ -225,6 +240,8 @@ class SchedulingContext:
         self.admit = admit
         self.usable_node_count = usable_node_count
         self.selection = selection
+        self.trivial_admit = trivial_admit
+        self.pending_arrays = pending_arrays
         self._available = available
         self._available_factory = available_factory
         self._running = running if running is not None else (

@@ -911,7 +911,13 @@ class ClusterSimulation:
             return self._nodes_arr[self._avail_mask].tolist()
 
         pending = self.queue.pending()
-        if self._shaping_policies:
+        # SoA queue columns for batched scheduler passes — only when no
+        # shaping policy may swap job objects mid-pass (the arrays must
+        # stay aligned with ``pending``).
+        pending_arrays = None
+        if not self._shaping_policies:
+            pending_arrays = self.queue.pending_arrays()
+        else:
             shaped_jobs: List[Job] = []
             for job in pending:
                 for policy in self._shaping_policies:
@@ -969,6 +975,11 @@ class ClusterSimulation:
             available_factory=available_factory,
             running_factory=running_factory,
             avail_count=avail_count,
+            # With zero policies the admit closure above is a vacuous
+            # all() over an empty tuple: calling it is unobservable,
+            # so batched scheduler paths may compile it out.
+            trivial_admit=not self.policies,
+            pending_arrays=pending_arrays,
         )
 
     def _schedule_pass(self) -> None:
@@ -1154,6 +1165,12 @@ class ClusterSimulation:
         """
         self.prepare()
         self._batched = True
+        # Flush the trace's deferred-emit buffer once per drained
+        # cohort: every event at a timestamp lands in one indexing
+        # pass while the cohort is cache-warm, instead of whenever the
+        # 8k threshold happens to trip mid-cohort.
+        if self.trace.enabled:
+            self.sim.cohort_hook = self.trace.flush_cohort
         try:
             if until is not None:
                 self.sim.run_batched(until=until, max_events=max_events)
@@ -1192,4 +1209,5 @@ class ClusterSimulation:
                 self.sim.run_batched(stop=stop)
         finally:
             self._batched = False
+            self.sim.cohort_hook = None
         return self.finalize()

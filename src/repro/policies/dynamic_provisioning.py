@@ -14,7 +14,7 @@ The seasonal predicate comes from the site's ambient model.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..cluster.node import NodeState
 from ..core.epa import FunctionalCategory
@@ -73,7 +73,6 @@ class DynamicProvisioningPolicy(Policy):
     def _job_power_delta(self, job: Job) -> float:
         """Worst-case extra power of starting *job* (idle -> busy)."""
         machine = self.simulation.machine
-        model = self.simulation.power_model
         # Use the machine's average node as the estimate basis.
         sample = machine.nodes[0]
         dyn = (sample.max_power - sample.idle_power) * job.mean_power_intensity

@@ -106,6 +106,13 @@ class MoldablePolicy(Policy):
         job.work_seconds = work
         job.walltime_request = max(work, job.walltime_request * scale)
         self.reshaped += 1
+        # The mutation changes the queue's sort key inputs and SoA
+        # columns; without this the memoized pending() order (and the
+        # JobTable mirror) serve stale values until the next
+        # submit/remove.
+        queue = self.simulation.queue
+        if job.job_id in queue:
+            queue.notify_job_changed(job.job_id)
 
     def epa_components(self) -> List[Tuple[str, FunctionalCategory, str]]:
         return [

@@ -27,7 +27,8 @@ Gating contract
 from __future__ import annotations
 
 import os
-from typing import Optional, Sequence
+from bisect import bisect_left
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +44,9 @@ __all__ = [
     "apply_transition_np",
     "insert_point",
     "insert_point_np",
+    "plan_conservative",
+    "plan_conservative_np",
+    "plan_conservative_py",
 ]
 
 try:  # pragma: no cover - exercised only where numba is installed
@@ -439,3 +443,369 @@ def insert_point(
         _insert_point_nb(times, free, np.int64(n), np.int64(idx), float(time))
         return
     insert_point_np(times, free, n, idx, time)
+
+
+# ----------------------------------------------------------------------
+# Kernel 5: whole-pass conservative backfill planning
+# ----------------------------------------------------------------------
+# One call plans the queue slice ``[k0, m)`` against a free-node
+# profile held in flat ``(times, free)`` arrays: earliest-fit search,
+# tail fallback, start-now test and reservation insertion per job —
+# the loop body of ``ConservativeBackfillScheduler.schedule`` with the
+# admission hook compiled out (callers only take this path when the
+# simulation has zero policies, so the hook is vacuous).
+#
+# Two queue-level accelerations ride along, both decision-preserving:
+#
+# * **Saturation early-stop** (``stop_early``): before planning job
+#   ``k``, check whether *any* remaining job could start now.  A job
+#   can start only if the profile keeps at least its node count free
+#   over ``[now, now + walltime)``; the window minimum is antitone in
+#   both window length and node count, so the cheapest remaining
+#   window — suffix-minimum walltime at suffix-minimum nodes — bounds
+#   them all.  When even that fails (or the real free pool is below
+#   the suffix-minimum node count), no later job can start and the
+#   pass may stop: the reservations it would have placed are
+#   pass-local scratch state, invisible outside the scheduler.
+# * **Resumability**: the caller may re-enter with ``k0 > 0`` against
+#   a profile carried over from the previous pass (the cross-pass
+#   cache in ``core/backfill.py``); ``minf`` reports the earliest
+#   reservation placed at or after ``now`` so the caller can tell
+#   when that carried profile expires.
+#
+# The caller guarantees array capacity for ``n + 2*(m - k0)`` profile
+# breakpoints (each planned job inserts at most two), ``starts_out``
+# of length ``m - k0`` and ``resv_out`` of shape ``(m - k0, 3)``.
+def plan_conservative_py(
+    times: np.ndarray,
+    free: np.ndarray,
+    n: int,
+    nodes_req: Sequence[int],
+    wall: Sequence[float],
+    sfx_nodes: Sequence[int],
+    sfx_wall: Sequence[float],
+    k0: int,
+    now: float,
+    pool_free: int,
+    capacity: int,
+    monotone: bool,
+    stop_early: bool,
+    starts_out: np.ndarray,
+    resv_out: np.ndarray,
+) -> Tuple[int, int, int, float, bool, int, int]:
+    """Reference implementation on python lists (bisect + list.insert),
+    mirroring :meth:`FreeNodeProfile` semantics op for op.  Returns
+    ``(n, planned, pool_free, minf, monotone, n_starts, n_resv)`` and
+    writes the planned profile back into ``times``/``free``."""
+    t = times[:n].tolist()
+    f = free[:n].tolist()
+    m = len(nodes_req)
+    minf = float("inf")
+    n_starts = 0
+    n_resv = 0
+    k = k0
+    while k < m:
+        if stop_early:
+            smallest = sfx_nodes[k]
+            if pool_free < smallest:
+                break
+            hi = bisect_left(t, now + sfx_wall[k])
+            if hi < 1:
+                hi = 1
+            if min(f[:hi]) < smallest:
+                break
+        nodes = nodes_req[k]
+        dur = wall[k]
+        idx_k = k
+        k += 1
+        if nodes > capacity:
+            continue  # can never run; do not reserve
+        size = len(t)
+        if monotone:
+            lo = bisect_left(f, nodes)
+            has_fit = lo < size
+            start = (t[0] if lo == 0 else t[lo]) if has_fit else 0.0
+        else:
+            idx = earliest_fit_index_py(t, f, nodes, dur)
+            has_fit = idx >= 0
+            start = t[idx] if has_fit else 0.0
+        if not has_fit:
+            # Constant-tail fallback: profile is flat after its last
+            # breakpoint (see the scheduler's tail check).
+            if f[size - 1] >= nodes:
+                start = t[size - 1]
+            else:
+                continue
+        if start <= now and nodes <= pool_free:
+            starts_out[n_starts] = idx_k
+            n_starts += 1
+            pool_free -= nodes
+            s = now
+        else:
+            s = start if start > now else now
+            if s < minf:
+                minf = s
+        e = s + dur
+        if e > s:
+            lo_i = _ensure_point_list(t, f, s)
+            hi_i = _ensure_point_list(t, f, e)
+            for i in range(lo_i, hi_i):
+                f[i] -= nodes
+            monotone = False
+        resv_out[n_resv, 0] = s
+        resv_out[n_resv, 1] = e
+        resv_out[n_resv, 2] = nodes
+        n_resv += 1
+    n = len(t)
+    times[:n] = t
+    free[:n] = f
+    return n, k, pool_free, minf, monotone, n_starts, n_resv
+
+
+def _ensure_point_list(t: list, f: list, x: float) -> int:
+    """List twin of ``FreeNodeProfile._ensure_point``."""
+    idx = bisect_left(t, x)
+    if idx < len(t) and t[idx] == x:
+        return idx
+    t.insert(idx, x)
+    f.insert(idx, f[idx - 1])
+    return idx
+
+
+def plan_conservative_np(
+    times: np.ndarray,
+    free: np.ndarray,
+    n: int,
+    nodes_req: np.ndarray,
+    wall: np.ndarray,
+    sfx_nodes: np.ndarray,
+    sfx_wall: np.ndarray,
+    k0: int,
+    now: float,
+    pool_free: int,
+    capacity: int,
+    monotone: bool,
+    stop_early: bool,
+    starts_out: np.ndarray,
+    resv_out: np.ndarray,
+) -> Tuple[int, int, int, float, bool, int, int]:
+    """Numpy-backed pass planner: profile queries stay on the arrays
+    (``searchsorted`` + the skip-scan earliest fit), reservations are
+    slice subtractions, breakpoints insert through
+    :func:`insert_point_np`.  Job columns are read once via
+    ``tolist()`` — per-element numpy indexing would dominate at queue
+    depth (the lesson baked into :func:`earliest_fit_index_np`).
+    Same comparisons on the same float64 values as the py reference,
+    so results are identical bit for bit."""
+    nodes_l = nodes_req.tolist()
+    wall_l = wall.tolist()
+    sfxn = sfx_nodes.tolist()
+    sfxw = sfx_wall.tolist()
+    m = len(nodes_l)
+    minf = float("inf")
+    n_starts = 0
+    n_resv = 0
+    k = k0
+    while k < m:
+        if stop_early:
+            smallest = sfxn[k]
+            if pool_free < smallest:
+                break
+            hi = int(times[:n].searchsorted(now + sfxw[k]))
+            if hi < 1:
+                hi = 1
+            if int(free[:hi].min()) < smallest:
+                break
+        nodes = nodes_l[k]
+        dur = wall_l[k]
+        idx_k = k
+        k += 1
+        if nodes > capacity:
+            continue  # can never run; do not reserve
+        if monotone:
+            lo = int(free[:n].searchsorted(nodes, side="left"))
+            has_fit = lo < n
+            start = (
+                float(times[0]) if lo == 0 else float(times[lo])
+            ) if has_fit else 0.0
+        else:
+            idx = earliest_fit_index_np(times[:n], free[:n], nodes, dur)
+            has_fit = idx >= 0
+            start = float(times[idx]) if has_fit else 0.0
+        if not has_fit:
+            if free[n - 1] >= nodes:
+                start = float(times[n - 1])
+            else:
+                continue
+        if start <= now and nodes <= pool_free:
+            starts_out[n_starts] = idx_k
+            n_starts += 1
+            pool_free -= nodes
+            s = now
+        else:
+            s = start if start > now else now
+            if s < minf:
+                minf = s
+        e = s + dur
+        if e > s:
+            lo_i, n = _ensure_point_arr(times, free, n, s)
+            hi_i, n = _ensure_point_arr(times, free, n, e)
+            free[lo_i:hi_i] -= nodes
+            monotone = False
+        resv_out[n_resv, 0] = s
+        resv_out[n_resv, 1] = e
+        resv_out[n_resv, 2] = nodes
+        n_resv += 1
+    return n, k, pool_free, minf, monotone, n_starts, n_resv
+
+
+def _ensure_point_arr(
+    times: np.ndarray, free: np.ndarray, n: int, x: float
+) -> Tuple[int, int]:
+    """Array twin of ``FreeNodeProfile._ensure_point``; returns
+    ``(index, new_n)``.  Capacity is the caller's guarantee."""
+    idx = int(times[:n].searchsorted(x, side="left"))
+    if idx < n and times[idx] == x:
+        return idx, n
+    insert_point_np(times, free, n, idx, x)
+    return idx, n + 1
+
+
+@njit(cache=False)
+def _bisect_left_f64_nb(a, n, x):  # pragma: no cover - numba only
+    lo = 0
+    hi = n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] < x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@njit(cache=False)
+def _bisect_left_i64_nb(a, n, x):  # pragma: no cover - numba only
+    lo = 0
+    hi = n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] < x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@njit(cache=False)
+def _plan_conservative_nb(
+    times, free, n, nodes_req, wall, sfx_nodes, sfx_wall, k0, now,
+    pool_free, capacity, monotone, stop_early, starts_out, resv_out,
+):  # pragma: no cover - compiled only where numba is installed
+    m = nodes_req.shape[0]
+    minf = np.inf
+    n_starts = 0
+    n_resv = 0
+    k = k0
+    while k < m:
+        if stop_early:
+            smallest = sfx_nodes[k]
+            if pool_free < smallest:
+                break
+            hi = _bisect_left_f64_nb(times, n, now + sfx_wall[k])
+            if hi < 1:
+                hi = 1
+            low = free[0]
+            for i in range(1, hi):
+                if free[i] < low:
+                    low = free[i]
+            if low < smallest:
+                break
+        nodes = nodes_req[k]
+        dur = wall[k]
+        idx_k = k
+        k += 1
+        if nodes > capacity:
+            continue
+        has_fit = False
+        start = 0.0
+        if monotone:
+            lo = _bisect_left_i64_nb(free, n, nodes)
+            if lo < n:
+                has_fit = True
+                start = times[0] if lo == 0 else times[lo]
+        else:
+            idx = _earliest_fit_nb(times[:n], free[:n], nodes, dur)
+            if idx >= 0:
+                has_fit = True
+                start = times[idx]
+        if not has_fit:
+            if free[n - 1] >= nodes:
+                start = times[n - 1]
+            else:
+                continue
+        if start <= now and nodes <= pool_free:
+            starts_out[n_starts] = idx_k
+            n_starts += 1
+            pool_free -= nodes
+            s = now
+        else:
+            s = start if start > now else now
+            if s < minf:
+                minf = s
+        e = s + dur
+        if e > s:
+            lo_i = _bisect_left_f64_nb(times, n, s)
+            if not (lo_i < n and times[lo_i] == s):
+                _insert_point_nb(times, free, n, lo_i, s)
+                n += 1
+            hi_i = _bisect_left_f64_nb(times, n, e)
+            if not (hi_i < n and times[hi_i] == e):
+                _insert_point_nb(times, free, n, hi_i, e)
+                n += 1
+            for i in range(lo_i, hi_i):
+                free[i] -= nodes
+            monotone = False
+        resv_out[n_resv, 0] = s
+        resv_out[n_resv, 1] = e
+        resv_out[n_resv, 2] = nodes
+        n_resv += 1
+    return n, k, pool_free, minf, monotone, n_starts, n_resv
+
+
+def plan_conservative(
+    times: np.ndarray,
+    free: np.ndarray,
+    n: int,
+    nodes_req: np.ndarray,
+    wall: np.ndarray,
+    sfx_nodes: np.ndarray,
+    sfx_wall: np.ndarray,
+    k0: int,
+    now: float,
+    pool_free: int,
+    capacity: int,
+    monotone: bool,
+    stop_early: bool,
+    starts_out: np.ndarray,
+    resv_out: np.ndarray,
+) -> Tuple[int, int, int, float, bool, int, int]:
+    """Dispatching whole-pass planner; integer node counts make every
+    comparison exact, so all three paths are trivially identical."""
+    if HAVE_NUMBA:
+        n, planned, pool_free, minf, monotone, n_starts, n_resv = (
+            _plan_conservative_nb(
+                times, free, np.int64(n), nodes_req, wall, sfx_nodes,
+                sfx_wall, np.int64(k0), float(now), np.int64(pool_free),
+                np.int64(capacity), bool(monotone), bool(stop_early),
+                starts_out, resv_out,
+            )
+        )
+        return (
+            int(n), int(planned), int(pool_free), float(minf),
+            bool(monotone), int(n_starts), int(n_resv),
+        )
+    return plan_conservative_np(
+        times, free, n, nodes_req, wall, sfx_nodes, sfx_wall, k0, now,
+        pool_free, capacity, monotone, stop_early, starts_out, resv_out,
+    )

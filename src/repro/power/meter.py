@@ -107,6 +107,45 @@ class PowerMeter:
             self.trace.emit(now, "power.sample", meter=self.name, watts=watts)
         return watts
 
+    def record_batch(self, times: np.ndarray, watts: np.ndarray) -> None:
+        """Append many pre-measured samples in one call.
+
+        The bulk twin of :meth:`sample` for cohort-batched producers
+        and checkpoint restore: *times* must be strictly increasing
+        and lie strictly after the last recorded sample.  Energy is
+        integrated with the same trapezoidal rule, vectorized over the
+        whole batch (including the junction with the existing series);
+        the reduction order differs from the incremental loop, so the
+        accumulated energy may differ in the last ulp — callers that
+        need bit-exact continuity (checkpoint restore) overwrite
+        :attr:`energy_joules` from their own record afterwards.
+        """
+        t = np.ascontiguousarray(times, dtype=np.float64)
+        w = np.ascontiguousarray(watts, dtype=np.float64)
+        if t.ndim != 1 or t.shape != w.shape:
+            raise ValueError(
+                f"times/watts must be matching 1-d arrays, got {t.shape} vs {w.shape}"
+            )
+        if t.size == 0:
+            return
+        if np.any(np.diff(t) <= 0.0):
+            raise ValueError("batch times must be strictly increasing")
+        if self._times:
+            if t[0] <= self._times[-1]:
+                raise ValueError(
+                    f"batch starts at {t[0]}, not after last sample "
+                    f"at {self._times[-1]}"
+                )
+            tt = np.concatenate(([self._times[-1]], t))
+            ww = np.concatenate(([self._watts[-1]], w))
+        else:
+            tt, ww = t, w
+        if tt.size >= 2:
+            self._energy_joules += float(trapezoid(ww, tt))
+        # array('d') bulk append straight from the float64 buffers.
+        self._times.frombytes(t.tobytes())
+        self._watts.frombytes(w.tobytes())
+
     # ------------------------------------------------------------------
     @property
     def energy_joules(self) -> float:

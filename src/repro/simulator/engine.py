@@ -209,6 +209,12 @@ class Simulator:
         #: fires (post-state).  Used by repro.state.replay to record
         #: per-event fingerprint streams without perturbing ordering.
         self.observer: Optional[Callable[[Event], None]] = None
+        #: Optional zero-argument hook invoked by :meth:`run_batched`
+        #: once per drained cohort, after every event at that timestamp
+        #: has fired.  Observability sinks use it to materialize their
+        #: per-event deferred buffers in one batch per cohort instead
+        #: of one call per event; it must not schedule events.
+        self.cohort_hook: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -581,6 +587,11 @@ class Simulator:
         after every fired event; returning True ends the run
         immediately (undispatched cohort events are flushed back into
         the heap, so a later ``run``/``step`` continues correctly).
+
+        If :attr:`cohort_hook` is set when the run starts, it is
+        invoked once after each fully dispatched cohort (it is *not*
+        called on an early exit mid-cohort — callers flush their sinks
+        after the run returns).
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
@@ -591,6 +602,7 @@ class Simulator:
         buckets = self._buckets
         order = self._bucket_order
         pos = self._bucket_pos
+        hook = self.cohort_hook
         try:
             if stop is not None and stop():
                 return self._now
@@ -614,6 +626,8 @@ class Simulator:
                     if stop is not None and stop():
                         return self._now
                     if not order:
+                        if hook is not None:
+                            hook()
                         continue
                 else:
                     self._enqueue_bucket(first)
@@ -650,6 +664,8 @@ class Simulator:
                         del buckets[p]
                         pos.pop(p, None)
                         order.remove(p)
+                if hook is not None:
+                    hook()
             if until is not None and until > self._now:
                 self._now = float(until)
         finally:

@@ -437,7 +437,12 @@ def snapshot(sim_obj, extra_roots: Dict[str, Any] = None) -> SimState:
         },
         "nodes": node_state,
         "jobs": [_capture_job(j) for j in sim_obj.jobs],
-        "queue": list(sim_obj.queue._jobs.keys()),
+        # v4: dict with the live-row count so restore can verify the
+        # rebuilt JobTable mirrors the queue exactly.
+        "queue": {
+            "jobs": list(sim_obj.queue._jobs.keys()),
+            "table_live": sim_obj.queue._table.live_count,
+        },
         "executions": executions,
         "counters": {
             "started": sim_obj._started_count,
@@ -568,7 +573,19 @@ def restore(state: SimState, factory: Callable[[], Any],
     sim_obj._avail_count = int(sim_obj._avail_mask.sum())
 
     # --- queue -------------------------------------------------------
-    sim_obj.queue._jobs = {jid: job_by_id[jid] for jid in data["queue"]}
+    # Rebuild through the queue's wholesale-restore hook so the SoA
+    # JobTable mirror is regrown row for row (schema v4 contract);
+    # grafting ``_jobs`` directly would leave the mirror empty.
+    queue_data = data["queue"]
+    sim_obj.queue.restore_jobs(
+        {jid: job_by_id[jid] for jid in queue_data["jobs"]}
+    )
+    if sim_obj.queue._table.live_count != queue_data["table_live"]:
+        raise StateError(
+            "queue restore: JobTable rebuilt with "
+            f"{sim_obj.queue._table.live_count} live rows, snapshot "
+            f"recorded {queue_data['table_live']}"
+        )
 
     # --- counters ----------------------------------------------------
     counters = data["counters"]
@@ -642,9 +659,11 @@ def restore(state: SimState, factory: Callable[[], Any],
     # --- meter -------------------------------------------------------
     meter = sim_obj.meter
     meter._times = sample_buffer()
-    meter._times.extend(data["meter"]["times"].tolist())
     meter._watts = sample_buffer()
-    meter._watts.extend(data["meter"]["watts"].tolist())
+    meter._energy_joules = 0.0
+    meter.record_batch(data["meter"]["times"], data["meter"]["watts"])
+    # The bulk-vectorized trapezoid may differ from the incremental
+    # accumulator in the last ulp; the checkpoint's exact value wins.
     meter._energy_joules = data["meter"]["energy"]
     meter._handle = None
 

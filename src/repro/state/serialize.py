@@ -45,7 +45,12 @@ MAGIC = b"RPST"
 #: None on that backend), so v2 vector checkpoints — whose node
 #: states carry job ids the restore path would re-stamp — are
 #: rejected instead of silently diverging.
-STATE_SCHEMA_VERSION = 3
+#: 4: the queue section is a dict (``jobs`` + ``table_live``) and the
+#: restore path rebuilds the queue's SoA JobTable through the same
+#: hooks submissions use; v3 restores grafted ``_jobs`` directly,
+#: which would leave the mirror empty and every batched scheduler
+#: pass blind to the restored backlog.
+STATE_SCHEMA_VERSION = 4
 
 
 @dataclass

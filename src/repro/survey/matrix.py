@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .data import all_center_slugs, survey_responses
-from .model import MaturityStage, SurveyResponse
+from .model import MaturityStage
 from .taxonomy import Technique
 
 #: The paper splits the matrix after LRZ: Table I = first 5 centers.

@@ -12,7 +12,7 @@ with all its activities.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Tuple
 
 from ..errors import SurveyError

@@ -8,7 +8,7 @@ testable artifact (count, coverage of rationale categories, ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 

@@ -13,7 +13,7 @@ was identified ... of which nine elected to participate."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from .data import (
     IDENTIFIED_NOT_PARTICIPATING,

@@ -13,7 +13,7 @@ power per named segment, nestable like real instrumentation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..errors import ConfigurationError
 from ..simulator.engine import Simulator

@@ -11,7 +11,7 @@ efficiency (Amdahl serial fraction) and power intensity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

@@ -1,6 +1,5 @@
 """Tests for the sparkline renderer."""
 
-import pytest
 
 from repro.analysis import render_sparkline
 

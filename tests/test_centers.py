@@ -8,11 +8,9 @@ stays fast.
 import pytest
 
 from repro.centers import build_center_simulation, center_slugs
-from repro.cluster import NodeState
 from repro.errors import SurveyError
 from repro.survey.data import all_center_slugs
 from repro.units import HOUR
-from repro.workload import JobState
 
 
 @pytest.fixture(scope="module")
@@ -44,8 +42,6 @@ class TestAllCentersRun:
         build, result = center_results[slug]
         metrics = result.metrics
         assert metrics.jobs_submitted > 0
-        finished = (metrics.jobs_completed + metrics.jobs_killed
-                    + metrics.jobs_timed_out)
         # The vast majority of work finishes in every scenario.
         assert metrics.jobs_completed >= 0.5 * metrics.jobs_submitted
         assert metrics.total_energy_joules > 0

@@ -14,7 +14,7 @@ from repro.core import (
     RuntimeLearningPolicy,
 )
 from repro.prediction import UserRuntimePredictor
-from repro.units import DAY, HOUR
+from repro.units import DAY
 from tests.conftest import make_job
 
 

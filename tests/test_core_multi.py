@@ -11,7 +11,6 @@ from repro.core import (
 from repro.errors import ConfigurationError
 from repro.policies import PowerAwareAdmissionPolicy
 from repro.simulator import Simulator, TraceRecorder
-from repro.units import HOUR
 from repro.workload.phases import COMPUTE_BOUND
 from tests.conftest import make_job
 

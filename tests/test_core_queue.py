@@ -112,3 +112,95 @@ class TestJobQueue:
         queue.submit(job)
         assert job.job_id in queue
         assert "nope" not in queue
+
+
+class TestPendingInvalidation:
+    """In-place mutation of queued jobs must invalidate the order memo
+    and the SoA mirror through :meth:`JobQueue.notify_job_changed`
+    (moldable reshaping and requeue-time priority edits hit this)."""
+
+    def test_priority_mutation_reorders_after_notify(self, job_factory):
+        queue = JobQueue()
+        first = job_factory(job_id="a", submit=0.0, priority=5)
+        second = job_factory(job_id="b", submit=1.0, priority=0)
+        queue.submit(first)
+        queue.submit(second)
+        assert [j.job_id for j in queue.pending()] == ["a", "b"]
+        # Mutate the sort key of a queued job in place, as the
+        # moldable/requeue paths do, then notify.
+        second.priority = 9
+        queue.notify_job_changed("b")
+        assert [j.job_id for j in queue.pending()] == ["b", "a"]
+
+    def test_nodes_mutation_refreshes_arrays(self, job_factory):
+        queue = JobQueue()
+        job = job_factory(job_id="a", nodes=4, walltime=100.0)
+        queue.submit(job)
+        nodes, wall = queue.pending_arrays()
+        assert nodes.tolist() == [4] and wall.tolist() == [100.0]
+        job.nodes = 16
+        job.walltime_request = 400.0
+        queue.notify_job_changed("a")
+        nodes, wall = queue.pending_arrays()
+        assert nodes.tolist() == [16] and wall.tolist() == [400.0]
+
+    def test_notify_unknown_job_raises(self, job_factory):
+        queue = JobQueue()
+        with pytest.raises(QueueError):
+            queue.notify_job_changed("ghost")
+
+    def test_arrays_match_pending_order(self, job_factory):
+        queue = JobQueue([QueueConfig("default"), QueueConfig("vip", priority=3)])
+        queue.submit(job_factory(job_id="a", nodes=2, walltime=50.0, submit=2.0))
+        queue.submit(job_factory(job_id="v", nodes=7, walltime=70.0, queue="vip"))
+        queue.submit(job_factory(job_id="b", nodes=3, walltime=60.0, submit=1.0))
+        order = queue.pending()
+        nodes, wall = queue.pending_arrays()
+        assert nodes.tolist() == [j.nodes for j in order]
+        assert wall.tolist() == [j.walltime_request for j in order]
+
+
+class TestJobTableMirror:
+    """The SoA mirror grows, tombstones and compacts without ever
+    disagreeing with the dict of queued jobs."""
+
+    def test_growth_past_initial_capacity(self, job_factory):
+        queue = JobQueue()
+        for i in range(50):
+            queue.submit(job_factory(job_id=f"j{i:02d}", nodes=i + 1, submit=float(i)))
+        assert queue._table.live_count == 50
+        nodes, _ = queue.pending_arrays()
+        assert nodes.tolist() == list(range(1, 51))
+
+    def test_compaction_after_heavy_removal(self, job_factory):
+        queue = JobQueue()
+        for i in range(80):
+            queue.submit(job_factory(job_id=f"j{i:02d}", nodes=i + 1, submit=float(i)))
+        for i in range(70):
+            queue.remove(f"j{i:02d}")
+        table = queue._table
+        # Dead rows dominated at some point -> compaction ran.
+        assert table.row_count < 80
+        assert table.live_count == 10
+        nodes, _ = queue.pending_arrays()
+        assert nodes.tolist() == list(range(71, 81))
+        assert table.live_ids() == [f"j{i:02d}" for i in range(70, 80)]
+
+    def test_restore_jobs_rebuilds_mirror(self, job_factory):
+        queue = JobQueue([QueueConfig("default"), QueueConfig("vip", priority=2)])
+        jobs = {}
+        for i in range(6):
+            job = job_factory(
+                job_id=f"j{i}", nodes=i + 1, submit=float(i),
+                queue="vip" if i % 2 else "default",
+            )
+            jobs[job.job_id] = job
+        queue.restore_jobs(jobs)
+        assert len(queue) == 6
+        assert queue._table.live_count == 6
+        order = queue.pending()
+        nodes, wall = queue.pending_arrays()
+        assert nodes.tolist() == [j.nodes for j in order]
+        assert wall.tolist() == [j.walltime_request for j in order]
+        # vip jobs sort ahead of default ones.
+        assert [j.job_id for j in order[:3]] == ["j1", "j3", "j5"]

@@ -1,6 +1,5 @@
 """Tests for FCFS and backfilling schedulers (decision logic only)."""
 
-import pytest
 
 from repro.core import (
     ConservativeBackfillScheduler,

@@ -6,7 +6,6 @@ from repro.cluster import Machine, MachineSpec
 from repro.cluster.topology import build_fat_tree
 from repro.core import ClusterSimulation, EasyBackfillScheduler, FcfsScheduler
 from repro.core.allocator import TopologyAwareAllocator
-from repro.workload import JobState
 from repro.workload.phases import COMM_BOUND, COMPUTE_BOUND
 from tests.conftest import make_job
 

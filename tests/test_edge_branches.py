@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import Machine, MachineSpec, NodeState
+from repro.cluster import NodeState
 from repro.core import (
     ClusterSimulation,
     ConservativeBackfillScheduler,

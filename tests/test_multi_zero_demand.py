@@ -3,7 +3,6 @@ floors (BudgetCoordinator.reallocate must never raise BudgetError)."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster import Machine, MachineSpec
 from repro.core import ClusterSimulation, FcfsScheduler, SiteSimulation

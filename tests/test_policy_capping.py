@@ -155,7 +155,7 @@ class TestOverprovisioning:
     def test_filter_limits_active_set(self):
         machine = machine16()
         policy = OverprovisioningPolicy(budget_watts=6 * 400.0, sensitivity=1.0)
-        sim = ClusterSimulation(machine, FcfsScheduler(), [], policies=[policy])
+        ClusterSimulation(machine, FcfsScheduler(), [], policies=[policy])
         pool = policy.filter_nodes(list(machine.nodes), 0.0)
         assert len(pool) == policy.active_count
 

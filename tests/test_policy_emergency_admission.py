@@ -1,6 +1,5 @@
 """Tests for the emergency power policy and power-aware admission."""
 
-import pytest
 
 from repro.cluster import Machine, MachineSpec
 from repro.cluster.site import Site
@@ -90,8 +89,8 @@ class TestEmergencyPolicy:
                    ambient=AmbientModel(mean=35.0, seasonal_amplitude=0.0,
                                         diurnal_amplitude=0.0))
         policy = EmergencyPowerPolicy(limit_watts=machine.peak_power)
-        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [],
-                                policies=[policy], site=hot)
+        ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                          policies=[policy], site=hot)
         job = make_job(nodes=4, profile=COMPUTE_BOUND)
         hot_estimate = policy.estimate_job_power(job, now=0.0)
 

@@ -168,7 +168,7 @@ class TestDemandResponse:
                        profile=COMPUTE_BOUND)
         sim = ClusterSimulation(machine, EasyBackfillScheduler(), [job],
                                 policies=[policy])
-        result = sim.run()
+        sim.run()
         # Vetoed during the event, started after it.
         assert job.start_time >= 2 * HOUR
         assert policy.vetoes > 0

@@ -1,6 +1,5 @@
 """Tests for idle shutdown and dynamic provisioning policies."""
 
-import pytest
 
 from repro.cluster import Machine, MachineSpec, NodeState
 from repro.cluster.site import Site
@@ -40,7 +39,7 @@ class TestIdleShutdown:
                             walltime=1000.0, submit=3 * HOUR)
         sim = ClusterSimulation(machine, EasyBackfillScheduler(), [late_job],
                                 policies=[policy])
-        result = sim.run()
+        sim.run()
         assert late_job.state is JobState.COMPLETED
         # It had to wait for boots.
         assert late_job.wait_time > 0.0
@@ -122,9 +121,9 @@ class TestDynamicProvisioning:
     def test_summer_gate(self):
         machine = machine16()
         policy = DynamicProvisioningPolicy(cap_watts=1000.0, summer_only=True)
-        sim = ClusterSimulation(machine, EasyBackfillScheduler(), [],
-                                policies=[policy],
-                                site=self._site(machine))
+        ClusterSimulation(machine, EasyBackfillScheduler(), [],
+                          policies=[policy],
+                          site=self._site(machine))
         # January: inactive.
         assert not policy._active(15 * DAY)
         # July: active.

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster import Machine, MachineSpec, NodeState
 from repro.errors import BudgetError, PowerCapError
 from repro.power import Capmc, PowerBudget, PowerMeter
 from repro.power.pue import FacilityPowerModel

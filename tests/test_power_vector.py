@@ -302,7 +302,6 @@ class TestLifecycleArrays:
 
     def test_idle_candidate_rows_match_scalar_selection(self):
         csim, machine = self._sim()
-        rm = csim.rm
         csim.sim.run(until=50.0)
         # Stagger idle_since: re-idle some nodes at distinct times.
         for i, node in enumerate(machine.nodes[:6]):

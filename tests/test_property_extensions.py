@@ -2,7 +2,6 @@
 thermal model, fair-share decay, sparklines and the site budget
 coordinator."""
 
-import math
 
 import pytest
 from hypothesis import assume, given, settings

@@ -1,7 +1,7 @@
 """Property-based tests: power model and budget invariants."""
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import Node

@@ -11,7 +11,6 @@ from repro.core import ClusterSimulation, EasyBackfillScheduler
 from repro.simulator import RngStreams
 from repro.units import HOUR
 from repro.workload import (
-    Job,
     WorkloadGenerator,
     WorkloadSpec,
     read_swf,

@@ -229,7 +229,7 @@ class TestHeapHygiene:
 
     def test_cancel_after_fire_keeps_counters_sane(self, sim):
         h1 = sim.at(1.0, lambda: None)
-        h2 = sim.at(2.0, lambda: None)
+        sim.at(2.0, lambda: None)
         sim.step()
         h1.cancel()  # already fired: must not decrement live again
         assert sim.pending == 1

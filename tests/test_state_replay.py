@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import functools
 
 import pytest
 
@@ -17,7 +16,7 @@ from repro.state import (
     snapshot,
 )
 
-from .state_scenarios import build_small, step_until
+from .state_scenarios import build_small
 
 
 class TestRunRecorder:

@@ -123,7 +123,6 @@ class TestCheckpointedRun:
     def test_checkpointed_run_identical_to_plain(self, tmp_path):
         ref = result_fingerprint(build_small().run())
         sim = build_small()
-        path = tmp_path / "ck.ckpt"
         saves = []
         result = run_checkpointed(
             sim, interval=300.0,

@@ -5,7 +5,7 @@ import io
 import pytest
 
 from repro.errors import TraceFormatError
-from repro.workload import Job, read_swf, write_swf
+from repro.workload import read_swf, write_swf
 from repro.workload.swf import roundtrip_string
 
 SAMPLE = """\
@@ -111,3 +111,92 @@ class TestWrite:
         text = roundtrip_string([killed])
         fields = text.strip().split()
         assert fields[10] == "5"  # SWF status: cancelled/killed
+
+
+class TestReadEdgeCases:
+    """Sentinel, malformed-line and ordering corners of the parser."""
+
+    def test_minus_one_sentinels_fall_back(self):
+        # req_procs=-1 -> alloc_procs; req_time=-1 -> run_time;
+        # user/app/queue=-1 -> id 0.
+        line = "7 5 0 120 6 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        jobs = read_swf(io.StringIO(line))
+        assert len(jobs) == 1
+        job = jobs[0]
+        assert job.nodes == 6
+        assert job.walltime_request == 120.0
+        assert job.user == "user000"
+        assert job.app_name == "app0"
+        assert job.queue == "q0"
+
+    def test_negative_submit_clamped_to_zero(self):
+        line = "1 -30 0 100 4 -1 -1 4 200 -1 1 1 -1 1 1 -1 -1 -1\n"
+        jobs = read_swf(io.StringIO(line))
+        assert jobs[0].submit_time == 0.0
+
+    def test_walltime_never_below_runtime(self):
+        # Requested time shorter than actual run time: the walltime
+        # request is widened to the run time so replays never kill a
+        # job its own trace says completed.
+        line = "1 0 0 500 4 -1 -1 4 100 -1 1 1 -1 1 1 -1 -1 -1\n"
+        jobs = read_swf(io.StringIO(line))
+        assert jobs[0].work_seconds == 500.0
+        assert jobs[0].walltime_request == 500.0
+
+    def test_truncated_line_reports_lineno(self):
+        text = (
+            "1 0 10 100 4 -1 -1 4 200 -1 1 5 -1 2 1 -1 -1 -1\n"
+            "2 50 -1 300 8\n"
+        )
+        with pytest.raises(TraceFormatError, match="line 2"):
+            read_swf(io.StringIO(text))
+
+    def test_extra_fields_tolerated(self):
+        # Some archive traces append annotation columns; only the
+        # first 18 fields are interpreted.
+        line = "1 0 0 100 4 -1 -1 4 200 -1 1 1 -1 1 1 -1 -1 -1 99 98\n"
+        jobs = read_swf(io.StringIO(line))
+        assert len(jobs) == 1
+
+    def test_non_numeric_field_reports_lineno(self):
+        text = "1 0 0 abc 4 -1 -1 4 200 -1 1 1 -1 1 1 -1 -1 -1\n"
+        with pytest.raises(TraceFormatError, match="line 1"):
+            read_swf(io.StringIO(text))
+
+    def test_blank_and_comment_lines_skipped(self):
+        text = (
+            ";Comment\n"
+            "\n"
+            "   \n"
+            "1 0 0 100 4 -1 -1 4 200 -1 1 1 -1 1 1 -1 -1 -1\n"
+        )
+        assert len(read_swf(io.StringIO(text))) == 1
+
+    def test_zero_processor_entries_skipped(self):
+        # alloc=0 and req=-1 -> no processors; cancelled-before-start.
+        text = (
+            "1 0 0 100 0 -1 -1 -1 200 -1 0 1 -1 1 1 -1 -1 -1\n"
+            "2 10 0 100 4 -1 -1 4 200 -1 1 1 -1 1 1 -1 -1 -1\n"
+        )
+        jobs = read_swf(io.StringIO(text))
+        assert [j.job_id for j in jobs] == ["swf2"]
+
+    def test_out_of_order_submits_preserved(self):
+        # Real archive traces are *usually* submit-sorted but the spec
+        # does not require it; the parser must not reorder or drop.
+        text = (
+            "1 100 0 50 2 -1 -1 2 60 -1 1 1 -1 1 1 -1 -1 -1\n"
+            "2 40 0 50 2 -1 -1 2 60 -1 1 1 -1 1 1 -1 -1 -1\n"
+            "3 70 0 50 2 -1 -1 2 60 -1 1 1 -1 1 1 -1 -1 -1\n"
+        )
+        jobs = read_swf(io.StringIO(text))
+        assert [j.submit_time for j in jobs] == [100.0, 40.0, 70.0]
+        # Downstream submission replay sorts by submit time; verify
+        # the round-trip through write_swf keeps every job (they must
+        # be terminal first — the writer stamps -1 run fields on
+        # unstarted jobs and the reader drops those).
+        for job in jobs:
+            job.start(job.submit_time + 1.0, list(range(job.nodes)))
+            job.complete(job.start_time + job.work_seconds)
+        again = read_swf(io.StringIO(roundtrip_string(jobs)))
+        assert sorted(j.submit_time for j in again) == [40.0, 70.0, 100.0]
