@@ -21,7 +21,18 @@ Speedup ratios are blind to a slowdown that hits both engines equally
 ``WALL_CEILING``× the committed baseline, loose enough for runner
 variance but tight enough to catch an algorithmic blow-up.
 
-Usage: python .github/scripts/engine_bench_guard.py [fresh_dir] [baseline_dir]
+``BENCH_federation.json`` is guarded on its ``determinism.identical``
+bit (the lockstep campaign must stay bit-reproducible across worker
+counts), the per-variant campaign walls (coarse ``WALL_CEILING``) and
+the broker's measured ``cost_reduction`` staying positive.
+
+Usage::
+
+    python .github/scripts/engine_bench_guard.py [fresh_dir] [baseline_dir] \
+        [--files=BENCH_a.json,BENCH_b.json]
+
+``--files`` restricts the guard to a subset — CI jobs that produce
+only some of the bench files guard exactly those.
 """
 
 from __future__ import annotations
@@ -59,7 +70,12 @@ _SECTION_WALL_CEILINGS = {
     "deep_queue_backfill": {"bulk_s": 2.0, "scalar_s": 2.0},
 }
 
-BENCH_FILES = ("BENCH_engine.json", "BENCH_power.json", "BENCH_state.json")
+BENCH_FILES = (
+    "BENCH_engine.json",
+    "BENCH_power.json",
+    "BENCH_state.json",
+    "BENCH_federation.json",
+)
 
 
 def _iter_speedups(section_name: str, payload: dict):
@@ -165,15 +181,71 @@ def check_state(name: str, fresh: dict, baseline: dict,
     return checked
 
 
+def check_federation(name: str, fresh: dict, baseline: dict,
+                     failures: list) -> int:
+    """Federation metrics: determinism bit + campaign wall ceilings."""
+    checked = 0
+    if "determinism" in baseline and "determinism" in fresh:
+        checked += 1
+        identical = fresh["determinism"].get("identical")
+        print(f"{name} determinism.identical: {identical}")
+        if identical is not True:
+            failures.append(
+                f"{name} determinism: campaign repeat not bit-identical"
+            )
+    base_rows = {
+        row["label"]: row
+        for row in baseline.get("campaign", {}).get("variants", [])
+    }
+    fresh_rows = {
+        row["label"]: row
+        for row in fresh.get("campaign", {}).get("variants", [])
+    }
+    for label, base in sorted(base_rows.items()):
+        got = fresh_rows.get(label)
+        base_wall = base.get("wall_s")
+        if got is None or not isinstance(base_wall, (int, float)):
+            continue
+        checked += 1
+        ceiling = base_wall * WALL_CEILING
+        wall = got.get("wall_s", float("inf"))
+        verdict = "ok" if wall <= ceiling else "BLEW UP"
+        print(
+            f"{name} campaign.{label}: {wall:.1f}s vs baseline "
+            f"{base_wall:.1f}s (ceiling {ceiling:.1f}s) — {verdict}"
+        )
+        if wall > ceiling:
+            failures.append(
+                f"{name} campaign.{label}: {wall:.1f}s > "
+                f"{WALL_CEILING:.1f}x baseline {base_wall:.1f}s"
+            )
+    if "campaign" in baseline and "campaign" in fresh:
+        checked += 1
+        reduction = fresh["campaign"].get("cost_reduction", 0.0)
+        print(f"{name} campaign.cost_reduction: {reduction:.3f}")
+        if not reduction > 0.0:
+            failures.append(
+                f"{name} campaign: broker no longer reduces cost "
+                f"(reduction={reduction:.3f})"
+            )
+    return checked
+
+
 def main() -> int:
-    fresh_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
-                             else "benchmarks/out")
-    base_dir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2
+    args = [a for a in sys.argv[1:] if not a.startswith("--files=")]
+    only = None
+    for arg in sys.argv[1:]:
+        if arg.startswith("--files="):
+            only = set(arg.split("=", 1)[1].split(","))
+    fresh_dir = pathlib.Path(args[0] if args else "benchmarks/out")
+    base_dir = pathlib.Path(args[1] if len(args) > 1
                             else "benchmarks/baseline")
 
     failures: list = []
     checked = 0
     for filename in BENCH_FILES:
+        if only is not None and filename not in only:
+            continue
         base_path = base_dir / filename
         fresh_path = fresh_dir / filename
         if not base_path.exists():
@@ -186,6 +258,8 @@ def main() -> int:
         baseline = json.loads(base_path.read_text())
         if filename == "BENCH_state.json":
             checked += check_state(filename, fresh, baseline, failures)
+        elif filename == "BENCH_federation.json":
+            checked += check_federation(filename, fresh, baseline, failures)
         else:
             checked += check_speedups(filename, fresh, baseline, failures)
 

@@ -1,0 +1,175 @@
+"""Experiment ``exp-federation``: nine centers under the global broker.
+
+The capstone experiment: all nine surveyed centers run concurrently as
+sites of one federation for two simulated days, process-sharded over a
+:class:`~repro.analysis.executor.FanoutPool`, coordinating every six
+hours under the :class:`~repro.federation.GlobalBroker`.  Three
+campaigns sweep the coordination knob — broker off (unconstrained
+baseline) and two fleet-budget fractions — and the resulting
+cost/energy/slowdown points form the Pareto table the survey's global
+outlook argues for: coordination trades queue slowdown for measured
+electricity-cost (and carbon) reduction.
+
+A fourth campaign repeats the primary broker-on point with a different
+worker count and must land on bit-identical per-site state
+fingerprints — the lockstep determinism contract (DESIGN.md §13),
+pinned here and guarded in CI via ``BENCH_federation.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.centers import CENTER_MARKETS
+from repro.federation import FederationCampaign, GlobalBroker, pareto_front
+from repro.units import DAY, HOUR
+
+from .conftest import OUT_DIR, write_artifact
+
+HORIZON = 2.0 * DAY
+EPOCH = 6.0 * HOUR
+SEED = 1
+
+#: fleet budget fractions swept by the broker-on campaigns; None is
+#: the broker-off baseline.
+FRACTIONS = (None, 0.70, 0.55)
+
+
+def _update_bench_json(section: str, payload: dict) -> None:
+    """Merge one section into benchmarks/out/BENCH_federation.json."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_federation.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def _run_campaign(fraction, workers=2):
+    broker = (
+        None
+        if fraction is None
+        else GlobalBroker(
+            CENTER_MARKETS, budget_fraction=fraction, carbon_weight=0.1
+        )
+    )
+    campaign = FederationCampaign(
+        broker=broker,
+        horizon=HORIZON,
+        epoch_seconds=EPOCH,
+        workers=workers,
+    )
+    t0 = time.perf_counter()
+    result = campaign.run()
+    wall = time.perf_counter() - t0
+    return result, wall
+
+
+def test_bench_federation_pareto(artifact_dir):
+    """Cost/energy/slowdown Pareto sweep + lockstep determinism pin."""
+    runs = {}
+    for fraction in FRACTIONS:
+        label = "broker-off" if fraction is None else f"budget-{fraction:.2f}"
+        result, wall = _run_campaign(fraction, workers=2)
+        runs[label] = (fraction, result, wall)
+
+    # Determinism: repeat the primary broker-on point serially.  The
+    # fingerprints pin every site's exact state after every epoch, so
+    # equality means the trajectory is bit-reproducible *and* invariant
+    # to how sites are sharded across workers.
+    primary = f"budget-{FRACTIONS[1]:.2f}"
+    repeat, repeat_wall = _run_campaign(FRACTIONS[1], workers=1)
+    identical = repeat.fingerprint == runs[primary][1].fingerprint
+
+    rows = []
+    for label, (fraction, result, wall) in runs.items():
+        summary = result.summary()
+        rows.append(
+            {
+                "label": label,
+                "budget_fraction": fraction,
+                "cost": summary["cost"],
+                "carbon_kg": summary["carbon_kg"],
+                "energy_joules": summary["energy_joules"],
+                "mean_bounded_slowdown": summary["mean_bounded_slowdown"],
+                "completed_jobs": summary["completed_jobs"],
+                "vetoes": summary["vetoes"],
+                "wall_s": wall,
+                "fingerprint": result.fingerprint,
+            }
+        )
+    # Completion is a first-class objective: mean slowdown averages
+    # *finished* jobs only, so a brutal budget that strands most of
+    # the queue would otherwise look artificially smooth.
+    for row in rows:
+        row["neg_completed_jobs"] = -row["completed_jobs"]
+    objectives = ("cost", "mean_bounded_slowdown", "neg_completed_jobs")
+    front = pareto_front(rows, objectives)
+    for row in rows:
+        del row["neg_completed_jobs"]
+
+    off = next(r for r in rows if r["label"] == "broker-off")
+    on = next(r for r in rows if r["label"] == primary)
+    reduction = 1.0 - on["cost"] / off["cost"]
+
+    # Shape claims: the broker buys a measured electricity-cost
+    # reduction, the trade-off surfaces as slowdown, and both ends of
+    # the sweep survive on the Pareto front.
+    assert identical, "federation campaign is not replay-deterministic"
+    assert on["cost"] < off["cost"], (
+        f"broker-on cost {on['cost']:.2f} not below broker-off "
+        f"{off['cost']:.2f}"
+    )
+    assert rows[0]["completed_jobs"] > 0
+    assert len(front) >= 2, (
+        "expected a genuine cost/slowdown/completion trade-off "
+        f"(front={front}, rows={[(r['cost'], r['mean_bounded_slowdown'], r['completed_jobs']) for r in rows]})"
+    )
+
+    lines = [
+        "EXP-FEDERATION — nine centers, two days, 6 h coordination epochs",
+        f"(workers=2; determinism repeat workers=1: "
+        f"{'identical' if identical else 'DIVERGED'})",
+        "",
+        f"{'variant':>12} {'cost':>9} {'carbon kg':>10} {'energy MWh':>11} "
+        f"{'slowdown':>9} {'jobs':>6} {'wall s':>7}",
+    ]
+    for i, row in enumerate(rows):
+        mark = "*" if i in front else " "
+        lines.append(
+            f"{row['label']:>12} {row['cost']:9.2f} {row['carbon_kg']:10.2f} "
+            f"{row['energy_joules'] / 3.6e9:11.3f} "
+            f"{row['mean_bounded_slowdown']:9.2f} "
+            f"{int(row['completed_jobs']):6d} {row['wall_s']:7.1f}{mark}"
+        )
+    lines += [
+        "",
+        f"* Pareto-optimal on (cost, slowdown, completed); broker at "
+        f"{FRACTIONS[1]:.0%} budget cuts electricity cost "
+        f"{reduction:.1%} vs broker-off",
+    ]
+    write_artifact("exp-federation", "\n".join(lines) + "\n")
+
+    _update_bench_json(
+        "campaign",
+        {
+            "horizon_days": HORIZON / DAY,
+            "epoch_hours": EPOCH / HOUR,
+            "sites": len(CENTER_MARKETS),
+            "workers": 2,
+            "variants": rows,
+            "pareto_front": front,
+            "pareto_objectives": list(objectives),
+            "cost_reduction": reduction,
+        },
+    )
+    _update_bench_json(
+        "determinism",
+        {
+            "identical": identical,
+            "fingerprint": runs[primary][1].fingerprint,
+            "repeat_workers": 1,
+            "repeat_wall_s": repeat_wall,
+        },
+    )

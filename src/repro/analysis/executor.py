@@ -565,11 +565,102 @@ class ExperimentExecutor:
         return out
 
 
+def _fanout_call(fn: Callable[[Any], Any], task: Any, max_attempts: int) -> Any:
+    """Worker-side wrapper: bounded retries around one task call."""
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            return fn(task)
+        except ExecutorError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - retry boundary
+            last_error = exc
+    raise ExecutorError(
+        f"fanout task failed after {max_attempts} attempts: {last_error!r}"
+    )
+
+
+class FanoutPool:
+    """Order-preserving process fan-out for arbitrary picklable tasks.
+
+    The :class:`ExperimentExecutor` above owns the variant/replica/cache
+    machinery; this is the raw substrate under it for callers — the
+    federation campaign foremost — that ship their own task objects
+    (e.g. an epoch's worth of site snapshots) and need the pool to
+    *persist across calls* so workers warm up once, not once per epoch.
+
+    Contract: ``map(fn, tasks)`` returns results in task order, with
+    ``fn`` a module-level picklable callable for ``workers > 1``
+    (``workers == 1`` executes inline and accepts any callable).
+    Worker crashes retry up to ``max_attempts``; a broken pool (hard
+    worker death) falls back to inline execution for the unfinished
+    tasks and is rebuilt on the next call.
+    """
+
+    _UNSET = object()
+
+    def __init__(self, workers: int = 1, max_attempts: int = 3) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.workers = int(workers)
+        self.max_attempts = int(max_attempts)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        """Apply *fn* to every task; results in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1:
+            return [_fanout_call(fn, task, self.max_attempts) for task in tasks]
+        results: List[Any] = [self._UNSET] * len(tasks)
+        try:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_fanout_call, fn, task, self.max_attempts)
+                for task in tasks
+            ]
+            for i, future in enumerate(futures):
+                results[i] = future.result()
+        except BrokenExecutor:
+            self._discard_pool()
+            for i, task in enumerate(tasks):
+                if results[i] is self._UNSET:
+                    results[i] = _fanout_call(fn, task, self.max_attempts)
+        return results
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "FanoutPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
     "ExecutorError",
     "ExperimentExecutor",
+    "FanoutPool",
     "ResultCache",
     "RunRecord",
     "VariantSpec",

@@ -9,12 +9,20 @@ production technique.
 """
 
 from .base import CenterBuild, standard_machine, standard_site
-from .registry import CENTER_BUILDERS, build_center_simulation, center_slugs
+from .registry import (
+    CENTER_BUILDERS,
+    CENTER_MARKETS,
+    build_center_simulation,
+    center_market,
+    center_slugs,
+)
 
 __all__ = [
     "CENTER_BUILDERS",
+    "CENTER_MARKETS",
     "CenterBuild",
     "build_center_simulation",
+    "center_market",
     "center_slugs",
     "standard_machine",
     "standard_site",

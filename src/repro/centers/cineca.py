@@ -49,6 +49,12 @@ def build_simulation(
         estimator=predictor.predict,
         safety_margin=1.05,
     )
+    # The estimator above is a bound method, invisible to repro.state's
+    # attribute walk; exposing the predictor as a plain attribute lets
+    # checkpoints capture its learned per-tag history and patch it back
+    # in place on restore (the reporter closure below shares the same
+    # object, so both sides see the restored state).
+    admission.predictor = predictor
 
     class _LearningReporter(EnergyReportingPolicy):
         """Feed finished jobs' measured power back into the predictor."""

@@ -1,7 +1,9 @@
 """Registry of the nine executable center scenarios.
 
 Maps survey slugs to scenario builders, so benches and examples can
-iterate the capability matrix and *run* it.
+iterate the capability matrix and *run* it — plus each center's
+regional electricity market (tariff, carbon trace, UTC offset), the
+boundary condition the federation broker arbitrages across.
 """
 
 from __future__ import annotations
@@ -9,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ..errors import SurveyError
+from ..grid import ElectricityPriceSchedule, RegionMarket
 from ..units import DAY
 from .base import CenterBuild
 from . import cea, cineca, jcahpc, kaust, lrz, riken, stfc, tokyotech, trinity
@@ -30,6 +33,57 @@ CENTER_BUILDERS: Dict[str, Callable[..., CenterBuild]] = {
 def center_slugs() -> List[str]:
     """All registered center slugs, survey-table order."""
     return list(CENTER_BUILDERS)
+
+
+def _market(
+    name: str,
+    offset: float,
+    day: float,
+    night: float,
+    carbon_day: float,
+    carbon_night: float,
+    day_start: float = 7.0,
+    day_end: float = 21.0,
+) -> RegionMarket:
+    return RegionMarket(
+        name=name,
+        utc_offset_hours=offset,
+        tariff=ElectricityPriceSchedule.day_night(
+            day, night, day_start, day_end
+        ),
+        carbon=ElectricityPriceSchedule.day_night(
+            carbon_day, carbon_night, day_start, day_end
+        ),
+    )
+
+
+#: slug -> regional market.  Prices are stylized time-of-use tariffs
+#: (currency/kWh) and carbon intensities (kg CO2/kWh) for each center's
+#: grid region; UTC offsets stagger the peak windows so the federation
+#: broker has real arbitrage to do (simulation t=0 is UTC midnight).
+#: Solar-heavy grids (DE, IT) run *cleaner* during the expensive day
+#: window; fossil-peaker grids (JP, SA) run dirtier at night.
+CENTER_MARKETS: Dict[str, RegionMarket] = {
+    "riken":     _market("jp-kobe", 9.0, 0.26, 0.17, 0.45, 0.55, 8.0, 22.0),
+    "tokyotech": _market("jp-tokyo", 9.0, 0.27, 0.16, 0.46, 0.56, 8.0, 22.0),
+    "cea":       _market("fr-idf", 1.0, 0.15, 0.11, 0.06, 0.05),
+    "kaust":     _market("sa-west", 3.0, 0.08, 0.06, 0.65, 0.70, 9.0, 23.0),
+    "lrz":       _market("de-bayern", 1.0, 0.32, 0.22, 0.30, 0.45),
+    "stfc":      _market("uk-north", 0.0, 0.28, 0.18, 0.22, 0.30, 7.0, 20.0),
+    "trinity":   _market("us-nm", -7.0, 0.11, 0.07, 0.40, 0.45),
+    "cineca":    _market("it-nord", 1.0, 0.30, 0.20, 0.33, 0.42),
+    "jcahpc":    _market("jp-kashiwa", 9.0, 0.25, 0.16, 0.46, 0.54, 8.0, 22.0),
+}
+
+
+def center_market(slug: str) -> RegionMarket:
+    """The regional electricity market for one center."""
+    try:
+        return CENTER_MARKETS[slug]
+    except KeyError:
+        raise SurveyError(
+            f"unknown center {slug!r}; known: {center_slugs()}"
+        ) from None
 
 
 def build_center_simulation(

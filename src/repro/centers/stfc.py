@@ -49,6 +49,10 @@ def build_simulation(
         "running-jobs", lambda: float(len(simulation.running_jobs()))
     )
     sampler.start()
+    # Component registration makes the sampler's periodic event (and
+    # its collected series) part of checkpoints: without it, snapshots
+    # of a live stfc run fail on the unreachable telemetry event.
+    simulation.attach_component("telemetry", sampler)
     return CenterBuild(
         "stfc",
         simulation,

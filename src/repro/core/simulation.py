@@ -317,6 +317,26 @@ class ClusterSimulation:
         for policy in policies:
             self.add_policy(policy)
 
+        #: Auxiliary stateful components (telemetry samplers, monitors)
+        #: keyed by a stable name.  Registered components become
+        #: snapshot roots: their pending engine events are capturable
+        #: and their state round-trips through checkpoints (see
+        #: :func:`repro.state.snapshot`).
+        self.components: Dict[str, object] = {}
+
+    def attach_component(self, key: str, component: object) -> object:
+        """Register an auxiliary component under a stable key.
+
+        The factory that rebuilds this simulation for a checkpoint
+        restore must attach a structurally identical component under
+        the same key (the key and class are part of the config digest).
+        Returns the component for chaining.
+        """
+        if key in self.components:
+            raise ConfigurationError(f"duplicate component key {key!r}")
+        self.components[key] = component
+        return component
+
     # ------------------------------------------------------------------
     # Policy management
     # ------------------------------------------------------------------

@@ -1,0 +1,187 @@
+"""Global grid/market broker: rolling-horizon budget arbitrage.
+
+The broker is the survey's "global coordination" layer made concrete:
+nine sites sit in different grid regions (timezones, tariffs, carbon
+traces, demand-response windows), and a fleet-wide power budget has to
+land where electricity is currently cheap and clean.  Each epoch the
+broker reads the sites' telemetry reports, prices the *next* epoch
+window in every region (exact time-of-use mean, carbon-weighted), and
+water-fills the budget in ascending effective-price order:
+
+1. every site gets its idle floor (machines stay alive);
+2. demand is covered cheapest-first, up to each site's ceiling and
+   any demand-response limit in force;
+3. spare headroom goes to the cheapest regions, so backlog drains
+   where the kWh costs least.
+
+The broker is pure arithmetic over reports and
+:class:`~repro.grid.market.RegionMarket` schedules — no simulator
+state, no randomness — so the allocation stream is a deterministic
+function of the telemetry stream, which the lockstep-determinism
+tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import ConfigurationError
+from ..grid.market import RegionMarket
+from .protocol import SiteReport
+
+__all__ = ["GlobalBroker", "EpochAllocation"]
+
+
+@dataclass(frozen=True)
+class EpochAllocation:
+    """One epoch's allocation record, kept for post-hoc analysis."""
+
+    epoch: int
+    window_start: float
+    window_end: float
+    total_budget_watts: float
+    #: slug -> effective price (tariff + carbon_weight * carbon).
+    effective_prices: Dict[str, float]
+    #: slug -> demand signal the broker saw.
+    demands: Dict[str, float]
+    #: slug -> granted budget, watts.
+    grants: Dict[str, float]
+
+
+class GlobalBroker:
+    """Allocate a fleet-wide power budget across regional markets.
+
+    Parameters
+    ----------
+    markets:
+        slug -> :class:`RegionMarket` for every federated site.
+    budget_fraction:
+        Fleet budget as a fraction of the summed site ceilings
+        (ignored when *total_budget_watts* is given).
+    total_budget_watts:
+        Absolute fleet budget; overrides *budget_fraction*.
+    carbon_weight:
+        Currency-per-kg weight folding carbon intensity into the
+        effective price (0 = pure cost arbitrage).
+    """
+
+    def __init__(
+        self,
+        markets: Mapping[str, RegionMarket],
+        budget_fraction: float = 0.8,
+        total_budget_watts: Optional[float] = None,
+        carbon_weight: float = 0.0,
+    ) -> None:
+        if not markets:
+            raise ConfigurationError("broker needs at least one market")
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ConfigurationError("budget_fraction must be in (0, 1]")
+        if total_budget_watts is not None and total_budget_watts <= 0:
+            raise ConfigurationError("total_budget_watts must be positive")
+        if carbon_weight < 0:
+            raise ConfigurationError("carbon_weight must be >= 0")
+        self.markets: Dict[str, RegionMarket] = dict(markets)
+        self.budget_fraction = budget_fraction
+        self.total_budget_watts = total_budget_watts
+        self.carbon_weight = carbon_weight
+        self.history: List[EpochAllocation] = []
+
+    # ------------------------------------------------------------------
+    def effective_price(
+        self, slug: str, window_start: float, window_end: float
+    ) -> float:
+        """Carbon-weighted mean price of one region over the window."""
+        market = self.markets[slug]
+        price = market.mean_price(window_start, window_end)
+        if self.carbon_weight:
+            price += self.carbon_weight * market.mean_carbon(
+                window_start, window_end
+            )
+        return price
+
+    def allocate(
+        self,
+        reports: Mapping[str, SiteReport],
+        window_start: float,
+        window_end: float,
+    ) -> Dict[str, float]:
+        """Grant each site a budget for the coming epoch window.
+
+        Deterministic: sites are visited in ascending
+        ``(effective_price, slug)`` order, and every quantity derives
+        from the reports and the market schedules alone.
+        """
+        missing = [s for s in reports if s not in self.markets]
+        if missing:
+            raise ConfigurationError(
+                f"no market configured for sites: {sorted(missing)}"
+            )
+
+        floors: Dict[str, float] = {}
+        ceilings: Dict[str, float] = {}
+        demands: Dict[str, float] = {}
+        prices: Dict[str, float] = {}
+        for slug, report in reports.items():
+            market = self.markets[slug]
+            ceiling = min(
+                report.ceiling_watts,
+                market.dr_limit(window_start, window_end),
+            )
+            floor = min(report.floor_watts, ceiling)
+            floors[slug] = floor
+            ceilings[slug] = ceiling
+            demands[slug] = min(max(report.demand_watts, floor), ceiling)
+            prices[slug] = self.effective_price(
+                slug, window_start, window_end
+            )
+
+        total = self.total_budget_watts
+        if total is None:
+            total = self.budget_fraction * sum(
+                r.ceiling_watts for r in reports.values()
+            )
+
+        grants = dict(floors)
+        remaining = total - sum(grants.values())
+        if remaining < 0:
+            # Budget below the summed idle floors: scale floors
+            # pro-rata rather than brown a site out entirely.
+            scale = total / sum(floors.values()) if sum(floors.values()) else 0.0
+            grants = {s: f * scale for s, f in floors.items()}
+            remaining = 0.0
+
+        order = sorted(reports, key=lambda s: (prices[s], s))
+        # Pass 1: cover reported demand, cheapest regions first.
+        for slug in order:
+            if remaining <= 0:
+                break
+            want = demands[slug] - grants[slug]
+            if want > 0:
+                grant = min(want, remaining)
+                grants[slug] += grant
+                remaining -= grant
+        # Pass 2: spare headroom to the cheapest regions, up to their
+        # ceilings — drain backlog where the kWh is cheapest.
+        for slug in order:
+            if remaining <= 0:
+                break
+            room = ceilings[slug] - grants[slug]
+            if room > 0:
+                grant = min(room, remaining)
+                grants[slug] += grant
+                remaining -= grant
+
+        epoch = max((r.epoch for r in reports.values()), default=-1) + 1
+        self.history.append(
+            EpochAllocation(
+                epoch=epoch,
+                window_start=window_start,
+                window_end=window_end,
+                total_budget_watts=total,
+                effective_prices=dict(prices),
+                demands=dict(demands),
+                grants=dict(grants),
+            )
+        )
+        return grants

@@ -1,0 +1,151 @@
+"""Site-worker half of the federation: build, advance, report.
+
+A site worker is stateless between epochs — all it holds is the code.
+Each :class:`~repro.federation.protocol.EpochTask` carries everything
+needed to materialize the site (config + ``RPST`` snapshot bytes),
+advance it one epoch under the broker's directive, and hand back a
+report plus the re-frozen state.  Because the state travels with the
+task, the campaign can land any site on any worker each epoch —
+migration between workers is the *normal* path, not a recovery one —
+and a what-if fork is just the same task with ``keep_snapshot=False``
+run against a copy of the bytes.
+
+Everything here is module-level (no closures, no lambdas) so tasks
+pickle cleanly through the process pool.
+"""
+
+from __future__ import annotations
+
+import bisect
+import functools
+from typing import Optional
+
+from ..centers import CenterBuild, build_center_simulation
+from ..errors import ConfigurationError
+from ..policies.site_budget import SiteBudgetPolicy
+from ..state import from_bytes, restore, snapshot, state_fingerprint, to_bytes
+from .protocol import EpochOutcome, EpochTask, SiteConfig, SiteReport
+
+__all__ = ["build_site_simulation", "advance_site", "BACKLOG_LOOKAHEAD"]
+
+#: how many queued jobs (in scheduling order) feed the demand signal —
+#: mirrors the lookahead of the in-process BudgetCoordinator.
+BACKLOG_LOOKAHEAD = 32
+
+
+def build_site_simulation(config: SiteConfig) -> CenterBuild:
+    """Deterministic factory: center scenario + steerable budget policy.
+
+    Called identically on every epoch (and every worker) so the
+    restored simulation's config digest matches the snapshot's.  The
+    budget policy starts infinite (inert); directives arrive by
+    assigning ``limit_watts`` after build/restore, never through the
+    factory — the factory must not depend on per-epoch state.
+    """
+    build = build_center_simulation(
+        config.slug,
+        seed=config.seed,
+        duration=config.horizon,
+        **dict(config.builder_kwargs),
+    )
+    build.simulation.add_policy(
+        SiteBudgetPolicy(check_interval=config.budget_check_interval)
+    )
+    return build
+
+
+def _budget_policy(sim_obj) -> SiteBudgetPolicy:
+    for policy in sim_obj.policies:
+        if isinstance(policy, SiteBudgetPolicy):
+            return policy
+    raise ConfigurationError(
+        "site simulation has no SiteBudgetPolicy; "
+        "was it built by build_site_simulation?"
+    )
+
+
+def _epoch_series(sim_obj, start: float, end: float):
+    """Meter samples covering [start, end], both boundaries included.
+
+    The sample *at* ``start`` was recorded while closing the previous
+    epoch and rides along in the snapshot, so consecutive reports
+    share exactly one boundary point; billing the leading ``len - 1``
+    half-open intervals of each report then tiles the campaign span
+    with no gap and no double count.
+    """
+    times, watts = sim_obj.meter.series()
+    lo = bisect.bisect_left(times, start)
+    hi = bisect.bisect_right(times, end)
+    return (
+        tuple(float(t) for t in times[lo:hi]),
+        tuple(float(w) for w in watts[lo:hi]),
+    )
+
+
+def _demand_watts(sim_obj) -> float:
+    """Current draw plus the marginal power of the queued backlog."""
+    node = sim_obj.machine.nodes[0]
+    per_node = node.max_power - node.idle_power
+    backlog = sum(
+        job.nodes for job in sim_obj.queue.pending()[:BACKLOG_LOOKAHEAD]
+    )
+    return float(sim_obj.machine_power() + backlog * per_node)
+
+
+def advance_site(task: EpochTask) -> EpochOutcome:
+    """Advance one site through one coordination epoch.
+
+    Epoch zero builds the site fresh; later epochs restore the RPST
+    bytes onto a factory-built twin.  The closing snapshot is taken
+    *before* ``finalize()`` on the final epoch, so the fingerprint a
+    continuous run and a chunked run produce at the same instant are
+    comparable — finalize only adds the metrics bundle to the report.
+    """
+    factory = functools.partial(build_site_simulation, task.config)
+    if task.snapshot_blob is None:
+        if task.epoch_start != 0.0:
+            raise ConfigurationError(
+                f"no snapshot for epoch starting at t={task.epoch_start}"
+            )
+        sim_obj = factory().simulation
+    else:
+        sim_obj = restore(from_bytes(task.snapshot_blob), factory)
+
+    policy = _budget_policy(sim_obj)
+    policy.limit_watts = task.directive.budget_watts
+
+    sim_obj.prepare()
+    sim_obj.sim.run(until=task.epoch_end)
+
+    state = snapshot(sim_obj)
+    fingerprint = state_fingerprint(state)
+    blob: Optional[bytes] = (
+        to_bytes(state) if task.keep_snapshot and not task.final else None
+    )
+
+    metrics = None
+    if task.final:
+        metrics = sim_obj.finalize().metrics.as_dict()
+
+    times, watts = _epoch_series(sim_obj, task.epoch_start, task.epoch_end)
+    machine = sim_obj.machine
+    report = SiteReport(
+        slug=task.config.slug,
+        epoch=task.epoch,
+        epoch_start=task.epoch_start,
+        epoch_end=task.epoch_end,
+        fingerprint=fingerprint,
+        power_times=times,
+        power_watts=watts,
+        energy_joules=float(sim_obj.meter.energy_joules),
+        demand_watts=_demand_watts(sim_obj),
+        backlog_jobs=len(sim_obj.queue.pending()),
+        backlog_nodes=int(sim_obj.queue.backlog_nodes()),
+        running_jobs=len(sim_obj.running_jobs()),
+        completed_jobs=int(sim_obj._terminal_count),
+        vetoes=int(policy.vetoes),
+        floor_watts=float(machine.idle_floor_power),
+        ceiling_watts=float(machine.peak_power),
+        metrics=metrics,
+    )
+    return EpochOutcome(report=report, snapshot_blob=blob)

@@ -10,6 +10,7 @@ time-indexed signals the EPA policies consume.
 
 from .esp import ElectricityPriceSchedule, ElectricityServiceProvider
 from .events import DemandResponseEvent, GridEventSchedule
+from .market import RegionMarket
 from .supply import DualSourceSupply, SupplyDecision
 
 __all__ = [
@@ -18,5 +19,6 @@ __all__ = [
     "ElectricityPriceSchedule",
     "ElectricityServiceProvider",
     "GridEventSchedule",
+    "RegionMarket",
     "SupplyDecision",
 ]

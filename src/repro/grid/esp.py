@@ -4,12 +4,19 @@ Bates et al. [6] analyzed the ESP-supercomputing-center relationship;
 time-of-use pricing is the simplest coupling: energy is cheaper at
 night, so energy-aware schedulers can shift deferrable load.  Prices
 are piecewise-constant over the day with optional peak surcharges.
+
+The schedule keeps a sorted band-edge cache so whole sampled series
+are priced in one ``searchsorted`` (:meth:`prices_at`), and exposes the
+analytic tariff integral (:meth:`average_price`) that the federation
+broker uses for rolling-horizon forecasts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Sequence, Tuple
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from ..units import DAY
@@ -28,7 +35,8 @@ class ElectricityPriceSchedule:
     def __post_init__(self) -> None:
         covered = 0.0
         last_end = 0.0
-        for start, end, price in sorted(self.bands):
+        ordered = sorted(self.bands)
+        for start, end, price in ordered:
             if start != last_end:
                 raise ConfigurationError(
                     f"tariff bands must tile [0,24): gap/overlap at hour {start}"
@@ -39,6 +47,15 @@ class ElectricityPriceSchedule:
             last_end = end
         if abs(covered - 24.0) > 1e-9:
             raise ConfigurationError("tariff bands must cover 24 hours")
+        # Sorted-edge caches for the vectorized paths.  The dataclass is
+        # frozen over ``bands`` only; these are derived, not fields.
+        starts = np.array([b[0] for b in ordered], dtype=float)
+        prices = np.array([b[2] for b in ordered], dtype=float)
+        widths = np.array([b[1] - b[0] for b in ordered], dtype=float)
+        cum = np.concatenate(([0.0], np.cumsum(prices * widths)))
+        object.__setattr__(self, "_starts", starts)
+        object.__setattr__(self, "_prices", prices)
+        object.__setattr__(self, "_cum", cum)
 
     @classmethod
     def flat(cls, price_per_kwh: float) -> "ElectricityPriceSchedule":
@@ -63,12 +80,45 @@ class ElectricityPriceSchedule:
         )
 
     def price_at(self, time: float) -> float:
-        """Tariff (currency per kWh) at simulated *time*."""
+        """Tariff (currency per kWh) at simulated *time*.
+
+        The per-band scan is the executable spec the vectorized
+        :meth:`prices_at` is pinned against.
+        """
         hour = (time % DAY) / 3600.0
         for start, end, price in self.bands:
             if start <= hour < end:
                 return price
         return self.bands[-1][2]
+
+    def prices_at(self, times: Sequence[float]) -> np.ndarray:
+        """Tariff at every sample of *times* (one searchsorted, no loop)."""
+        hours = (np.asarray(times, dtype=float) % DAY) / 3600.0
+        idx = np.searchsorted(self._starts, hours, side="right") - 1
+        return self._prices[idx]
+
+    # ------------------------------------------------------------------
+    def _integral_to(self, time: float) -> float:
+        """∫ price dh (currency/kWh · hours) over [0, *time*) seconds."""
+        days, rem = divmod(time, DAY)
+        hour = rem / 3600.0
+        idx = min(
+            int(np.searchsorted(self._starts, hour, side="right")) - 1,
+            len(self._prices) - 1,
+        )
+        partial = self._cum[idx] + self._prices[idx] * (hour - self._starts[idx])
+        return days * self._cum[-1] + partial
+
+    def average_price(self, start: float, end: float) -> float:
+        """Time-averaged tariff over the absolute window [start, end).
+
+        Exact under the piecewise-constant model (no sampling grid),
+        spanning band boundaries and whole days.
+        """
+        if end <= start:
+            raise ConfigurationError("average_price window must have end > start")
+        hours = (end - start) / 3600.0
+        return (self._integral_to(end) - self._integral_to(start)) / hours
 
 
 class ElectricityServiceProvider:
@@ -95,8 +145,28 @@ class ElectricityServiceProvider:
 
         Each interval [t_i, t_{i+1}) is billed at the price of its
         start and the power of its start sample; above-limit power
-        incurs the penalty rate on the excess.
+        incurs the penalty rate on the excess.  Vectorized over the
+        whole series; pinned sample-equivalent to :meth:`cost_of_scalar`.
         """
+        if len(times) != len(watts):
+            raise ConfigurationError("times and watts must have equal length")
+        if len(times) < 2:
+            return 0.0
+        times = np.asarray(times, dtype=float)
+        watts = np.asarray(watts, dtype=float)
+        dt_hours = np.diff(times) / 3600.0
+        np.maximum(dt_hours, 0.0, out=dt_hours)
+        kwh = (watts[:-1] / 1e3) * dt_hours
+        total = float(kwh @ self.schedule.prices_at(times[:-1]))
+        if self.penalty_per_kwh != 0.0 and np.isfinite(self.demand_limit_watts):
+            excess_kw = np.maximum(0.0, watts[:-1] - self.demand_limit_watts) / 1e3
+            total += float(excess_kw @ dt_hours) * self.penalty_per_kwh
+        return total
+
+    def cost_of_scalar(
+        self, times: Sequence[float], watts: Sequence[float]
+    ) -> float:
+        """Per-sample reference implementation of :meth:`cost_of`."""
         if len(times) != len(watts):
             raise ConfigurationError("times and watts must have equal length")
         total = 0.0

@@ -1,0 +1,126 @@
+"""Per-region electricity markets for the federation broker.
+
+TARDIS-style multi-center cost optimization (PAPERS.md, arxiv
+2503.11011) needs each site's grid boundary condition in one object:
+the local time-of-use tariff, a carbon-intensity trace on the same
+piecewise-daily structure, the region's UTC offset (so "night" means
+local night), and any demand-response windows the regional operator
+has scheduled.  :class:`RegionMarket` packages those; the
+:class:`~repro.federation.broker.GlobalBroker` queries forecast means
+over its rolling horizon and bills reported power series.
+
+All times entering the public API are *simulation* times (UTC seconds
+from t=0); the market shifts them into local wall-clock before
+touching its schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .esp import ElectricityPriceSchedule, ElectricityServiceProvider
+from .events import DemandResponseEvent, GridEventSchedule
+
+
+@dataclass(frozen=True)
+class RegionMarket:
+    """One region's electricity market as seen by a federated site.
+
+    Parameters
+    ----------
+    name:
+        Market identifier (e.g. ``"jp-east"``).
+    utc_offset_hours:
+        Local wall-clock offset from simulation (UTC) time.
+    tariff:
+        Time-of-use price schedule in **local** hours, currency/kWh.
+    carbon:
+        Carbon-intensity schedule in **local** hours, kg CO2/kWh
+        (reuses the piecewise-daily tariff structure).
+    demand_limit_watts / penalty_per_kwh:
+        Contracted demand limit and over-limit penalty rate.
+    dr_events:
+        Demand-response windows in **simulation** time: during each,
+        the regional operator caps the site at the event's limit.
+    """
+
+    name: str
+    utc_offset_hours: float
+    tariff: ElectricityPriceSchedule
+    carbon: ElectricityPriceSchedule
+    demand_limit_watts: float = float("inf")
+    penalty_per_kwh: float = 0.0
+    dr_events: Tuple[DemandResponseEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not -12.0 <= self.utc_offset_hours <= 14.0:
+            raise ConfigurationError(
+                f"utc_offset_hours {self.utc_offset_hours} outside [-12, 14]"
+            )
+        # Validates ordering/overlap; the tuple field stays the source
+        # of truth so the dataclass remains picklable-by-fields.
+        object.__setattr__(
+            self, "_dr_schedule", GridEventSchedule(self.dr_events)
+        )
+        object.__setattr__(
+            self,
+            "_esp",
+            ElectricityServiceProvider(
+                self.tariff, self.demand_limit_watts, self.penalty_per_kwh
+            ),
+        )
+        object.__setattr__(
+            self, "_carbon_esp", ElectricityServiceProvider(self.carbon)
+        )
+
+    # ------------------------------------------------------------------
+    def local_times(self, times: Sequence[float]) -> np.ndarray:
+        """Shift simulation times into local wall-clock seconds."""
+        return np.asarray(times, dtype=float) + self.utc_offset_hours * 3600.0
+
+    def local_time(self, time: float) -> float:
+        """Scalar version of :meth:`local_times`."""
+        return time + self.utc_offset_hours * 3600.0
+
+    # ------------------------------------------------------------------
+    def cost_of(self, times: Sequence[float], watts: Sequence[float]) -> float:
+        """Electricity cost of a power series sampled at sim times."""
+        return self._esp.cost_of(self.local_times(times), watts)
+
+    def carbon_of(self, times: Sequence[float], watts: Sequence[float]) -> float:
+        """Carbon footprint (kg CO2) of a power series at sim times."""
+        return self._carbon_esp.cost_of(self.local_times(times), watts)
+
+    def price_at(self, time: float) -> float:
+        """Local tariff in force at simulation *time*."""
+        return self.tariff.price_at(self.local_time(time))
+
+    def mean_price(self, start: float, end: float) -> float:
+        """Exact mean tariff over the sim-time window [start, end)."""
+        return self.tariff.average_price(
+            self.local_time(start), self.local_time(end)
+        )
+
+    def mean_carbon(self, start: float, end: float) -> float:
+        """Exact mean carbon intensity over the sim-time window."""
+        return self.carbon.average_price(
+            self.local_time(start), self.local_time(end)
+        )
+
+    # ------------------------------------------------------------------
+    def dr_limit(self, start: float, end: float) -> float:
+        """Tightest demand-response cap overlapping [start, end).
+
+        Infinity when no DR window intersects it.  The broker applies
+        this on top of its market-driven allocation, so a site never
+        receives a budget its regional operator would reject.
+        """
+        limit = float("inf")
+        for event in self._dr_schedule.events:
+            if event.start < end and start < event.end:
+                limit = min(limit, event.limit_watts)
+        return limit

@@ -78,9 +78,18 @@ class DualSourceSupply:
         return SupplyDecision(grid, turbine, cost)
 
     def daily_cost(self, demand_watts: float, samples: int = 24) -> float:
-        """Cost of holding *demand_watts* flat for one day."""
+        """Cost of holding *demand_watts* flat for one day.
+
+        Samples are spaced at ``24 / samples``-hour intervals across
+        the whole day, so any sample count sees every tariff band in
+        proportion (``samples != 24`` previously only covered the first
+        ``samples`` hours, biasing the estimate toward the night band).
+        """
+        if samples < 1:
+            raise ConfigurationError("samples must be >= 1")
+        step_hours = 24.0 / samples
         total = 0.0
-        for hour in range(samples):
-            decision = self.decide(hour * 3600.0, demand_watts)
-            total += decision.cost_per_hour * (24.0 / samples)
+        for i in range(samples):
+            decision = self.decide(i * step_hours * 3600.0, demand_watts)
+            total += decision.cost_per_hour * step_hours
         return total

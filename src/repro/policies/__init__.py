@@ -25,6 +25,7 @@ from .demand_response import DemandResponsePolicy
 from .reporting import EnergyReportingPolicy
 from .manual import ManualActionPolicy
 from .power_aware_admission import PowerAwareAdmissionPolicy
+from .site_budget import SiteBudgetPolicy
 from .cooling_aware import CoolingAwarePolicy
 from .thermal_aware import ThermalAwarePolicy
 from .rapl_enforcement import RaplEnforcementPolicy
@@ -52,6 +53,7 @@ __all__ = [
     "ReservedWindow",
     "ReservedWindowPolicy",
     "SchedulingGoal",
+    "SiteBudgetPolicy",
     "StaticCappingPolicy",
     "ThermalAwarePolicy",
 ]

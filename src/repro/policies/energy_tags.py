@@ -81,6 +81,28 @@ class EnergyTagPolicy(Policy):
                 node.min_frequency, node.max_frequency, steps=6
             )
 
+    # -- state capture: characterizations are nested dataclasses keyed
+    # by tag; the generic walk cannot rebuild them inside a dict, and
+    # losing them makes a restored run re-characterize every tag at
+    # nominal frequency (replay divergence).  Flat tuples round-trip.
+    def __repro_getstate__(self) -> dict:
+        return {
+            "characterizations": {
+                tag: (c.sensitivity, c.intensity, c.runs, c.chosen_frequency)
+                for tag, c in self.characterizations.items()
+            }
+        }
+
+    def __repro_setstate__(self, state: dict) -> None:
+        self.characterizations = {
+            tag: TagCharacterization(
+                tag=tag, sensitivity=sens, intensity=inten,
+                runs=int(runs), chosen_frequency=freq,
+            )
+            for tag, (sens, inten, runs, freq)
+            in state["characterizations"].items()
+        }
+
     # ------------------------------------------------------------------
     # Frequency selection
     # ------------------------------------------------------------------

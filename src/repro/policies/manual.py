@@ -57,6 +57,17 @@ class ManualActionPolicy(Policy):
         self.actions = sorted(actions, key=lambda a: a.time)
         self.executed: List[AdminAction] = []
 
+    # -- state capture: ``executed`` holds elements of the static
+    # ``actions`` script (possibly with uncapturable callbacks), so a
+    # checkpoint records indices into the script and restore re-links
+    # them against the factory-built copy.
+    def __repro_getstate__(self) -> dict:
+        index = {id(a): i for i, a in enumerate(self.actions)}
+        return {"executed": [index[id(a)] for a in self.executed]}
+
+    def __repro_setstate__(self, state: dict) -> None:
+        self.executed = [self.actions[i] for i in state["executed"]]
+
     def on_attach(self) -> None:
         for action in self.actions:
             self.sim.at(

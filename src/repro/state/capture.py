@@ -88,6 +88,10 @@ def _config_signature(sim_obj) -> Dict[str, Any]:
         "policies": [type(p).__qualname__ for p in sim_obj.policies],
         "seed": sim_obj.rng.seed,
         "backend": "vector" if sim_obj.power_vector is not None else "scalar",
+        "components": sorted(
+            (key, type(obj).__qualname__)
+            for key, obj in getattr(sim_obj, "components", {}).items()
+        ),
         "sample_interval": sim_obj.meter.interval,
         "scheduler_interval": sim_obj.scheduler_interval,
         "comm_penalty": sim_obj.comm_penalty,
@@ -474,6 +478,14 @@ def snapshot(sim_obj, extra_roots: Dict[str, Any] = None) -> SimState:
             {"class": type(p).__qualname__, "attrs": _capture_component(p)}
             for p in sim_obj.policies
         ],
+        # v5: attached auxiliary components (telemetry samplers etc.)
+        # round-trip like policies; their keys/classes sit in the
+        # config digest so restore factories must rebuild them.
+        "components": {
+            key: {"class": type(obj).__qualname__,
+                  "attrs": _capture_component(obj)}
+            for key, obj in getattr(sim_obj, "components", {}).items()
+        },
     }
     return SimState(schema=STATE_SCHEMA_VERSION, repro_version=__version__, data=data)
 
@@ -705,6 +717,16 @@ def restore(state: SimState, factory: Callable[[], Any],
                 f"checkpoint {captured['class']}"
             )
         _apply_component(policy, captured["attrs"], ctx)
+
+    # --- attached components (config digest guarantees key/class match)
+    components = getattr(sim_obj, "components", {})
+    for key, captured in data.get("components", {}).items():
+        target = components.get(key)
+        if target is None:
+            raise StateError(
+                f"checkpoint has component {key!r} the factory did not attach"
+            )
+        _apply_component(target, captured["attrs"], ctx)
 
     # --- events (last: handles wire into restored executions/meter) --
     roots = simulation_roots(

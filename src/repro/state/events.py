@@ -44,6 +44,8 @@ def simulation_roots(sim_obj, extra_roots: Dict[str, Any] = None) -> Dict[str, A
     }
     for i, policy in enumerate(sim_obj.policies):
         roots[f"policy:{i}"] = policy
+    for key, component in getattr(sim_obj, "components", {}).items():
+        roots[f"component:{key}"] = component
     if extra_roots:
         for key, obj in extra_roots.items():
             if key in roots:

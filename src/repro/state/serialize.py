@@ -50,7 +50,13 @@ MAGIC = b"RPST"
 #: hooks submissions use; v3 restores grafted ``_jobs`` directly,
 #: which would leave the mirror empty and every batched scheduler
 #: pass blind to the restored backlog.
-STATE_SCHEMA_VERSION = 4
+#: 5: policy/component capture gained ``__repro_getstate__`` hooks
+#: for nested-dataclass state (energy reports, tag
+#: characterizations, admin scripts, learned predictors) and a
+#: ``components`` section for attached auxiliaries (telemetry
+#: samplers); v4 snapshots silently dropped that state on restore,
+#: which diverged replay for five of the nine center scenarios.
+STATE_SCHEMA_VERSION = 5
 
 
 @dataclass

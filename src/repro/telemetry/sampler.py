@@ -94,3 +94,24 @@ class TelemetrySampler:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+
+    # -- state capture (for samplers attached to a simulation as a
+    # component): channel sources are callables the factory rebuilds;
+    # only the collected series cross the checkpoint.
+    def __repro_getstate__(self) -> dict:
+        return {
+            "channels": {
+                name: (list(ch.times), list(ch.values))
+                for name, ch in self.channels.items()
+            }
+        }
+
+    def __repro_setstate__(self, state: dict) -> None:
+        for name, (times, values) in state["channels"].items():
+            channel = self.channels.get(name)
+            if channel is None:
+                continue
+            channel.times = sample_buffer()
+            channel.values = sample_buffer()
+            channel.times.extend(times)
+            channel.values.extend(values)
